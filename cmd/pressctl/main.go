@@ -1,0 +1,253 @@
+// Command pressctl exercises the PRESS control plane: an element-side
+// agent serving the binary actuation protocol over TCP, and a controller
+// that optimizes a (simulated) link by actuating every candidate
+// configuration over the wire before measuring it — the full §2 loop of
+// measure → search → actuate under a coherence budget.
+//
+// Usage:
+//
+//	pressctl demo                    # agent + controller in one process
+//	pressctl demo -speed 0.5         # walking-pace coherence budget
+//	pressctl agent -listen :7010     # standalone agent
+//	pressctl ping  -connect ADDR     # control-plane RTT against an agent
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"press"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pressctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return errors.New("usage: pressctl demo|agent|ping [flags]")
+	}
+	switch args[0] {
+	case "demo":
+		return runDemo(args[1:])
+	case "agent":
+		return runAgent(args[1:])
+	case "ping":
+		return runPing(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want demo|agent|ping)", args[0])
+	}
+}
+
+// buildScenario assembles the demo space: NLoS room, three parabolic
+// elements, one AP→client link.
+func buildScenario(seed uint64) (*press.Space, error) {
+	env := press.NewEnvironment(12, 9, 3)
+	env.AddScatterers(rand.New(rand.NewPCG(seed, 1)), 10, 35)
+	env.Blockers = append(env.Blockers,
+		press.NewBlocker(press.V(5.6, 4.2, 0), press.V(5.9, 5.0, 2.2), 35))
+
+	rxPos := press.V(7.25, 4.7, 1.3)
+	arr := press.NewArray(
+		press.NewParabolicElement(press.V(6.0, 3.2, 1.5), rxPos),
+		press.NewParabolicElement(press.V(6.5, 3.2, 1.5), rxPos),
+		press.NewParabolicElement(press.V(5.6, 3.4, 1.5), rxPos),
+	)
+	space, err := press.NewSpace(env, arr, seed)
+	if err != nil {
+		return nil, err
+	}
+	tx := &press.Radio{
+		Node:       press.Node{Pos: press.V(4.75, 4.5, 1.5), Pattern: press.Omni{PeakGainDBi: 2}},
+		TxPowerDBm: 15, NoiseFigureDB: 6,
+	}
+	rx := &press.Radio{
+		Node:          press.Node{Pos: rxPos, Pattern: press.Omni{PeakGainDBi: 2}},
+		NoiseFigureDB: 6,
+	}
+	if _, err := space.AddLink("ap-client", tx, rx, press.WiFi20()); err != nil {
+		return nil, err
+	}
+	return space, nil
+}
+
+func runDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 42, "scenario seed")
+	speed := fs.Float64("speed", 0, "endpoint speed in mph (0 = static, unlimited budget)")
+	perMeas := fs.Duration("per-measurement", 2*time.Millisecond, "cost of one CSI measurement")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	space, err := buildScenario(*seed)
+	if err != nil {
+		return err
+	}
+	link := space.Link("ap-client")
+
+	// Element-side agent on a TCP loopback listener.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	agent := press.NewAgent(1, space.Array)
+	var mu sync.Mutex
+	applied := space.Applied()
+	agent.OnApply = func(cfg press.Config) {
+		mu.Lock()
+		applied = cfg
+		mu.Unlock()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = agent.ListenAndServe(ctx, l) }()
+
+	// Controller side.
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	ctrl := press.NewController(press.NewStreamConn(nc))
+	hctx, hcancel := context.WithTimeout(ctx, 5*time.Second)
+	defer hcancel()
+	if err := ctrl.Handshake(hctx); err != nil {
+		return err
+	}
+	rtt, err := ctrl.Ping(hctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("connected to agent %d (%d elements) over %s, control RTT %v\n",
+		ctrl.AgentID(), ctrl.NumElements(), l.Addr(), rtt)
+
+	timing := press.Timing{PerMeasurement: *perMeas, SwitchLatency: rtt}
+	budget := 0
+	if *speed > 0 {
+		budget = press.CoherenceBudgetAtSpeed(*speed, 2.462e9, timing)
+		fmt.Printf("coherence budget at %.1f mph: %d measurements\n", *speed, budget)
+	}
+
+	// Baseline.
+	base, err := space.Measure("ap-client", 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline (all terminated): min SNR %.1f dB, throughput %.1f Mb/s\n",
+		base.MinSNRdB(), press.ThroughputMbps(link.Grid, base.SNRdB))
+
+	// Live loop: every candidate is actuated over the control plane,
+	// then measured with whatever the agent really applied.
+	var now time.Duration
+	objective := press.MaxMinSNR{}
+	eval := func(cfg press.Config) (float64, error) {
+		cctx, ccancel := context.WithTimeout(ctx, 2*time.Second)
+		defer ccancel()
+		if err := ctrl.SetConfig(cctx, cfg); err != nil {
+			return 0, err
+		}
+		mu.Lock()
+		actuated := applied.Clone()
+		mu.Unlock()
+		csi, err := link.MeasureCSI(actuated, now.Seconds())
+		if err != nil {
+			return 0, err
+		}
+		now += timing.PerMeasurement + timing.SwitchLatency
+		return objective.Score(csi), nil
+	}
+
+	searcher := press.Greedy{Rng: rand.New(rand.NewPCG(*seed, 2)), Restarts: 2}
+	res, err := searcher.Search(space.Array, eval, budget)
+	if err != nil && !errors.Is(err, press.ErrBudgetExhausted) {
+		return err
+	}
+	if errors.Is(err, press.ErrBudgetExhausted) {
+		fmt.Println("(coherence budget exhausted; best-effort result)")
+	}
+
+	// Actuate the winner and report.
+	actx, acancel := context.WithTimeout(ctx, 2*time.Second)
+	defer acancel()
+	if err := ctrl.SetConfig(actx, res.Best); err != nil {
+		return err
+	}
+	after, err := link.MeasureCSI(res.Best, now.Seconds())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("optimized %s: min SNR %.1f dB (%+.1f dB), throughput %.1f Mb/s, %d measurements\n",
+		space.Array.String(res.Best), after.MinSNRdB(), after.MinSNRdB()-base.MinSNRdB(),
+		press.ThroughputMbps(link.Grid, after.SNRdB), res.Evaluations)
+	fmt.Printf("control plane: %d sent, %d acked, %d retries\n",
+		ctrl.Stats.Sent.Load(), ctrl.Stats.Acked.Load(), ctrl.Stats.Retries.Load())
+	return nil
+}
+
+func runAgent(args []string) error {
+	fs := flag.NewFlagSet("agent", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7010", "TCP listen address")
+	elements := fs.Int("elements", 3, "array size")
+	id := fs.Uint64("id", 1, "agent id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	elems := make([]*press.Element, *elements)
+	for i := range elems {
+		elems[i] = press.NewOmniElement(press.V(float64(i), 1, 1.5))
+	}
+	agent := press.NewAgent(uint32(*id), press.NewArray(elems...))
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("agent %d with %d elements listening on %s\n", *id, *elements, l.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	err = agent.ListenAndServe(ctx, l)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+func runPing(args []string) error {
+	fs := flag.NewFlagSet("ping", flag.ContinueOnError)
+	connect := fs.String("connect", "127.0.0.1:7010", "agent address")
+	count := fs.Int("count", 5, "pings to send")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nc, err := net.Dial("tcp", *connect)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	ctrl := press.NewController(press.NewStreamConn(nc))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ctrl.Handshake(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("agent %d, %d elements\n", ctrl.AgentID(), ctrl.NumElements())
+	for i := 0; i < *count; i++ {
+		rtt, err := ctrl.Ping(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rtt %v\n", rtt)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Command pressim regenerates every table and figure of the paper's
+// exploratory study (§3) plus the §2/§4 analyses, printing the same
+// rows/series the paper reports and optionally writing raw CSV data.
+//
+// Usage:
+//
+//	pressim -exp all
+//	pressim -exp fig4 -trials 10 -placements 8
+//	pressim -exp fig8 -csv out/
+//	pressim -exp ablation
+//
+// Experiments: los, fig4, fig5, fig6, fig7, fig8, coherence, ablation,
+// all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pressim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	exp        string
+	trials     int
+	placements int
+	seed       uint64
+	snapshots  int
+	reps       int
+	budget     int
+	csvDir     string
+	recordPath string
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pressim", flag.ContinueOnError)
+	var opt options
+	fs.StringVar(&opt.exp, "exp", "all", "experiment: los|fig4|fig5|fig6|fig7|fig8|coherence|staleness|ablation|all")
+	fs.IntVar(&opt.trials, "trials", 10, "sweep repetitions for fig4/fig5/fig6")
+	fs.IntVar(&opt.placements, "placements", 8, "random element placements for fig4")
+	fs.Uint64Var(&opt.seed, "seed", 0, "seed override (0 = the calibrated defaults)")
+	fs.IntVar(&opt.snapshots, "snapshots", 50, "channel measurements averaged per config for fig8")
+	fs.IntVar(&opt.reps, "reps", 5, "sweep repetitions for fig8")
+	fs.IntVar(&opt.budget, "budget", 200, "measurement budget for the search ablation")
+	fs.StringVar(&opt.csvDir, "csv", "", "directory to write raw CSV series into (created if missing)")
+	fs.StringVar(&opt.recordPath, "record", "", "JSON sweep-record path for the record/replay experiments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if opt.csvDir != "" {
+		if err := os.MkdirAll(opt.csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	exps := strings.Split(opt.exp, ",")
+	if opt.exp == "all" {
+		exps = []string{"los", "fig4", "fig5", "fig6", "fig7", "fig8", "coherence", "controlplane", "staleness", "scaling", "arrayscale", "faults", "ablation"}
+	}
+	for i, e := range exps {
+		if i > 0 {
+			fmt.Fprintln(out, "\n"+strings.Repeat("=", 72)+"\n")
+		}
+		if err := runOne(strings.TrimSpace(e), opt, out); err != nil {
+			return fmt.Errorf("%s: %w", e, err)
+		}
+	}
+	return nil
+}
+
+// writeCSV saves a figure's raw series when -csv was given.
+func writeCSV(opt options, name string, fn func(io.Writer) error) error {
+	if opt.csvDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(opt.csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runQuick invokes the CLI entry point with reduced workloads.
+func runQuick(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestRunLoS(t *testing.T) {
+	out := runQuick(t, "-exp", "los")
+	if !strings.Contains(out, "Passive elements") || !strings.Contains(out, "paper: < 2 dB") {
+		t.Errorf("los output missing headline:\n%s", out)
+	}
+}
+
+func TestRunFig5Reduced(t *testing.T) {
+	out := runQuick(t, "-exp", "fig5", "-trials", "2")
+	if !strings.Contains(out, "CCDF of null movement") {
+		t.Errorf("fig5 output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "trial1") {
+		t.Errorf("fig5 missing per-trial columns:\n%s", out)
+	}
+}
+
+func TestRunFig8ReducedWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := runQuick(t, "-exp", "fig8", "-snapshots", "5", "-reps", "1", "-csv", dir)
+	if !strings.Contains(out, "condition number") {
+		t.Errorf("fig8 output wrong:\n%s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig8.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,config,x_cond_db,cdf") {
+		t.Errorf("fig8.csv header wrong: %q", string(data[:50]))
+	}
+}
+
+func TestRunCoherence(t *testing.T) {
+	out := runQuick(t, "-exp", "coherence")
+	if !strings.Contains(out, "prototype budget") || !strings.Contains(out, "4.992s") {
+		t.Errorf("coherence output wrong:\n%s", out)
+	}
+}
+
+func TestRunStaleness(t *testing.T) {
+	out := runQuick(t, "-exp", "staleness")
+	if !strings.Contains(out, "regret dB") {
+		t.Errorf("staleness output wrong:\n%s", out)
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	out := runQuick(t, "-exp", "los,coherence")
+	if !strings.Contains(out, "Passive elements") || !strings.Contains(out, "prototype budget") {
+		t.Errorf("combined run incomplete:\n%s", out)
+	}
+	// Separator between experiments.
+	if !strings.Contains(out, "====") {
+		t.Error("missing separator")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig99"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-trials", "zebra"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunControlPlane(t *testing.T) {
+	out := runQuick(t, "-exp", "controlplane")
+	if !strings.Contains(out, "ultrasound") || !strings.Contains(out, "gain@walk") {
+		t.Errorf("controlplane output wrong:\n%s", out)
+	}
+}
+
+func TestRunRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.json")
+	out := runQuick(t, "-exp", "record", "-record", path, "-trials", "2")
+	if !strings.Contains(out, "recorded 2 trials") {
+		t.Errorf("record output wrong:\n%s", out)
+	}
+	out = runQuick(t, "-exp", "replay", "-record", path)
+	if !strings.Contains(out, "max null movement") {
+		t.Errorf("replay output wrong:\n%s", out)
+	}
+}
+
+func TestRecordNeedsPath(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "record"}, &buf); err == nil {
+		t.Error("record without -record accepted")
+	}
+	if err := run([]string{"-exp", "replay"}, &buf); err == nil {
+		t.Error("replay without -record accepted")
+	}
+}

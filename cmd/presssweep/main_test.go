@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestCountsUpTo(t *testing.T) {
+	got := countsUpTo(4)
+	want := []int{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("counts[%d] = %d", i, got[i])
+		}
+	}
+	if len(countsUpTo(0)) != 0 {
+		t.Error("countsUpTo(0) should be empty")
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no-arg invocation accepted")
+	}
+	if err := run([]string{"warpdrive"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+}
+
+func TestBuildLink(t *testing.T) {
+	link, err := buildLink(442, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link.Array.N() != 3 {
+		t.Errorf("array size %d", link.Array.N())
+	}
+	if _, err := buildLink(442, 0); err == nil {
+		t.Error("zero elements accepted")
+	}
+}

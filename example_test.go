@@ -1,0 +1,91 @@
+package press_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"press"
+)
+
+// ExampleNewSpace builds the smallest useful PRESS deployment: one room,
+// one element, one link, one optimization.
+func ExampleNewSpace() {
+	env := press.NewEnvironment(12, 9, 3)
+	env.AddScatterers(rand.New(rand.NewPCG(1, 2)), 10, 35)
+	env.Blockers = append(env.Blockers,
+		press.NewBlocker(press.V(5.6, 4.2, 0), press.V(5.9, 5.0, 2.2), 35))
+
+	client := press.V(7.25, 4.7, 1.3)
+	arr := press.NewArray(press.NewParabolicElement(press.V(6, 3.2, 1.5), client))
+	space, err := press.NewSpace(env, arr, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ap := &press.Radio{
+		Node:       press.Node{Pos: press.V(4.75, 4.5, 1.5), Pattern: press.Omni{PeakGainDBi: 2}},
+		TxPowerDBm: 15, NoiseFigureDB: 6,
+	}
+	sta := &press.Radio{Node: press.Node{Pos: client, Pattern: press.Omni{PeakGainDBi: 2}}, NoiseFigureDB: 6}
+	if _, err := space.AddLink("link", ap, sta, press.WiFi20()); err != nil {
+		fmt.Println(err)
+		return
+	}
+	out, err := space.Optimize(
+		[]press.Goal{{Link: "link", Objective: press.MaxMinSNR{}}},
+		press.OptimizeOptions{},
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("searched %d configurations\n", out.Evaluations)
+	// Output:
+	// searched 4 configurations
+}
+
+// ExampleSP4TStates shows the paper's prototype switch bank (Figure 3)
+// in its own notation.
+func ExampleSP4TStates() {
+	for _, s := range press.SP4TStates() {
+		fmt.Println(s)
+	}
+	// Output:
+	// 0
+	// 0.5π
+	// π
+	// T
+}
+
+// ExampleParseState round-trips the paper's configuration notation.
+func ExampleParseState() {
+	st, _ := press.ParseState("1.5π")
+	fmt.Println(st)
+	st, _ = press.ParseState("T")
+	fmt.Println(st)
+	// Output:
+	// 1.5π
+	// T
+}
+
+// ExampleCoherenceBudgetAtSpeed shows the §2 timing constraint: how many
+// configurations a controller may measure before the channel moves on.
+func ExampleCoherenceBudgetAtSpeed() {
+	fast := press.Timing{PerMeasurement: 1e6} // 1 ms in nanoseconds
+	fmt.Println("walking:", press.CoherenceBudgetAtSpeed(0.5, 2.462e9, fast))
+	fmt.Println("running:", press.CoherenceBudgetAtSpeed(6, 2.462e9, fast))
+	fmt.Println("prototype at walking pace:",
+		press.CoherenceBudgetAtSpeed(0.5, 2.462e9, press.PrototypeTiming))
+	// Output:
+	// walking: 97
+	// running: 8
+	// prototype at walking pace: 1
+}
+
+// ExampleWiFi20 shows the paper's primary OFDM grid.
+func ExampleWiFi20() {
+	g := press.WiFi20()
+	fmt.Printf("%d used subcarriers on %.3f GHz\n", g.NumUsed(), g.CenterHz/1e9)
+	// Output:
+	// 52 used subcarriers on 2.462 GHz
+}

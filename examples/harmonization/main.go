@@ -1,0 +1,205 @@
+// Harmonization: two co-located networks share a 20 MHz band by letting
+// PRESS shape each link's spectrum — the paper's third application
+// (§1 "network harmonization and spatial partitioning", §3.2.2/Figure 7,
+// and the Figure 2 cartoon).
+//
+// Two AP→client pairs operate in the same room. A joint optimization
+// drives one link's channel to favour the lower half band and the
+// other's the upper half, so a frequency split gives each network a
+// clean half instead of a contested whole. Like the paper, the program
+// rearranges the environment (tries seeds) until the channel is
+// frequency selective enough to shape.
+//
+//	go run ./examples/harmonization
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"press"
+)
+
+// buildSpace assembles one candidate two-network room.
+func buildSpace(seed uint64) (*press.Space, error) {
+	env := press.NewEnvironment(12, 9, 3)
+	env.AddScatterers(rand.New(rand.NewPCG(seed, 1)), 10, 35)
+	// A partition blocking both links' direct paths.
+	env.Blockers = append(env.Blockers,
+		press.NewBlocker(press.V(5.6, 3.0, 0), press.V(5.9, 6.0, 2.5), 35))
+
+	txA, rxA := press.V(4.75, 3.7, 1.5), press.V(7.25, 3.9, 1.3)
+	txB, rxB := press.V(4.75, 5.3, 1.5), press.V(7.25, 5.5, 1.3)
+
+	// Two elements per network, placed on the paper's 1–2 m grid around
+	// each link (seed-dependent, like the paper's rearranged equipment),
+	// with four reflective phases and no absorber (§3.2.2).
+	rng := rand.New(rand.NewPCG(seed, 2))
+	posA, err := press.DefaultPlacement.Place(rng, env.Room, txA, rxA, 2)
+	if err != nil {
+		return nil, err
+	}
+	posB, err := press.DefaultPlacement.Place(rng, env.Room, txB, rxB, 2)
+	if err != nil {
+		return nil, err
+	}
+	mkElem := func(pos press.Vec, aim press.Vec) *press.Element {
+		e := press.NewParabolicElement(pos, aim)
+		e.States = press.FourPhaseStates()
+		return e
+	}
+	arr := press.NewArray(
+		mkElem(posA[0], rxA), mkElem(posA[1], rxA),
+		mkElem(posB[0], rxB), mkElem(posB[1], rxB),
+	)
+	space, err := press.NewSpace(env, arr, seed)
+	if err != nil {
+		return nil, err
+	}
+	mkRadio := func(pos press.Vec, txPower float64) *press.Radio {
+		return &press.Radio{
+			Node:       press.Node{Pos: pos, Pattern: press.Omni{PeakGainDBi: 2}},
+			TxPowerDBm: txPower, NoiseFigureDB: 6,
+		}
+	}
+	grid := press.USRP102()
+	if _, err := space.AddLink("net-a", mkRadio(txA, 15), mkRadio(rxA, 0), grid); err != nil {
+		return nil, err
+	}
+	if _, err := space.AddLink("net-b", mkRadio(txB, 15), mkRadio(rxB, 0), grid); err != nil {
+		return nil, err
+	}
+	return space, nil
+}
+
+func main() {
+	goals := []press.Goal{
+		{Link: "net-a", Objective: press.HalfBandContrast{PreferLower: true}},
+		{Link: "net-b", Objective: press.HalfBandContrast{PreferLower: false}},
+	}
+	// Rearrange the room (try seeds) and keep the one where PRESS most
+	// improves the split over the phase-0 baseline: the reported gain
+	// comes from the elements, not from lucky geometry.
+	var (
+		space    *press.Space
+		out      *press.Outcome
+		bestGain float64
+	)
+	for seed := uint64(700); seed < 740; seed++ {
+		s, err := buildSpace(seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline, err := jointScore(s, press.Config{0, 0, 0, 0})
+		if err != nil {
+			log.Fatal(err)
+		}
+		o, err := s.Optimize(goals, press.OptimizeOptions{SkipApply: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if gain := o.BestScore - baseline; space == nil || gain > bestGain {
+			space, out, bestGain = s, o, gain
+			if gain >= 4 {
+				break // clearly shapeable; stop searching
+			}
+		}
+	}
+	fmt.Printf("PRESS improves the joint half-band contrast by %.1f dB with %s\n",
+		bestGain, space.Array.String(out.Best))
+
+	// How much spectrum shaping the array commands per link: the spread
+	// of each network's half-band contrast across all configurations.
+	for _, name := range space.LinkNames() {
+		lo, hi := contrastRange(space, name)
+		fmt.Printf("%s: half-band contrast ranges %.1f … %.1f dB across the %d configurations\n",
+			name, lo, hi, space.Array.NumConfigs())
+	}
+	fmt.Println()
+
+	report := func(tag string) {
+		for _, name := range space.LinkNames() {
+			csi, err := space.Measure(name, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			n := len(csi.SNRdB)
+			lo, hi := mean(csi.SNRdB[:n/2]), mean(csi.SNRdB[n/2:])
+			fmt.Printf("  %s %s: lower half %.1f dB, upper half %.1f dB (contrast %+.1f dB)\n",
+				tag, name, lo, hi, lo-hi)
+		}
+	}
+	fmt.Println("before (all terminated-equivalent: phase 0):")
+	if err := space.Apply(press.Config{0, 0, 0, 0}); err != nil {
+		log.Fatal(err)
+	}
+	report("before")
+
+	fmt.Println("\nafter harmonization:")
+	if err := space.Apply(out.Best); err != nil {
+		log.Fatal(err)
+	}
+	report("after ")
+
+	// What the split buys: each network keeps its strong half.
+	csiA, _ := space.Measure("net-a", 0)
+	csiB, _ := space.Measure("net-b", 0)
+	n := len(csiA.SNRdB)
+	grid := press.USRP102()
+	fmt.Printf("\nafter split, per-network half-band throughput: A %.1f Mb/s (lower), B %.1f Mb/s (upper)\n",
+		press.ThroughputMbps(grid, csiA.SNRdB[:n/2])/2,
+		press.ThroughputMbps(grid, csiB.SNRdB[n/2:])/2)
+}
+
+// contrastRange sweeps every configuration and returns the smallest and
+// largest lower-minus-upper half-band contrast the link can be given.
+func contrastRange(s *press.Space, link string) (lo, hi float64) {
+	first := true
+	obj := press.HalfBandContrast{PreferLower: true}
+	s.Array.EachConfig(func(_ int, c press.Config) bool {
+		if err := s.Apply(c.Clone()); err != nil {
+			log.Fatal(err)
+		}
+		csi, err := s.Measure(link, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v := obj.Score(csi)
+		if first || v < lo {
+			lo = v
+		}
+		if first || v > hi {
+			hi = v
+		}
+		first = false
+		return true
+	})
+	return lo, hi
+}
+
+// jointScore evaluates the harmonization objective for one configuration.
+func jointScore(s *press.Space, cfg press.Config) (float64, error) {
+	if err := s.Apply(cfg); err != nil {
+		return 0, err
+	}
+	csiA, err := s.Measure("net-a", 0)
+	if err != nil {
+		return 0, err
+	}
+	csiB, err := s.Measure("net-b", 0)
+	if err != nil {
+		return 0, err
+	}
+	a := press.HalfBandContrast{PreferLower: true}.Score(csiA)
+	b := press.HalfBandContrast{PreferLower: false}.Score(csiB)
+	return a + b, nil
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

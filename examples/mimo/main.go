@@ -1,0 +1,113 @@
+// MIMO: improve 2×2 channel conditioning with PRESS — the paper's second
+// application (§1 "improving Large MIMO performance", §3.2.3/Figure 8).
+//
+// A 2×2 transceiver pair measures its channel matrix per subcarrier for
+// every PRESS configuration; the program reports the condition-number
+// distribution of the best and worst configurations and what the
+// difference means for zero-forcing sum rate.
+//
+//	go run ./examples/mimo
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"sort"
+
+	"press"
+)
+
+func main() {
+	env := press.NewEnvironment(14, 10, 3)
+	env.AddScatterers(rand.New(rand.NewPCG(822, 0xa11ce)), 16, 40)
+	env.Blockers = append(env.Blockers,
+		press.NewBlocker(press.V(6.6, 4.7, 0), press.V(6.9, 5.5, 2.2), 35))
+
+	lambda := press.Wavelength(2.462e9)
+	omni := press.Omni{PeakGainDBi: 2}
+	txAnts := []press.Node{
+		{Pos: press.V(5.5, 5.0, 1.5), Pattern: omni},
+		{Pos: press.V(5.5, 5.0+lambda, 1.5), Pattern: omni},
+	}
+	rxAnts := []press.Node{
+		{Pos: press.V(8, 5.2, 1.3), Pattern: omni},
+		{Pos: press.V(8, 5.2+lambda, 1.3), Pattern: omni},
+	}
+	// Elements co-linear with the TX pair at λ spacing (§3.2.3).
+	arr := press.NewArray(
+		press.NewOmniElement(press.V(5.5, 5.0+2*lambda, 1.5)),
+		press.NewOmniElement(press.V(5.5, 5.0+3*lambda, 1.5)),
+		press.NewOmniElement(press.V(5.5, 5.0+4*lambda, 1.5)),
+	)
+	ml, err := press.NewMIMOLink(env, txAnts, rxAnts, press.WiFi20(), arr, 822)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type result struct {
+		name   string
+		median float64
+		ch     *press.Channel
+	}
+	var results []result
+	arr.EachConfig(func(idx int, c press.Config) bool {
+		ch, err := ml.MeasureAveraged(c.Clone(), 50, press.PrototypeTiming, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof := ch.CondProfileDB()
+		sort.Float64s(prof)
+		results = append(results, result{
+			name:   arr.String(c),
+			median: prof[len(prof)/2],
+			ch:     ch,
+		})
+		return true
+	})
+	sort.Slice(results, func(i, j int) bool { return results[i].median < results[j].median })
+
+	best, worst := results[0], results[len(results)-1]
+	fmt.Printf("64 configurations measured (50 snapshots averaged each)\n")
+	fmt.Printf("best conditioning:  %s, median κ = %.2f dB\n", best.name, best.median)
+	fmt.Printf("worst conditioning: %s, median κ = %.2f dB\n", worst.name, worst.median)
+	fmt.Printf("PRESS moves the 2×2 condition number by %.2f dB (paper: ≈1.5 dB)\n\n",
+		worst.median-best.median)
+
+	// What conditioning buys: zero-forcing spatial multiplexing rate at
+	// the physical link budget. The channel matrices carry the real path
+	// gains, so the SNR scale is transmit power over the noise floor.
+	txPerSC := press.DBmToWatts(15) / 52 / 2 // per subcarrier, per stream
+	noise := press.ThermalNoiseWatts(312.5e3, 6)
+	snr := txPerSC / noise
+	fmt.Printf("mean ZF sum rate:      best %.2f b/s/Hz, worst %.2f b/s/Hz\n",
+		meanZF(best.ch, snr), meanZF(worst.ch, snr))
+	fmt.Printf("mean Shannon capacity: best %.2f b/s/Hz, worst %.2f b/s/Hz\n",
+		best.ch.MeanCapacityBpsHz(snr), worst.ch.MeanCapacityBpsHz(snr))
+
+	fmt.Println("\ncondition-number CDF (dB):")
+	fmt.Printf("%-8s  %-8s  %-8s\n", "cond", "best", "worst")
+	bc, wc := cdf(best.ch), cdf(worst.ch)
+	for _, x := range []float64{6, 8, 10, 12, 14, 16, 18, 20} {
+		fmt.Printf("%-8.0f  %-8.2f  %-8.2f\n", x, bc(x), wc(x))
+	}
+}
+
+// meanZF averages the zero-forcing sum rate across subcarriers.
+func meanZF(ch *press.Channel, snr float64) float64 {
+	var s float64
+	for _, m := range ch.Matrices {
+		s += press.ZFSumRateBpsHz(m, snr)
+	}
+	return s / float64(len(ch.Matrices))
+}
+
+// cdf builds an empirical CDF over the channel's condition profile.
+func cdf(ch *press.Channel) func(float64) float64 {
+	prof := ch.CondProfileDB()
+	sort.Float64s(prof)
+	return func(x float64) float64 {
+		i := sort.SearchFloat64s(prof, x)
+		return float64(i) / float64(len(prof))
+	}
+}

@@ -1,0 +1,149 @@
+// Smartbuilding: one logical PRESS deployment spanning several wall
+// segments, each with its own microcontroller agent on a UDP control
+// channel, driven by a single semi-centralized controller — the §4.2
+// architecture at building scale.
+//
+// The program brings up three agents (two elements each) on loopback UDP
+// sockets, composes them into one six-element logical array, and runs a
+// greedy optimization where every candidate configuration is actuated
+// across all segments before being measured. It then breaks one segment's
+// element mid-run and shows the closed loop adapting.
+//
+//	go run ./examples/smartbuilding
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"press"
+)
+
+func main() {
+	// The physical deployment: a 12×9 m floor with six wall elements in
+	// three segments of two.
+	env := press.NewEnvironment(12, 9, 3)
+	env.AddScatterers(rand.New(rand.NewPCG(99, 1)), 10, 35)
+	env.Blockers = append(env.Blockers,
+		press.NewBlocker(press.V(5.6, 4.2, 0), press.V(5.9, 5.0, 2.2), 35))
+
+	client := press.V(7.25, 4.7, 1.3)
+	positions := []press.Vec{
+		press.V(6.0, 3.2, 1.5), press.V(6.5, 3.2, 1.5), // segment 0: south wall
+		press.V(5.6, 3.4, 1.5), press.V(6.9, 3.6, 1.5), // segment 1
+		press.V(6.2, 6.1, 1.5), press.V(6.8, 6.0, 1.5), // segment 2: north wall
+	}
+	elems := make([]*press.Element, len(positions))
+	for i, pos := range positions {
+		elems[i] = press.NewParabolicElement(pos, client)
+	}
+	arr := press.NewArray(elems...)
+	space, err := press.NewSpace(env, arr, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ap := &press.Radio{
+		Node:       press.Node{Pos: press.V(4.75, 4.5, 1.5), Pattern: press.Omni{PeakGainDBi: 2}},
+		TxPowerDBm: 15, NoiseFigureDB: 6,
+	}
+	sta := &press.Radio{Node: press.Node{Pos: client, Pattern: press.Omni{PeakGainDBi: 2}}, NoiseFigureDB: 6}
+	link, err := space.AddLink("link", ap, sta, press.WiFi20())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Control plane: one UDP agent per wall segment. Each segment owns a
+	// sub-array view so validation matches its element count.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var mu sync.Mutex
+	applied := make(press.Config, arr.N())
+	segments := [][2]int{{0, 2}, {2, 4}, {4, 6}} // [offset, end) per agent
+
+	controllers := make([]*press.Controller, len(segments))
+	for si, seg := range segments {
+		subArr := press.NewArray(elems[seg[0]:seg[1]]...)
+		agent := press.NewAgent(uint32(si+1), subArr)
+		off := seg[0]
+		agent.OnApply = func(cfg press.Config) {
+			mu.Lock()
+			copy(applied[off:off+len(cfg)], cfg)
+			mu.Unlock()
+		}
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() { _ = agent.ServePacket(ctx, pc) }()
+
+		cpc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctrl := press.NewController(press.NewPacketConn(cpc, pc.LocalAddr()))
+		ctrl.Timeout = 200 * time.Millisecond
+		pctx, pcancel := context.WithTimeout(ctx, 5*time.Second)
+		if err := ctrl.Probe(pctx); err != nil {
+			log.Fatal(err)
+		}
+		pcancel()
+		controllers[si] = ctrl
+		fmt.Printf("segment %d: agent %d with %d elements on %s\n",
+			si, ctrl.AgentID(), ctrl.NumElements(), pc.LocalAddr())
+	}
+	mc, err := press.NewMultiController(controllers...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("logical array: %d elements across %d segments\n\n", mc.NumElements(), len(segments))
+
+	// The optimization loop actuates over UDP, then measures whatever the
+	// building actually applied.
+	objective := press.MaxMinSNR{}
+	eval := func(cfg press.Config) (float64, error) {
+		actx, acancel := context.WithTimeout(ctx, 5*time.Second)
+		defer acancel()
+		if err := mc.SetConfig(actx, cfg); err != nil {
+			return 0, err
+		}
+		mu.Lock()
+		actuated := applied.Clone()
+		mu.Unlock()
+		csi, err := link.MeasureCSI(actuated, 0)
+		if err != nil {
+			return 0, err
+		}
+		return objective.Score(csi), nil
+	}
+
+	base, err := space.Measure("link", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline min SNR: %.1f dB\n", base.MinSNRdB())
+
+	searcher := press.Greedy{Rng: rand.New(rand.NewPCG(99, 2))}
+	res, err := searcher.Search(arr, eval, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimized %s over the control plane: min SNR %.1f dB (%+.1f dB) in %d actuations\n\n",
+		arr.String(res.Best), res.BestScore, res.BestScore-base.MinSNRdB(), res.Evaluations)
+
+	// A maintenance event: one element in segment 1 jams. The controller
+	// is not told — it just re-optimizes against reality.
+	fmt.Println("element 2 jams in state π (segment 1); re-optimizing...")
+	link.Faults = press.Faults{2: {Kind: press.StuckAt, State: 2}}
+	res2, err := searcher.Search(arr, eval, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-optimized %s: min SNR %.1f dB (fault absorbed by the closed loop)\n",
+		arr.String(res2.Best), res2.BestScore)
+}

@@ -1,0 +1,173 @@
+package cmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+)
+
+// randMatrix returns a matrix with standard-normal real and imaginary
+// parts, the usual Rayleigh-fading-style ensemble.
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return m
+}
+
+func randVector(rng *rand.Rand, n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return v
+}
+
+func TestVectorDotHermitian(t *testing.T) {
+	v := Vector{1 + 2i, 3}
+	w := Vector{2, 1i}
+	// conj(1+2i)*2 + conj(3)*1i = (1-2i)*2 + 3i = 2 - 4i + 3i = 2 - i.
+	got := v.Dot(w)
+	if got != 2-1i {
+		t.Errorf("Dot = %v, want 2-1i", got)
+	}
+	// Dot(v, v) is real and equals Norm².
+	self := v.Dot(v)
+	if math.Abs(imag(self)) > 1e-15 {
+		t.Errorf("v^H v has imaginary part %v", imag(self))
+	}
+	if math.Abs(real(self)-v.Norm()*v.Norm()) > 1e-12 {
+		t.Errorf("v^H v = %v, Norm² = %v", real(self), v.Norm()*v.Norm())
+	}
+}
+
+func TestVectorAddScaledSub(t *testing.T) {
+	v := Vector{1, 2}
+	w := Vector{3, 4}
+	v.AddScaled(2, w)
+	if v[0] != 7 || v[1] != 10 {
+		t.Errorf("AddScaled = %v", v)
+	}
+	d := v.Sub(Vector{7, 10})
+	if d[0] != 0 || d[1] != 0 {
+		t.Errorf("Sub = %v", d)
+	}
+}
+
+func TestMatrixBasicOps(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {3, 4}})
+	b := FromRows([][]complex128{{0, 1}, {1, 0}})
+	got := a.Mul(b)
+	want := FromRows([][]complex128{{2, 1}, {4, 3}})
+	if got.MaxAbsDiff(want) > 0 {
+		t.Errorf("Mul:\n%v want\n%v", got, want)
+	}
+	if s := a.Add(b).Sub(b); s.MaxAbsDiff(a) > 0 {
+		t.Error("Add then Sub did not round-trip")
+	}
+	if sc := a.Scale(2).At(1, 1); sc != 8 {
+		t.Errorf("Scale: got %v", sc)
+	}
+}
+
+func TestConjTranspose(t *testing.T) {
+	a := FromRows([][]complex128{{1 + 1i, 2}, {3, 4 - 2i}, {5i, 6}})
+	h := a.ConjTranspose()
+	if h.Rows != 2 || h.Cols != 3 {
+		t.Fatalf("shape = %dx%d", h.Rows, h.Cols)
+	}
+	if h.At(0, 0) != 1-1i || h.At(0, 2) != -5i || h.At(1, 1) != 4+2i {
+		t.Errorf("ConjTranspose wrong:\n%v", h)
+	}
+	// (A^H)^H == A.
+	if h.ConjTranspose().MaxAbsDiff(a) > 0 {
+		t.Error("double conjugate transpose is not identity")
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 20))
+	a := randMatrix(rng, 4, 3)
+	v := randVector(rng, 3)
+	got := a.MulVec(v)
+	col := New(3, 1)
+	for i := range v {
+		col.Set(i, 0, v[i])
+	}
+	want := a.Mul(col)
+	for i := range got {
+		if cmplx.Abs(got[i]-want.At(i, 0)) > 1e-12 {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestIdentityIsNeutral(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := randMatrix(rng, 3, 3)
+	if a.Mul(Identity(3)).MaxAbsDiff(a) > 1e-14 {
+		t.Error("A·I != A")
+	}
+	if Identity(3).Mul(a).MaxAbsDiff(a) > 1e-14 {
+		t.Error("I·A != A")
+	}
+}
+
+func TestRowColClone(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {3, 4}})
+	r := a.Row(1)
+	c := a.Col(0)
+	if r[0] != 3 || r[1] != 4 || c[0] != 1 || c[1] != 3 {
+		t.Errorf("Row/Col wrong: %v %v", r, c)
+	}
+	// Mutating copies must not touch the original.
+	r[0], c[0] = 99, 99
+	clone := a.Clone()
+	clone.Set(0, 0, 42)
+	if a.At(1, 0) != 3 || a.At(0, 0) != 1 {
+		t.Error("copies alias the original matrix")
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	for name, bad := range map[string]func(){
+		"new":     func() { New(0, 3) },
+		"mul":     func() { New(2, 3).Mul(New(2, 2)) },
+		"add":     func() { New(2, 2).Add(New(2, 3)) },
+		"mulvec":  func() { New(2, 2).MulVec(make(Vector, 3)) },
+		"dot":     func() { Vector{1}.Dot(Vector{1, 2}) },
+		"fromrag": func() { FromRows([][]complex128{{1, 2}, {3}}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		})
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	a := FromRows([][]complex128{{3, 0}, {0, 4i}})
+	if got := a.FrobeniusNorm(); math.Abs(got-5) > 1e-14 {
+		t.Errorf("FrobeniusNorm = %v, want 5", got)
+	}
+}
+
+// Property: (A·B)^H == B^H·A^H.
+func TestMulConjTransposeProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 50; trial++ {
+		a := randMatrix(rng, 2+rng.IntN(4), 2+rng.IntN(4))
+		b := randMatrix(rng, a.Cols, 2+rng.IntN(4))
+		lhs := a.Mul(b).ConjTranspose()
+		rhs := b.ConjTranspose().Mul(a.ConjTranspose())
+		if lhs.MaxAbsDiff(rhs) > 1e-11 {
+			t.Fatalf("(AB)^H != B^H A^H (trial %d, diff %g)", trial, lhs.MaxAbsDiff(rhs))
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package cmat
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// QR holds the Householder QR factorization a = Q·R with Q (m×m) unitary
+// and R (m×n) upper triangular.
+type QR struct {
+	Q *Matrix
+	R *Matrix
+}
+
+// QRDecompose factors a (m×n, m ≥ n) into Q·R using complex Householder
+// reflections. It panics when m < n; least-squares callers with wide
+// systems should solve the conjugate-transposed problem instead.
+func QRDecompose(a *Matrix) *QR {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("cmat: QRDecompose requires rows >= cols")
+	}
+	r := a.Clone()
+	q := Identity(m)
+
+	for k := 0; k < n; k++ {
+		// Householder vector for column k below the diagonal.
+		var normX float64
+		for i := k; i < m; i++ {
+			normX = math.Hypot(normX, cmplx.Abs(r.At(i, k)))
+		}
+		if normX == 0 {
+			continue
+		}
+		// alpha = -e^{i·arg(x₀)}·‖x‖ avoids cancellation.
+		x0 := r.At(k, k)
+		phase := complex(1, 0)
+		if x0 != 0 {
+			phase = x0 / complex(cmplx.Abs(x0), 0)
+		}
+		alpha := -phase * complex(normX, 0)
+
+		v := make(Vector, m-k)
+		v[0] = x0 - alpha
+		for i := k + 1; i < m; i++ {
+			v[i-k] = r.At(i, k)
+		}
+		vn := v.Norm()
+		if vn == 0 {
+			continue
+		}
+		v.Scale(complex(1/vn, 0))
+
+		// Apply the reflector H = I − 2vv^H to R (columns k..n) and
+		// accumulate into Q (Q ← Q·H).
+		for j := k; j < n; j++ {
+			var dot complex128
+			for i := k; i < m; i++ {
+				dot += cmplx.Conj(v[i-k]) * r.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-dot*v[i-k])
+			}
+		}
+		for i := 0; i < m; i++ {
+			var dot complex128
+			for j := k; j < m; j++ {
+				dot += q.At(i, j) * v[j-k]
+			}
+			dot *= 2
+			for j := k; j < m; j++ {
+				q.Set(i, j, q.At(i, j)-dot*cmplx.Conj(v[j-k]))
+			}
+		}
+	}
+	// Clean the strictly-lower triangle of R to exact zeros.
+	for i := 1; i < m; i++ {
+		for j := 0; j < n && j < i; j++ {
+			r.Set(i, j, 0)
+		}
+	}
+	return &QR{Q: q, R: r}
+}
+
+// LeastSquares returns the x minimizing ‖a·x − b‖₂ for a tall or square
+// full-column-rank a (m ≥ n), via QR: R·x = Q^H·b. It returns ErrSingular
+// when a is column-rank-deficient at working precision.
+func LeastSquares(a *Matrix, b Vector) (Vector, error) {
+	m, n := a.Rows, a.Cols
+	if len(b) != m {
+		panic("cmat: LeastSquares dimension mismatch")
+	}
+	if m < n {
+		panic("cmat: LeastSquares requires rows >= cols")
+	}
+	qr := QRDecompose(a)
+	// y = Q^H b (only the first n entries are needed).
+	y := qr.Q.ConjTranspose().MulVec(b)
+	x := make(Vector, n)
+	for row := n - 1; row >= 0; row-- {
+		diag := qr.R.At(row, row)
+		if cmplx.Abs(diag) < 1e-12*float64(m) {
+			return nil, ErrSingular
+		}
+		sum := y[row]
+		for j := row + 1; j < n; j++ {
+			sum -= qr.R.At(row, j) * x[j]
+		}
+		x[row] = sum / diag
+	}
+	return x, nil
+}

@@ -1,0 +1,102 @@
+package cmat
+
+import (
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestQRReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	for _, shape := range [][2]int{{3, 3}, {5, 3}, {8, 2}, {4, 4}} {
+		a := randMatrix(rng, shape[0], shape[1])
+		qr := QRDecompose(a)
+		if d := qr.Q.Mul(qr.R).MaxAbsDiff(a); d > 1e-10 {
+			t.Errorf("shape %v: QR differs from A by %g", shape, d)
+		}
+	}
+}
+
+func TestQRQUnitary(t *testing.T) {
+	rng := rand.New(rand.NewPCG(53, 54))
+	a := randMatrix(rng, 6, 4)
+	qr := QRDecompose(a)
+	qhq := qr.Q.ConjTranspose().Mul(qr.Q)
+	if d := qhq.MaxAbsDiff(Identity(6)); d > 1e-10 {
+		t.Errorf("Q^H Q differs from I by %g", d)
+	}
+}
+
+func TestQRRUpperTriangular(t *testing.T) {
+	rng := rand.New(rand.NewPCG(55, 56))
+	a := randMatrix(rng, 5, 4)
+	qr := QRDecompose(a)
+	for i := 1; i < qr.R.Rows; i++ {
+		for j := 0; j < qr.R.Cols && j < i; j++ {
+			if qr.R.At(i, j) != 0 {
+				t.Fatalf("R[%d][%d] = %v, want 0", i, j, qr.R.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQRWideMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wide matrix")
+		}
+	}()
+	QRDecompose(New(2, 3))
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Square invertible system: least squares = exact solve.
+	a := FromRows([][]complex128{{2, 0}, {0, 3i}})
+	x, err := LeastSquares(a, Vector{4, 6i})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-2) > 1e-12 || cmplx.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("x = %v, want [2 2]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = c0 + c1·x over points (0,1), (1,3), (2,5): exact line 1+2x.
+	a := FromRows([][]complex128{{1, 0}, {1, 1}, {1, 2}})
+	x, err := LeastSquares(a, Vector{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-1) > 1e-12 || cmplx.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("coefficients = %v, want [1 2]", x)
+	}
+}
+
+// Property: the least-squares residual is orthogonal to the column space,
+// i.e. A^H (Ax − b) ≈ 0.
+func TestLeastSquaresNormalEquationsProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	for trial := 0; trial < 60; trial++ {
+		m := 3 + rng.IntN(6)
+		n := 1 + rng.IntN(m)
+		a := randMatrix(rng, m, n)
+		b := randVector(rng, m)
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			continue
+		}
+		res := a.MulVec(x).Sub(b)
+		grad := a.ConjTranspose().MulVec(res)
+		if grad.Norm() > 1e-9*(1+b.Norm()) {
+			t.Fatalf("normal equations violated by %g (trial %d %dx%d)", grad.Norm(), trial, m, n)
+		}
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	a := FromRows([][]complex128{{1, 1}, {1, 1}, {1, 1}})
+	if _, err := LeastSquares(a, Vector{1, 2, 3}); err == nil {
+		t.Error("expected error for rank-deficient system")
+	}
+}

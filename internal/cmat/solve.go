@@ -1,0 +1,129 @@
+package cmat
+
+import (
+	"errors"
+	"math/cmplx"
+)
+
+// ErrSingular is returned when a linear system has no unique solution at
+// working precision.
+var ErrSingular = errors.New("cmat: matrix is singular to working precision")
+
+// Solve solves the square system a·x = b by Gaussian elimination with
+// partial pivoting. a and b are not modified. It returns ErrSingular when a
+// pivot underflows, which for the small well-scaled systems in this
+// repository means the system genuinely has no unique solution.
+func Solve(a *Matrix, b Vector) (Vector, error) {
+	if a.Rows != a.Cols {
+		panic("cmat: Solve requires a square matrix")
+	}
+	if a.Rows != len(b) {
+		panic("cmat: Solve dimension mismatch")
+	}
+	n := a.Rows
+	// Work on copies: an augmented system [A | b].
+	m := a.Clone()
+	x := b.Clone()
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: the row with the largest magnitude in this column.
+		pivot, pivotAbs := col, cmplx.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if abs := cmplx.Abs(m.At(r, col)); abs > pivotAbs {
+				pivot, pivotAbs = r, abs
+			}
+		}
+		if pivotAbs < 1e-300 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := col; j < n; j++ {
+				m.Data[col*n+j], m.Data[pivot*n+j] = m.Data[pivot*n+j], m.Data[col*n+j]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			factor := m.At(r, col) * inv
+			if factor == 0 {
+				continue
+			}
+			m.Set(r, col, 0)
+			for j := col + 1; j < n; j++ {
+				m.Set(r, j, m.At(r, j)-factor*m.At(col, j))
+			}
+			x[r] -= factor * x[col]
+		}
+	}
+	// Back substitution.
+	for row := n - 1; row >= 0; row-- {
+		sum := x[row]
+		for j := row + 1; j < n; j++ {
+			sum -= m.At(row, j) * x[j]
+		}
+		x[row] = sum / m.At(row, row)
+	}
+	return x, nil
+}
+
+// Inverse returns a⁻¹ computed column by column via Solve. It returns
+// ErrSingular when a is not invertible at working precision.
+func Inverse(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		panic("cmat: Inverse requires a square matrix")
+	}
+	n := a.Rows
+	out := New(n, n)
+	e := make(Vector, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := Solve(a, e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			out.Set(i, j, col[i])
+		}
+	}
+	return out, nil
+}
+
+// Det returns the determinant of the square matrix a, computed during
+// LU-style elimination with partial pivoting.
+func Det(a *Matrix) complex128 {
+	if a.Rows != a.Cols {
+		panic("cmat: Det requires a square matrix")
+	}
+	n := a.Rows
+	m := a.Clone()
+	det := complex128(1)
+	for col := 0; col < n; col++ {
+		pivot, pivotAbs := col, cmplx.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if abs := cmplx.Abs(m.At(r, col)); abs > pivotAbs {
+				pivot, pivotAbs = r, abs
+			}
+		}
+		if pivotAbs == 0 {
+			return 0
+		}
+		if pivot != col {
+			for j := col; j < n; j++ {
+				m.Data[col*n+j], m.Data[pivot*n+j] = m.Data[pivot*n+j], m.Data[col*n+j]
+			}
+			det = -det
+		}
+		det *= m.At(col, col)
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			factor := m.At(r, col) * inv
+			for j := col + 1; j < n; j++ {
+				m.Set(r, j, m.At(r, j)-factor*m.At(col, j))
+			}
+		}
+	}
+	return det
+}

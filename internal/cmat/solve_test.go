@@ -1,0 +1,114 @@
+package cmat
+
+import (
+	"errors"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	// [1 1; 1 -1] x = [3; 1]  =>  x = [2; 1].
+	a := FromRows([][]complex128{{1, 1}, {1, -1}})
+	x, err := Solve(a, Vector{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-2) > 1e-14 || cmplx.Abs(x[1]-1) > 1e-14 {
+		t.Errorf("x = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveComplexSystem(t *testing.T) {
+	a := FromRows([][]complex128{{1i, 2}, {3, 4i}})
+	want := Vector{1 - 1i, 2 + 3i}
+	b := a.MulVec(want)
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if cmplx.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {2, 4}})
+	if _, err := Solve(a, Vector{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveDoesNotMutate(t *testing.T) {
+	a := FromRows([][]complex128{{4, 1}, {1, 3}})
+	b := Vector{1, 2}
+	orig := a.Clone()
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxAbsDiff(orig) > 0 || b[0] != 1 || b[1] != 2 {
+		t.Error("Solve mutated its inputs")
+	}
+}
+
+func TestSolveRandomResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.IntN(8)
+		a := randMatrix(rng, n, n)
+		want := randVector(rng, n)
+		b := a.MulVec(want)
+		x, err := Solve(a, b)
+		if err != nil {
+			continue // random singular matrix: astronomically rare but legal
+		}
+		res := a.MulVec(x).Sub(b)
+		if res.Norm() > 1e-9*(1+b.Norm()) {
+			t.Fatalf("residual %g too large (trial %d, n=%d)", res.Norm(), trial, n)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	a := randMatrix(rng, 4, 4)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.Mul(inv).MaxAbsDiff(Identity(4)); d > 1e-10 {
+		t.Errorf("A·A⁻¹ differs from I by %g", d)
+	}
+	if d := inv.Mul(a).MaxAbsDiff(Identity(4)); d > 1e-10 {
+		t.Errorf("A⁻¹·A differs from I by %g", d)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := FromRows([][]complex128{{1, 1}, {1, 1}})
+	if _, err := Inverse(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {3, 4}})
+	if d := Det(a); cmplx.Abs(d-(-2)) > 1e-14 {
+		t.Errorf("Det = %v, want -2", d)
+	}
+	s := FromRows([][]complex128{{1, 2}, {2, 4}})
+	if d := Det(s); cmplx.Abs(d) > 1e-14 {
+		t.Errorf("Det singular = %v, want 0", d)
+	}
+	// det(AB) = det(A)det(B).
+	rng := rand.New(rand.NewPCG(41, 42))
+	x := randMatrix(rng, 3, 3)
+	y := randMatrix(rng, 3, 3)
+	lhs := Det(x.Mul(y))
+	rhs := Det(x) * Det(y)
+	if cmplx.Abs(lhs-rhs) > 1e-9*(1+cmplx.Abs(rhs)) {
+		t.Errorf("det(AB)=%v, det(A)det(B)=%v", lhs, rhs)
+	}
+}

@@ -1,0 +1,159 @@
+package cmat
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func TestSVDReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	for _, shape := range [][2]int{{2, 2}, {3, 3}, {5, 2}, {2, 5}, {6, 4}} {
+		a := randMatrix(rng, shape[0], shape[1])
+		svd := Decompose(a)
+		// Rebuild U·Σ·V^H.
+		k := len(svd.S)
+		sigma := New(k, k)
+		for i, s := range svd.S {
+			sigma.Set(i, i, complex(s, 0))
+		}
+		rec := svd.U.Mul(sigma).Mul(svd.V.ConjTranspose())
+		if d := rec.MaxAbsDiff(a); d > 1e-10 {
+			t.Errorf("shape %v: reconstruction differs by %g", shape, d)
+		}
+	}
+}
+
+func TestSVDSingularValuesSorted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(73, 74))
+	for trial := 0; trial < 40; trial++ {
+		a := randMatrix(rng, 2+rng.IntN(5), 2+rng.IntN(5))
+		s := Decompose(a).S
+		if !sort.IsSorted(sort.Reverse(sort.Float64Slice(s))) {
+			t.Fatalf("singular values not descending: %v", s)
+		}
+		for _, v := range s {
+			if v < 0 {
+				t.Fatalf("negative singular value %v", v)
+			}
+		}
+	}
+}
+
+func TestSVDOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(75, 76))
+	a := randMatrix(rng, 5, 3)
+	svd := Decompose(a)
+	if d := svd.U.ConjTranspose().Mul(svd.U).MaxAbsDiff(Identity(3)); d > 1e-10 {
+		t.Errorf("U columns not orthonormal (diff %g)", d)
+	}
+	if d := svd.V.ConjTranspose().Mul(svd.V).MaxAbsDiff(Identity(3)); d > 1e-10 {
+		t.Errorf("V not unitary (diff %g)", d)
+	}
+}
+
+func TestSVDDiagonalKnown(t *testing.T) {
+	a := FromRows([][]complex128{{3, 0}, {0, 4i}})
+	s := Decompose(a).S
+	if math.Abs(s[0]-4) > 1e-12 || math.Abs(s[1]-3) > 1e-12 {
+		t.Errorf("S = %v, want [4 3]", s)
+	}
+}
+
+func TestSingularValues2x2MatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 78))
+	for trial := 0; trial < 200; trial++ {
+		a := randMatrix(rng, 2, 2)
+		s1, s2 := SingularValues2x2(a.At(0, 0), a.At(0, 1), a.At(1, 0), a.At(1, 1))
+		ref := Decompose(a).S
+		if math.Abs(s1-ref[0]) > 1e-9*(1+ref[0]) || math.Abs(s2-ref[1]) > 1e-9*(1+ref[0]) {
+			t.Fatalf("trial %d: closed form (%v,%v) vs Jacobi %v", trial, s1, s2, ref)
+		}
+	}
+}
+
+func TestSingularValuesFrobeniusIdentity(t *testing.T) {
+	// Σσᵢ² == ‖A‖_F².
+	rng := rand.New(rand.NewPCG(79, 80))
+	for trial := 0; trial < 50; trial++ {
+		a := randMatrix(rng, 2+rng.IntN(4), 2+rng.IntN(4))
+		var sum float64
+		for _, s := range Decompose(a).S {
+			sum += s * s
+		}
+		f := a.FrobeniusNorm()
+		if math.Abs(sum-f*f) > 1e-9*(1+f*f) {
+			t.Fatalf("Σσ² = %v, ‖A‖_F² = %v", sum, f*f)
+		}
+	}
+}
+
+func TestCond(t *testing.T) {
+	a := FromRows([][]complex128{{10, 0}, {0, 1}})
+	if c := Cond(a); math.Abs(c-10) > 1e-10 {
+		t.Errorf("Cond = %v, want 10", c)
+	}
+	if c := Cond(Identity(3)); math.Abs(c-1) > 1e-10 {
+		t.Errorf("Cond(I) = %v, want 1", c)
+	}
+	sing := FromRows([][]complex128{{1, 1}, {1, 1}})
+	if c := Cond(sing); !math.IsInf(c, 1) {
+		t.Errorf("Cond(singular) = %v, want +Inf", c)
+	}
+}
+
+func TestCondUnitaryInvariant(t *testing.T) {
+	// Multiplying by a unitary matrix must not change the condition number.
+	rng := rand.New(rand.NewPCG(81, 82))
+	a := randMatrix(rng, 3, 3)
+	q := QRDecompose(randMatrix(rng, 3, 3)).Q
+	c1, c2 := Cond(a), Cond(q.Mul(a))
+	if math.Abs(c1-c2) > 1e-8*c1 {
+		t.Errorf("Cond changed under unitary transform: %v vs %v", c1, c2)
+	}
+}
+
+func TestPseudoInverse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(83, 84))
+	// Tall full-rank: A⁺·A == I.
+	a := randMatrix(rng, 5, 3)
+	pinv := PseudoInverse(a, 1e-12)
+	if pinv.Rows != 3 || pinv.Cols != 5 {
+		t.Fatalf("pinv shape %dx%d", pinv.Rows, pinv.Cols)
+	}
+	if d := pinv.Mul(a).MaxAbsDiff(Identity(3)); d > 1e-9 {
+		t.Errorf("A⁺A differs from I by %g", d)
+	}
+	// Moore–Penrose condition: A·A⁺·A == A.
+	if d := a.Mul(pinv).Mul(a).MaxAbsDiff(a); d > 1e-9 {
+		t.Errorf("A A⁺ A differs from A by %g", d)
+	}
+}
+
+func TestPseudoInverseRankDeficient(t *testing.T) {
+	// Rank-1 matrix: pseudo-inverse still satisfies A A⁺ A = A.
+	a := FromRows([][]complex128{{1, 2}, {2, 4}})
+	pinv := PseudoInverse(a, 1e-10)
+	if d := a.Mul(pinv).Mul(a).MaxAbsDiff(a); d > 1e-9 {
+		t.Errorf("rank-deficient A A⁺ A differs from A by %g", d)
+	}
+}
+
+func BenchmarkSVD2x2ClosedForm(b *testing.B) {
+	rng := rand.New(rand.NewPCG(91, 92))
+	a := randMatrix(rng, 2, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SingularValues2x2(a.At(0, 0), a.At(0, 1), a.At(1, 0), a.At(1, 1))
+	}
+}
+
+func BenchmarkSVDJacobi4x4(b *testing.B) {
+	rng := rand.New(rand.NewPCG(93, 94))
+	a := randMatrix(rng, 4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decompose(a)
+	}
+}

@@ -1,0 +1,84 @@
+// Package cmat implements the dense complex linear algebra needed by the
+// PRESS reproduction: vectors and matrices over complex128, Gaussian
+// elimination, Householder QR with least-squares solving, and a one-sided
+// Jacobi singular value decomposition.
+//
+// MIMO analysis (internal/mimo) uses the SVD for channel condition numbers
+// and capacities; the inverse-problem solver (internal/inverse) uses least
+// squares. Everything is written against the standard library only, with
+// dimensions small (2×2 up to a few dozen), so clarity wins over blocking
+// or SIMD tricks.
+//
+// Conventions: matrices are dense row-major; Hermitian transpose is written
+// H (ConjTranspose); dimension mismatches are programmer errors and panic.
+package cmat
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Vector is a dense complex vector.
+type Vector []complex128
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector { return append(Vector(nil), v...) }
+
+// Dot returns the Hermitian inner product v^H · w = Σ conj(v_i)·w_i.
+// It panics if the lengths differ.
+func (v Vector) Dot(w Vector) complex128 {
+	if len(v) != len(w) {
+		panic("cmat: Dot length mismatch")
+	}
+	var sum complex128
+	for i := range v {
+		sum += cmplx.Conj(v[i]) * w[i]
+	}
+	return sum
+}
+
+// Norm returns the Euclidean norm ‖v‖₂.
+func (v Vector) Norm() float64 {
+	var ss float64
+	for _, x := range v {
+		re, im := real(x), imag(x)
+		ss += re*re + im*im
+	}
+	return math.Sqrt(ss)
+}
+
+// Scale multiplies every element of v by s in place and returns v for
+// chaining.
+func (v Vector) Scale(s complex128) Vector {
+	for i := range v {
+		v[i] *= s
+	}
+	return v
+}
+
+// AddScaled sets v ← v + s·w in place and returns v. It panics if the
+// lengths differ.
+func (v Vector) AddScaled(s complex128, w Vector) Vector {
+	if len(v) != len(w) {
+		panic("cmat: AddScaled length mismatch")
+	}
+	for i := range v {
+		v[i] += s * w[i]
+	}
+	return v
+}
+
+// Sub returns v − w as a new vector. It panics if the lengths differ.
+func (v Vector) Sub(w Vector) Vector {
+	if len(v) != len(w) {
+		panic("cmat: Sub length mismatch")
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package control
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"press/internal/element"
+)
+
+// ContinuousEvalFunc measures one continuous-phase configuration.
+type ContinuousEvalFunc func(phases element.ContinuousConfig) (float64, error)
+
+// ContinuousResult is the outcome of a continuous-phase search.
+type ContinuousResult struct {
+	Best        element.ContinuousConfig
+	BestScore   float64
+	Evaluations int
+	Trace       []float64
+}
+
+// SPSA optimizes continuous reflection phases with simultaneous
+// perturbation stochastic approximation — two measurements per iteration
+// regardless of dimension, and inherently tolerant of measurement noise.
+// It is the natural controller for the "continuously-variable phase
+// shifting hardware" the paper plans to test (§4.1).
+type SPSA struct {
+	// Rng drives the perturbation directions; required.
+	Rng *rand.Rand
+	// Iterations bounds the walk (default 60 → 120+ measurements).
+	Iterations int
+	// A is the initial step size in radians (default 0.8); C the initial
+	// perturbation size (default 0.4). Both decay per the standard SPSA
+	// gain schedules a_k = A/(k+1+A0)^0.602, c_k = C/(k+1)^0.101.
+	A, C float64
+	// Restarts is the number of independent starts (default 2).
+	Restarts int
+}
+
+// Name identifies the algorithm.
+func (SPSA) Name() string { return "spsa" }
+
+// Search optimizes phases for arr through eval, spending at most budget
+// measurements (0 = unlimited). All elements start reflective at random
+// phases; SPSA never switches elements off (the off state is not
+// differentiable — pair it with a discrete searcher if needed).
+func (s SPSA) Search(arr *element.Array, eval ContinuousEvalFunc, budget int) (*ContinuousResult, error) {
+	if s.Rng == nil {
+		return nil, fmt.Errorf("control: SPSA needs an Rng")
+	}
+	iters := s.Iterations
+	if iters < 1 {
+		iters = 60
+	}
+	a0, c0 := s.A, s.C
+	if a0 <= 0 {
+		a0 = 0.8
+	}
+	if c0 <= 0 {
+		c0 = 0.4
+	}
+	restarts := s.Restarts
+	if restarts < 1 {
+		restarts = 2
+	}
+	n := arr.N()
+	if n == 0 {
+		return nil, fmt.Errorf("control: empty array")
+	}
+
+	res := &ContinuousResult{BestScore: math.Inf(-1)}
+	evals := 0
+	measure := func(p element.ContinuousConfig) (float64, bool, error) {
+		if budget > 0 && evals >= budget {
+			return 0, false, nil
+		}
+		v, err := eval(p)
+		if err != nil {
+			return 0, false, err
+		}
+		evals++
+		if v > res.BestScore {
+			res.BestScore = v
+			res.Best = p.Clone().Wrap()
+		}
+		res.Trace = append(res.Trace, res.BestScore)
+		return v, true, nil
+	}
+
+	for r := 0; r < restarts; r++ {
+		theta := make(element.ContinuousConfig, n)
+		for i := range theta {
+			theta[i] = s.Rng.Float64() * 2 * math.Pi
+		}
+		if _, ok, err := measure(theta); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+		for k := 0; k < iters; k++ {
+			ak := a0 / math.Pow(float64(k+2), 0.602)
+			ck := c0 / math.Pow(float64(k+1), 0.101)
+
+			delta := make([]float64, n)
+			for i := range delta {
+				if s.Rng.IntN(2) == 0 {
+					delta[i] = 1
+				} else {
+					delta[i] = -1
+				}
+			}
+			plus := theta.Clone()
+			minus := theta.Clone()
+			for i := range theta {
+				plus[i] += ck * delta[i]
+				minus[i] -= ck * delta[i]
+			}
+			yp, ok, err := measure(plus.Wrap())
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			ym, ok, err := measure(minus.Wrap())
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			// Ascend: gradient estimate g_i = (y+ − y−)/(2c·Δ_i).
+			g := (yp - ym) / (2 * ck)
+			for i := range theta {
+				theta[i] += ak * g * delta[i]
+			}
+			theta.Wrap()
+		}
+		if budget > 0 && evals >= budget {
+			break
+		}
+	}
+	res.Evaluations = evals
+	if evals == 0 {
+		return nil, fmt.Errorf("control: no configurations evaluated")
+	}
+	if budget > 0 && evals >= budget {
+		return res, ErrBudgetExhausted
+	}
+	return res, nil
+}

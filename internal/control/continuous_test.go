@@ -1,0 +1,198 @@
+package control
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+
+	"press/internal/element"
+)
+
+// phasorLandscape scores how well the element phases align a sum of unit
+// phasors against a fixed target direction — a smooth multimodal
+// landscape whose global optimum is all phases equal to `target`.
+func phasorLandscape(target float64) ContinuousEvalFunc {
+	return func(p element.ContinuousConfig) (float64, error) {
+		var sum complex128
+		for _, ph := range p {
+			if math.IsNaN(ph) {
+				continue
+			}
+			sum += cmplx.Exp(complex(0, ph-target))
+		}
+		return real(sum), nil
+	}
+}
+
+func TestSPSAConvergesOnPhasorAlignment(t *testing.T) {
+	arr := synthArray(5)
+	s := SPSA{Rng: rand.New(rand.NewPCG(1, 2)), Iterations: 120, Restarts: 2}
+	res, err := s.Search(arr, phasorLandscape(1.3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect alignment scores 5; SPSA should land close.
+	if res.BestScore < 4.5 {
+		t.Errorf("SPSA best = %v, want ≥4.5 of 5", res.BestScore)
+	}
+	for i, p := range res.Best {
+		if math.IsNaN(p) || p < 0 || p >= 2*math.Pi {
+			t.Errorf("phase %d = %v not wrapped into [0,2π)", i, p)
+		}
+	}
+}
+
+func TestSPSARespectsBudget(t *testing.T) {
+	arr := synthArray(4)
+	s := SPSA{Rng: rand.New(rand.NewPCG(3, 4)), Iterations: 1000, Restarts: 5}
+	res, err := s.Search(arr, phasorLandscape(0), 37)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if res.Evaluations > 37 {
+		t.Errorf("spent %d measurements with budget 37", res.Evaluations)
+	}
+	if len(res.Trace) != res.Evaluations {
+		t.Errorf("trace length %d != evaluations %d", len(res.Trace), res.Evaluations)
+	}
+}
+
+func TestSPSATraceMonotone(t *testing.T) {
+	arr := synthArray(3)
+	s := SPSA{Rng: rand.New(rand.NewPCG(5, 6)), Iterations: 40}
+	res, err := s.Search(arr, phasorLandscape(2.2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i] < res.Trace[i-1] {
+			t.Fatalf("best-so-far decreased at %d", i)
+		}
+	}
+}
+
+func TestSPSAToleratesNoise(t *testing.T) {
+	arr := synthArray(4)
+	noise := rand.New(rand.NewPCG(7, 8))
+	noisy := func(p element.ContinuousConfig) (float64, error) {
+		v, _ := phasorLandscape(0.4)(p)
+		return v + noise.NormFloat64()*0.2, nil
+	}
+	s := SPSA{Rng: rand.New(rand.NewPCG(9, 10)), Iterations: 150, Restarts: 2}
+	res, err := s.Search(arr, noisy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore < 3.2 { // 4 is perfect; noise adds ~0.2
+		t.Errorf("noisy SPSA best = %v", res.BestScore)
+	}
+}
+
+func TestSPSAValidation(t *testing.T) {
+	arr := synthArray(2)
+	if _, err := (SPSA{}).Search(arr, phasorLandscape(0), 0); err == nil {
+		t.Error("missing Rng accepted")
+	}
+	empty := element.NewArray()
+	if _, err := (SPSA{Rng: rand.New(rand.NewPCG(1, 1))}).Search(empty, phasorLandscape(0), 0); err == nil {
+		t.Error("empty array accepted")
+	}
+	boom := errors.New("radio down")
+	failing := func(element.ContinuousConfig) (float64, error) { return 0, boom }
+	if _, err := (SPSA{Rng: rand.New(rand.NewPCG(1, 1))}).Search(arr, failing, 0); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want propagated eval error", err)
+	}
+}
+
+func TestHierarchicalSolvesSeparable(t *testing.T) {
+	arr := synthArray(8) // 4^8 = 65536
+	h := Hierarchical{Rng: rand.New(rand.NewPCG(11, 12)), GroupSize: 4}
+	res, err := h.Search(arr, separable, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global optimum of the separable landscape is 3 per element = 24,
+	// and the coarse stage alone finds it (all elements want state 2).
+	if res.BestScore != 24 {
+		t.Errorf("best = %v, want 24", res.BestScore)
+	}
+	// Far cheaper than the 65536-config exhaustive.
+	if res.Evaluations > 200 {
+		t.Errorf("hierarchical used %d evaluations", res.Evaluations)
+	}
+}
+
+func TestHierarchicalRefinementHelps(t *testing.T) {
+	// A landscape where the group optimum differs from per-element
+	// optima: element 0 wants state 1, the rest want state 2.
+	arr := synthArray(4)
+	landscape := func(cfg element.Config) (float64, error) {
+		var s float64
+		for i, si := range cfg {
+			want := 2
+			if i == 0 {
+				want = 1
+			}
+			if si == want {
+				s += 5
+			}
+		}
+		return s, nil
+	}
+	h := Hierarchical{Rng: rand.New(rand.NewPCG(13, 14)), GroupSize: 4}
+	res, err := h.Search(arr, landscape, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore != 20 {
+		t.Errorf("refinement missed the per-element optimum: %v of 20", res.BestScore)
+	}
+}
+
+func TestHierarchicalExplicitGroups(t *testing.T) {
+	arr := synthArray(6)
+	h := Hierarchical{
+		Rng:    rand.New(rand.NewPCG(15, 16)),
+		Groups: [][]int{{0, 2, 4}, {1, 3, 5}},
+	}
+	res, err := h.Search(arr, separable, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore != 18 {
+		t.Errorf("best = %v, want 18", res.BestScore)
+	}
+}
+
+func TestHierarchicalGroupValidation(t *testing.T) {
+	arr := synthArray(4)
+	rng := rand.New(rand.NewPCG(17, 18))
+	bad := []Hierarchical{
+		{Rng: rng, Groups: [][]int{{0, 1}}},            // missing elements
+		{Rng: rng, Groups: [][]int{{0, 1}, {1, 2, 3}}}, // duplicate
+		{Rng: rng, Groups: [][]int{{0, 1, 2, 9}}},      // out of range
+		{Rng: rng, Groups: [][]int{{}, {0, 1, 2, 3}}},  // empty group
+	}
+	for i, h := range bad {
+		if _, err := h.Search(arr, separable, 0); err == nil {
+			t.Errorf("case %d: invalid grouping accepted", i)
+		}
+	}
+	if _, err := (Hierarchical{}).Search(arr, separable, 0); err == nil {
+		t.Error("missing Rng accepted")
+	}
+}
+
+func TestHierarchicalBudget(t *testing.T) {
+	arr := synthArray(8)
+	h := Hierarchical{Rng: rand.New(rand.NewPCG(19, 20)), GroupSize: 2}
+	res, err := h.Search(arr, separable, 15)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Evaluations != 15 {
+		t.Errorf("spent %d with budget 15", res.Evaluations)
+	}
+}

@@ -1,0 +1,147 @@
+package control
+
+import (
+	"fmt"
+	"time"
+
+	"press/internal/element"
+	"press/internal/radio"
+	"press/internal/rfphys"
+	"press/internal/stats"
+)
+
+// LinkEvaluator turns a radio.Link plus an Objective into the EvalFunc the
+// searchers consume, advancing simulated time by the timing model per
+// measurement so that searches experience the same channel drift the
+// paper's testbed does.
+type LinkEvaluator struct {
+	Link      *radio.Link
+	Objective Objective
+	Timing    radio.Timing
+
+	now time.Duration
+}
+
+// Eval measures cfg once and scores it.
+func (e *LinkEvaluator) Eval(cfg element.Config) (float64, error) {
+	csi, err := e.Link.MeasureCSI(cfg, e.now.Seconds())
+	if err != nil {
+		return 0, err
+	}
+	e.now += e.Timing.PerMeasurement + e.Timing.SwitchLatency
+	return e.Objective.Score(csi), nil
+}
+
+// Elapsed returns the simulated wall-clock the evaluator has consumed.
+func (e *LinkEvaluator) Elapsed() time.Duration { return e.now }
+
+// ContinuousLinkEvaluator is LinkEvaluator for continuously-variable
+// phase hardware (§4.1): it measures the link under arbitrary element
+// phases.
+type ContinuousLinkEvaluator struct {
+	Link      *radio.Link
+	Objective Objective
+	Timing    radio.Timing
+
+	now time.Duration
+}
+
+// Eval measures one continuous configuration and scores it.
+func (e *ContinuousLinkEvaluator) Eval(phases element.ContinuousConfig) (float64, error) {
+	csi, err := e.Link.MeasureCSIContinuous(phases, e.now.Seconds())
+	if err != nil {
+		return 0, err
+	}
+	e.now += e.Timing.PerMeasurement + e.Timing.SwitchLatency
+	return e.Objective.Score(csi), nil
+}
+
+// Elapsed returns the simulated wall-clock consumed.
+func (e *ContinuousLinkEvaluator) Elapsed() time.Duration { return e.now }
+
+// HarmonizeEvaluator scores one PRESS configuration against *two* links
+// sharing the array — the §3.2.2 goal: link A strong in the lower half
+// band, link B strong in the upper half, so the networks can split the
+// spectrum ("each one favors its own half of the band", Figure 7).
+type HarmonizeEvaluator struct {
+	LinkA, LinkB *radio.Link
+	Timing       radio.Timing
+
+	now time.Duration
+}
+
+// Eval measures both links under cfg and returns the combined contrast.
+func (e *HarmonizeEvaluator) Eval(cfg element.Config) (float64, error) {
+	csiA, err := e.LinkA.MeasureCSI(cfg, e.now.Seconds())
+	if err != nil {
+		return 0, fmt.Errorf("control: link A: %w", err)
+	}
+	csiB, err := e.LinkB.MeasureCSI(cfg, e.now.Seconds())
+	if err != nil {
+		return 0, fmt.Errorf("control: link B: %w", err)
+	}
+	e.now += e.Timing.PerMeasurement + e.Timing.SwitchLatency
+	a := HalfBandContrast{PreferLower: true}.Score(csiA)
+	b := HalfBandContrast{PreferLower: false}.Score(csiB)
+	return a + b, nil
+}
+
+// MIMOEvaluator scores configurations by 2×2 (or larger) channel
+// conditioning: the negated median per-subcarrier condition number in dB,
+// so that higher is better — §3.2.3's goal.
+type MIMOEvaluator struct {
+	Link *radio.MIMOLink
+	// Snapshots averaged per evaluation (default 1; Figure 8 uses 50).
+	Snapshots int
+	Timing    radio.Timing
+
+	now time.Duration
+}
+
+// Eval measures cfg and returns −median(condition number dB).
+func (e *MIMOEvaluator) Eval(cfg element.Config) (float64, error) {
+	snaps := e.Snapshots
+	if snaps < 1 {
+		snaps = 1
+	}
+	ch, err := e.Link.MeasureAveraged(cfg, snaps, e.Timing, e.now)
+	if err != nil {
+		return 0, err
+	}
+	e.now += time.Duration(snaps) * (e.Timing.PerMeasurement + e.Timing.SwitchLatency)
+	return -stats.Median(ch.CondProfileDB()), nil
+}
+
+// CoherenceBudget converts a channel coherence time and a per-measurement
+// cost into the number of configurations a searcher may try before the
+// channel has changed under it — the hard real-time constraint of §2.
+// An infinite coherence time (static room) returns 0, meaning unlimited.
+func CoherenceBudget(coherence time.Duration, timing radio.Timing) int {
+	per := timing.PerMeasurement + timing.SwitchLatency
+	if per <= 0 {
+		return 0
+	}
+	if coherence <= 0 {
+		return 1 // channel changes faster than we can ever measure
+	}
+	n := int(coherence / per)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// CoherenceBudgetAtSpeed is CoherenceBudget for an endpoint moving at the
+// given speed (mph, the paper's unit) at carrier frequency fcHz.
+func CoherenceBudgetAtSpeed(speedMph, fcHz float64, timing radio.Timing) int {
+	lambda := rfphys.Wavelength(fcHz)
+	fd := rfphys.DopplerShiftHz(rfphys.MphToMps(speedMph), lambda)
+	tc := rfphys.CoherenceTime(fd)
+	if tc == 0 {
+		return 1
+	}
+	if tc > 1e6 { // effectively static
+		return 0
+	}
+	return CoherenceBudget(time.Duration(tc*float64(time.Second)), timing)
+}

@@ -1,0 +1,183 @@
+package control
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"press/internal/element"
+)
+
+// Hierarchical implements the §4.1 multi-tier control idea ("we might
+// divide the elements into groups ... analogous to how Hekaton groups
+// antennas"): a coarse stage sets every element within a group to the
+// same state (searching M^G instead of M^N), then a refinement stage
+// runs per-element coordinate descent from the coarse winner. For large
+// dense arrays this collapses the exponential search while keeping most
+// of the gain — the coarse stage captures the group-level phase
+// alignment, refinement recovers the per-element residue.
+type Hierarchical struct {
+	// Rng is used when groups disagree on state counts; required.
+	Rng *rand.Rand
+	// Groups partitions element indices; every element must appear in
+	// exactly one group. Nil means contiguous groups of GroupSize.
+	Groups [][]int
+	// GroupSize is the default partition width (default 4).
+	GroupSize int
+	// RefinePasses bounds the per-element refinement (default 2 passes).
+	RefinePasses int
+}
+
+// Name implements Searcher.
+func (Hierarchical) Name() string { return "hierarchical" }
+
+// groups resolves the partition for an array.
+func (h Hierarchical) groups(n int) ([][]int, error) {
+	if h.Groups != nil {
+		seen := make([]bool, n)
+		for gi, g := range h.Groups {
+			if len(g) == 0 {
+				return nil, fmt.Errorf("control: empty group %d", gi)
+			}
+			for _, e := range g {
+				if e < 0 || e >= n {
+					return nil, fmt.Errorf("control: group %d references element %d of %d", gi, e, n)
+				}
+				if seen[e] {
+					return nil, fmt.Errorf("control: element %d in multiple groups", e)
+				}
+				seen[e] = true
+			}
+		}
+		for e, ok := range seen {
+			if !ok {
+				return nil, fmt.Errorf("control: element %d in no group", e)
+			}
+		}
+		return h.Groups, nil
+	}
+	size := h.GroupSize
+	if size < 1 {
+		size = 4
+	}
+	var out [][]int
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		g := make([]int, 0, end-start)
+		for e := start; e < end; e++ {
+			g = append(g, e)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// Search implements Searcher.
+func (h Hierarchical) Search(arr *element.Array, eval EvalFunc, budget int) (*Result, error) {
+	if h.Rng == nil {
+		return nil, fmt.Errorf("control: Hierarchical needs an Rng")
+	}
+	groups, err := h.groups(arr.N())
+	if err != nil {
+		return nil, err
+	}
+	t := newTracker(eval, budget)
+
+	// minStates per group: a group state must be valid for all members.
+	minStates := make([]int, len(groups))
+	for gi, g := range groups {
+		m := arr.Elements[g[0]].NumStates()
+		for _, e := range g[1:] {
+			if s := arr.Elements[e].NumStates(); s < m {
+				m = s
+			}
+		}
+		minStates[gi] = m
+	}
+
+	// Coarse stage: coordinate descent over group states, all members of
+	// a group sharing one state.
+	cfg := make(element.Config, arr.N())
+	groupState := make([]int, len(groups))
+	apply := func() {
+		for gi, g := range groups {
+			for _, e := range g {
+				cfg[e] = groupState[gi]
+			}
+		}
+	}
+	apply()
+	score, err := t.measure(cfg)
+	if err != nil {
+		return finishOrFail(t, err)
+	}
+	improved := true
+	for improved && !t.done() {
+		improved = false
+		for gi := range groups {
+			bestState, bestScore := groupState[gi], score
+			for si := 0; si < minStates[gi] && !t.done(); si++ {
+				if si == groupState[gi] {
+					continue
+				}
+				old := groupState[gi]
+				groupState[gi] = si
+				apply()
+				s, err := t.measure(cfg)
+				if err != nil {
+					return finishOrFail(t, err)
+				}
+				if s > bestScore {
+					bestState, bestScore = si, s
+				}
+				groupState[gi] = old
+			}
+			if bestState != groupState[gi] {
+				groupState[gi], score = bestState, bestScore
+				improved = true
+			}
+		}
+	}
+	apply()
+
+	// Refinement stage: per-element coordinate descent from the coarse
+	// winner.
+	passes := h.RefinePasses
+	if passes < 1 {
+		passes = 2
+	}
+	current := cfg.Clone()
+	for pass := 0; pass < passes && !t.done(); pass++ {
+		changed := false
+		for i := 0; i < arr.N() && !t.done(); i++ {
+			bestState, bestScore := current[i], score
+			for si := 0; si < arr.Elements[i].NumStates() && !t.done(); si++ {
+				if si == current[i] {
+					continue
+				}
+				cand := current.Clone()
+				cand[i] = si
+				s, err := t.measure(cand)
+				if err != nil {
+					return finishOrFail(t, err)
+				}
+				if s > bestScore {
+					bestState, bestScore = si, s
+				}
+			}
+			if bestState != current[i] {
+				current[i], score = bestState, bestScore
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return t.result(t.done())
+}
+
+// Ensure interface compliance.
+var _ Searcher = Hierarchical{}

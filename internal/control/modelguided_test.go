@@ -1,0 +1,109 @@
+package control
+
+import (
+	"errors"
+	"testing"
+
+	"press/internal/element"
+	"press/internal/inverse"
+	"press/internal/radio"
+)
+
+// modelProblem builds an inverse.Problem sharing a link's scene.
+func modelProblem(link *radio.Link) *inverse.Problem {
+	return &inverse.Problem{
+		Env:   link.Env,
+		TX:    link.TX.Node,
+		RX:    link.RX.Node,
+		Array: link.Array,
+		Grid:  link.Grid,
+	}
+}
+
+func TestModelGuidedBeatsBaseline(t *testing.T) {
+	link := controlTestbed(t, 61)
+	prob := modelProblem(link)
+
+	ev := &LinkEvaluator{Link: link, Objective: MaxMinSNR{}}
+	term, _ := link.Array.AllTerminated()
+	baseline, err := ev.Eval(term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg := ModelGuided{Problem: prob}
+	res, err := mg.Search(link.Array, ev.Eval, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore < baseline-1 {
+		t.Errorf("model-guided (%.2f) below baseline (%.2f)", res.BestScore, baseline)
+	}
+	// The warm start plus refinement must undercut the exhaustive 64.
+	if res.Evaluations >= 64 {
+		t.Errorf("model-guided used %d measurements; pruning is the point", res.Evaluations)
+	}
+}
+
+func TestModelGuidedCompetitiveWithExhaustive(t *testing.T) {
+	link := controlTestbed(t, 62)
+	evEx := &LinkEvaluator{Link: link, Objective: MaxMinSNR{}}
+	exact, err := (Exhaustive{}).Search(link.Array, evEx.Eval, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evMG := &LinkEvaluator{Link: link, Objective: MaxMinSNR{}}
+	mg := ModelGuided{Problem: modelProblem(link)}
+	res, err := mg.Search(link.Array, evMG.Eval, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore < exact.BestScore-6 {
+		t.Errorf("model-guided %.2f far below exhaustive %.2f", res.BestScore, exact.BestScore)
+	}
+}
+
+func TestModelGuidedCustomTarget(t *testing.T) {
+	link := controlTestbed(t, 63)
+	called := false
+	mg := ModelGuided{
+		Problem: modelProblem(link),
+		Target: func(baseline []complex128) []complex128 {
+			called = true
+			return inverse.TargetNotch(baseline, 0, len(baseline)/2, 15)
+		},
+		RefinePasses: 1,
+	}
+	ev := &LinkEvaluator{Link: link, Objective: HalfBandContrast{PreferLower: false}}
+	if _, err := mg.Search(link.Array, ev.Eval, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("custom target not used")
+	}
+}
+
+func TestModelGuidedValidation(t *testing.T) {
+	link := controlTestbed(t, 64)
+	ev := &LinkEvaluator{Link: link, Objective: MaxMinSNR{}}
+	if _, err := (ModelGuided{}).Search(link.Array, ev.Eval, 0); err == nil {
+		t.Error("missing Problem accepted")
+	}
+	other := element.NewArray(element.NewOmniElement(link.TX.Node.Pos))
+	mg := ModelGuided{Problem: modelProblem(link)}
+	if _, err := mg.Search(other, ev.Eval, 0); err == nil {
+		t.Error("mismatched array accepted")
+	}
+}
+
+func TestModelGuidedBudget(t *testing.T) {
+	link := controlTestbed(t, 65)
+	ev := &LinkEvaluator{Link: link, Objective: MaxMinSNR{}}
+	mg := ModelGuided{Problem: modelProblem(link), RefinePasses: 5}
+	res, err := mg.Search(link.Array, ev.Eval, 4)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Evaluations != 4 {
+		t.Errorf("spent %d with budget 4", res.Evaluations)
+	}
+}

@@ -1,0 +1,123 @@
+// Package control implements the PRESS controller: the objectives that
+// encode the paper's three applications (link enhancement, large-MIMO
+// conditioning, network harmonization; §1) and the search algorithms that
+// navigate the M^N configuration space (§4.2) under a measurement budget
+// set by the channel coherence time (§2).
+package control
+
+import (
+	"math"
+
+	"press/internal/ofdm"
+	"press/internal/stats"
+)
+
+// Objective scores one link measurement; higher is better. Implementations
+// are pure functions of the CSI so they can be evaluated on recorded
+// sweeps as well as live measurements.
+type Objective interface {
+	// Name identifies the objective in reports.
+	Name() string
+	// Score maps a CSI to a scalar merit.
+	Score(csi *ofdm.CSI) float64
+}
+
+// MaxMinSNR maximizes the worst subcarrier SNR — the link-enhancement
+// goal: lifting the deepest null lifts the whole-channel bit rate, and
+// "spatial dead spots ... are often the result of this problem" (§1).
+type MaxMinSNR struct{}
+
+// Name implements Objective.
+func (MaxMinSNR) Name() string { return "max-min-snr" }
+
+// Score implements Objective.
+func (MaxMinSNR) Score(csi *ofdm.CSI) float64 { return csi.MinSNRdB() }
+
+// MaxMeanSNR maximizes the mean subcarrier SNR — raw signal boost.
+type MaxMeanSNR struct{}
+
+// Name implements Objective.
+func (MaxMeanSNR) Name() string { return "max-mean-snr" }
+
+// Score implements Objective.
+func (MaxMeanSNR) Score(csi *ofdm.CSI) float64 { return stats.Mean(csi.SNRdB) }
+
+// Flatness rewards a channel with little SNR spread across subcarriers —
+// the "flatter channel" §1 argues OFDM bit-rate selection wants. The
+// score is the negated SNR standard deviation, offset by the mean so that
+// between two equally flat channels the stronger one wins.
+type Flatness struct{}
+
+// Name implements Objective.
+func (Flatness) Name() string { return "flatness" }
+
+// Score implements Objective.
+func (Flatness) Score(csi *ofdm.CSI) float64 {
+	if len(csi.SNRdB) < 2 {
+		return math.Inf(-1)
+	}
+	return 0.1*stats.Mean(csi.SNRdB) - stats.StdDev(csi.SNRdB)
+}
+
+// Throughput maximizes the estimated MCS-ladder throughput of the link —
+// the end-to-end quantity the paper's applications ultimately target.
+type Throughput struct{}
+
+// Name implements Objective.
+func (Throughput) Name() string { return "throughput" }
+
+// Score implements Objective.
+func (Throughput) Score(csi *ofdm.CSI) float64 {
+	return ofdm.ThroughputMbps(csi.Grid, csi.SNRdB)
+}
+
+// BoostSubcarrier maximizes the SNR of one chosen subcarrier — the
+// null-shifting primitive: pick the subcarrier currently in a null and
+// search for the configuration that moves the null away.
+type BoostSubcarrier struct {
+	// K is the used-subcarrier position to protect.
+	K int
+}
+
+// Name implements Objective.
+func (BoostSubcarrier) Name() string { return "boost-subcarrier" }
+
+// Score implements Objective.
+func (b BoostSubcarrier) Score(csi *ofdm.CSI) float64 {
+	if b.K < 0 || b.K >= len(csi.SNRdB) {
+		return math.Inf(-1)
+	}
+	return csi.SNRdB[b.K]
+}
+
+// HalfBandContrast scores how strongly a channel favours one half of the
+// band over the other: +contrast prefers the lower half, −contrast the
+// upper. It is the single-link building block of the §3.2.2 network
+// harmonization experiment (Figure 7), where two links want opposite
+// signs.
+type HalfBandContrast struct {
+	// PreferLower selects which half this link should be strong in.
+	PreferLower bool
+}
+
+// Name implements Objective.
+func (h HalfBandContrast) Name() string {
+	if h.PreferLower {
+		return "half-band-contrast(lower)"
+	}
+	return "half-band-contrast(upper)"
+}
+
+// Score implements Objective.
+func (h HalfBandContrast) Score(csi *ofdm.CSI) float64 {
+	n := len(csi.SNRdB)
+	if n < 2 {
+		return math.Inf(-1)
+	}
+	lower := stats.Mean(csi.SNRdB[:n/2])
+	upper := stats.Mean(csi.SNRdB[n/2:])
+	if h.PreferLower {
+		return lower - upper
+	}
+	return upper - lower
+}

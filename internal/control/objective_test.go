@@ -1,0 +1,95 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"press/internal/ofdm"
+)
+
+func csiWith(snr []float64) *ofdm.CSI {
+	return &ofdm.CSI{Grid: ofdm.WiFi20(), SNRdB: snr}
+}
+
+func flat(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestMaxMinSNR(t *testing.T) {
+	snr := flat(52, 30)
+	snr[17] = 12
+	if got := (MaxMinSNR{}).Score(csiWith(snr)); got != 12 {
+		t.Errorf("score = %v, want 12", got)
+	}
+}
+
+func TestMaxMeanSNR(t *testing.T) {
+	snr := []float64{10, 20, 30}
+	if got := (MaxMeanSNR{}).Score(&ofdm.CSI{SNRdB: snr}); math.Abs(got-20) > 1e-12 {
+		t.Errorf("score = %v, want 20", got)
+	}
+}
+
+func TestFlatnessPrefersFlatChannels(t *testing.T) {
+	flatCh := csiWith(flat(52, 30))
+	bumpy := flat(52, 30)
+	for i := 0; i < 10; i++ {
+		bumpy[i] = 10
+	}
+	if (Flatness{}).Score(flatCh) <= (Flatness{}).Score(csiWith(bumpy)) {
+		t.Error("flat channel should score higher")
+	}
+	// Between two flat channels, the stronger wins.
+	weak := csiWith(flat(52, 20))
+	if (Flatness{}).Score(flatCh) <= (Flatness{}).Score(weak) {
+		t.Error("stronger flat channel should score higher")
+	}
+	if !math.IsInf((Flatness{}).Score(csiWith([]float64{30})), -1) {
+		t.Error("single-subcarrier flatness should be -Inf")
+	}
+}
+
+func TestThroughputObjective(t *testing.T) {
+	good := csiWith(flat(52, 30))
+	bad := csiWith(flat(52, 3))
+	if (Throughput{}).Score(good) <= (Throughput{}).Score(bad) {
+		t.Error("30 dB channel should out-throughput 3 dB channel")
+	}
+	if got := (Throughput{}).Score(bad); got != 0 {
+		t.Errorf("3 dB channel throughput = %v, want 0", got)
+	}
+}
+
+func TestBoostSubcarrier(t *testing.T) {
+	snr := flat(52, 30)
+	snr[7] = 11
+	if got := (BoostSubcarrier{K: 7}).Score(csiWith(snr)); got != 11 {
+		t.Errorf("score = %v, want 11", got)
+	}
+	if !math.IsInf((BoostSubcarrier{K: 99}).Score(csiWith(snr)), -1) {
+		t.Error("out-of-range subcarrier should score -Inf")
+	}
+}
+
+func TestHalfBandContrast(t *testing.T) {
+	snr := make([]float64, 52)
+	for i := range snr {
+		if i < 26 {
+			snr[i] = 40
+		} else {
+			snr[i] = 20
+		}
+	}
+	lower := HalfBandContrast{PreferLower: true}.Score(csiWith(snr))
+	upper := HalfBandContrast{PreferLower: false}.Score(csiWith(snr))
+	if math.Abs(lower-20) > 1e-9 || math.Abs(upper+20) > 1e-9 {
+		t.Errorf("contrast = %v / %v, want +20 / -20", lower, upper)
+	}
+	if (MaxMinSNR{}).Name() == "" || (HalfBandContrast{}).Name() == "" {
+		t.Error("objectives must have names")
+	}
+}

@@ -1,0 +1,436 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"press/internal/element"
+)
+
+// EvalFunc measures one configuration and returns its objective score
+// (higher is better). Every call typically costs one over-the-air
+// measurement, which is why searchers account evaluations strictly.
+type EvalFunc func(cfg element.Config) (float64, error)
+
+// ErrBudgetExhausted reports that a searcher ran out of measurement
+// budget before meeting its own stopping rule. The Result returned
+// alongside it still holds the best configuration found.
+var ErrBudgetExhausted = errors.New("control: measurement budget exhausted")
+
+// Result is the outcome of one search run.
+type Result struct {
+	// Best is the best configuration found and BestScore its score.
+	Best      element.Config
+	BestScore float64
+	// Evaluations counts the measurements spent.
+	Evaluations int
+	// Trace records the best-so-far score after each evaluation, for
+	// convergence plots.
+	Trace []float64
+}
+
+// Searcher navigates the configuration space with a bounded number of
+// measurements — "the system must quickly navigate through an enormous
+// search space of channel parameters" (§2).
+type Searcher interface {
+	// Name identifies the algorithm in reports and benches.
+	Name() string
+	// Search explores arr's configuration space through eval, spending at
+	// most budget evaluations (budget ≤ 0 means unlimited).
+	Search(arr *element.Array, eval EvalFunc, budget int) (*Result, error)
+}
+
+// tracker factors the budget/best-so-far bookkeeping all searchers share.
+type tracker struct {
+	eval   EvalFunc
+	budget int
+	res    Result
+}
+
+func newTracker(eval EvalFunc, budget int) *tracker {
+	t := &tracker{eval: eval, budget: budget}
+	t.res.BestScore = math.Inf(-1)
+	return t
+}
+
+// measure evaluates cfg, updating the result. It returns
+// ErrBudgetExhausted once the budget is spent.
+func (t *tracker) measure(cfg element.Config) (float64, error) {
+	if t.budget > 0 && t.res.Evaluations >= t.budget {
+		return 0, ErrBudgetExhausted
+	}
+	score, err := t.eval(cfg)
+	if err != nil {
+		return 0, err
+	}
+	t.res.Evaluations++
+	if score > t.res.BestScore {
+		t.res.BestScore = score
+		t.res.Best = cfg.Clone()
+	}
+	t.res.Trace = append(t.res.Trace, t.res.BestScore)
+	return score, nil
+}
+
+// done reports whether the budget is exhausted.
+func (t *tracker) done() bool {
+	return t.budget > 0 && t.res.Evaluations >= t.budget
+}
+
+// result finalizes the run: if nothing was ever evaluated, that is an
+// error; running out of budget mid-algorithm is reported as
+// ErrBudgetExhausted with the partial result attached.
+func (t *tracker) result(exhausted bool) (*Result, error) {
+	if t.res.Evaluations == 0 {
+		return nil, fmt.Errorf("control: no configurations evaluated")
+	}
+	if exhausted {
+		return &t.res, ErrBudgetExhausted
+	}
+	return &t.res, nil
+}
+
+// Exhaustive measures every configuration — optimal, and exactly what the
+// paper's 64-configuration study does, but exponential in array size.
+type Exhaustive struct{}
+
+// Name implements Searcher.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Search implements Searcher.
+func (Exhaustive) Search(arr *element.Array, eval EvalFunc, budget int) (*Result, error) {
+	t := newTracker(eval, budget)
+	var innerErr error
+	exhausted := false
+	arr.EachConfig(func(idx int, c element.Config) bool {
+		if _, err := t.measure(c); err != nil {
+			if errors.Is(err, ErrBudgetExhausted) {
+				exhausted = true
+			} else {
+				innerErr = err
+			}
+			return false
+		}
+		return true
+	})
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	return t.result(exhausted)
+}
+
+// Greedy is per-element coordinate descent: sweep each element through
+// all of its states while holding the others, keep the best, and repeat
+// until a full pass improves nothing. Cost per pass is Σ M_i — linear in
+// array size where exhaustive is exponential — at the price of local
+// optima; Restarts independent starts mitigate that.
+type Greedy struct {
+	// Rng drives the random starting configurations; required.
+	Rng *rand.Rand
+	// Restarts is the number of independent starts (default 1).
+	Restarts int
+}
+
+// Name implements Searcher.
+func (Greedy) Name() string { return "greedy" }
+
+// Search implements Searcher.
+func (g Greedy) Search(arr *element.Array, eval EvalFunc, budget int) (*Result, error) {
+	if g.Rng == nil {
+		return nil, fmt.Errorf("control: Greedy needs an Rng")
+	}
+	restarts := g.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	t := newTracker(eval, budget)
+	for r := 0; r < restarts && !t.done(); r++ {
+		cfg := randomConfig(arr, g.Rng)
+		score, err := t.measure(cfg)
+		if err != nil {
+			return finishOrFail(t, err)
+		}
+		improved := true
+		for improved && !t.done() {
+			improved = false
+			for i := 0; i < arr.N() && !t.done(); i++ {
+				bestState, bestScore := cfg[i], score
+				for si := 0; si < arr.Elements[i].NumStates(); si++ {
+					if si == cfg[i] {
+						continue
+					}
+					cand := cfg.Clone()
+					cand[i] = si
+					s, err := t.measure(cand)
+					if err != nil {
+						return finishOrFail(t, err)
+					}
+					if s > bestScore {
+						bestState, bestScore = si, s
+					}
+				}
+				if bestState != cfg[i] {
+					cfg[i], score = bestState, bestScore
+					improved = true
+				}
+			}
+		}
+	}
+	return t.result(t.done())
+}
+
+// HillClimb performs stochastic local search: single-element random
+// mutations, accepted when they do not decrease the score, with random
+// restarts.
+type HillClimb struct {
+	Rng *rand.Rand
+	// Restarts is the number of independent starts (default 1).
+	Restarts int
+	// StepsPerRestart bounds each climb (default 50).
+	StepsPerRestart int
+}
+
+// Name implements Searcher.
+func (HillClimb) Name() string { return "hill-climb" }
+
+// Search implements Searcher.
+func (h HillClimb) Search(arr *element.Array, eval EvalFunc, budget int) (*Result, error) {
+	if h.Rng == nil {
+		return nil, fmt.Errorf("control: HillClimb needs an Rng")
+	}
+	restarts, steps := h.Restarts, h.StepsPerRestart
+	if restarts < 1 {
+		restarts = 1
+	}
+	if steps < 1 {
+		steps = 50
+	}
+	t := newTracker(eval, budget)
+	for r := 0; r < restarts && !t.done(); r++ {
+		cfg := randomConfig(arr, h.Rng)
+		score, err := t.measure(cfg)
+		if err != nil {
+			return finishOrFail(t, err)
+		}
+		for s := 0; s < steps && !t.done(); s++ {
+			cand := mutate(arr, cfg, h.Rng)
+			cs, err := t.measure(cand)
+			if err != nil {
+				return finishOrFail(t, err)
+			}
+			if cs >= score {
+				cfg, score = cand, cs
+			}
+		}
+	}
+	return t.result(t.done())
+}
+
+// Anneal is simulated annealing over single-element moves — the classic
+// escape hatch from the local optima coordinate descent falls into.
+type Anneal struct {
+	Rng *rand.Rand
+	// T0 is the initial temperature in score units (default 3: accepts
+	// ~3 dB-worse moves early); Alpha the geometric cooling rate
+	// (default 0.95 per step).
+	T0    float64
+	Alpha float64
+	// Steps bounds the walk (default 200).
+	Steps int
+}
+
+// Name implements Searcher.
+func (Anneal) Name() string { return "anneal" }
+
+// Search implements Searcher.
+func (a Anneal) Search(arr *element.Array, eval EvalFunc, budget int) (*Result, error) {
+	if a.Rng == nil {
+		return nil, fmt.Errorf("control: Anneal needs an Rng")
+	}
+	t0, alpha, steps := a.T0, a.Alpha, a.Steps
+	if t0 <= 0 {
+		t0 = 3
+	}
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.95
+	}
+	if steps < 1 {
+		steps = 200
+	}
+	t := newTracker(eval, budget)
+	cfg := randomConfig(arr, a.Rng)
+	score, err := t.measure(cfg)
+	if err != nil {
+		return finishOrFail(t, err)
+	}
+	temp := t0
+	for s := 0; s < steps && !t.done(); s++ {
+		cand := mutate(arr, cfg, a.Rng)
+		cs, err := t.measure(cand)
+		if err != nil {
+			return finishOrFail(t, err)
+		}
+		if cs >= score || a.Rng.Float64() < math.Exp((cs-score)/temp) {
+			cfg, score = cand, cs
+		}
+		temp *= alpha
+	}
+	return t.result(t.done())
+}
+
+// Genetic runs a small generational GA: tournament selection, uniform
+// crossover, per-element mutation — the "machine learning techniques"
+// avenue §4.2 gestures at, useful when the landscape has structure
+// coordinate moves miss.
+type Genetic struct {
+	Rng *rand.Rand
+	// Pop is the population size (default 12), Generations the count
+	// (default 10), MutationRate the per-element mutation probability
+	// (default 0.15).
+	Pop          int
+	Generations  int
+	MutationRate float64
+}
+
+// Name implements Searcher.
+func (Genetic) Name() string { return "genetic" }
+
+// Search implements Searcher.
+func (g Genetic) Search(arr *element.Array, eval EvalFunc, budget int) (*Result, error) {
+	if g.Rng == nil {
+		return nil, fmt.Errorf("control: Genetic needs an Rng")
+	}
+	pop, gens, mut := g.Pop, g.Generations, g.MutationRate
+	if pop < 2 {
+		pop = 12
+	}
+	if gens < 1 {
+		gens = 10
+	}
+	if mut <= 0 || mut > 1 {
+		mut = 0.15
+	}
+	t := newTracker(eval, budget)
+
+	type indiv struct {
+		cfg   element.Config
+		score float64
+	}
+	population := make([]indiv, 0, pop)
+	for i := 0; i < pop && !t.done(); i++ {
+		cfg := randomConfig(arr, g.Rng)
+		s, err := t.measure(cfg)
+		if err != nil {
+			return finishOrFail(t, err)
+		}
+		population = append(population, indiv{cfg, s})
+	}
+	tournament := func() indiv {
+		a := population[g.Rng.IntN(len(population))]
+		b := population[g.Rng.IntN(len(population))]
+		if a.score >= b.score {
+			return a
+		}
+		return b
+	}
+	for gen := 0; gen < gens && !t.done(); gen++ {
+		next := make([]indiv, 0, pop)
+		// Elitism: keep the best individual.
+		best := population[0]
+		for _, ind := range population[1:] {
+			if ind.score > best.score {
+				best = ind
+			}
+		}
+		next = append(next, best)
+		for len(next) < pop && !t.done() {
+			p1, p2 := tournament(), tournament()
+			child := p1.cfg.Clone()
+			for i := range child {
+				if g.Rng.Float64() < 0.5 {
+					child[i] = p2.cfg[i]
+				}
+				if g.Rng.Float64() < mut {
+					child[i] = g.Rng.IntN(arr.Elements[i].NumStates())
+				}
+			}
+			s, err := t.measure(child)
+			if err != nil {
+				return finishOrFail(t, err)
+			}
+			next = append(next, indiv{child, s})
+		}
+		population = next
+	}
+	return t.result(t.done())
+}
+
+// Random samples configurations uniformly — the baseline every smarter
+// searcher must beat measurement-for-measurement.
+type Random struct {
+	Rng *rand.Rand
+	// Samples bounds the run when budget does not (default 64).
+	Samples int
+}
+
+// Name implements Searcher.
+func (Random) Name() string { return "random" }
+
+// Search implements Searcher.
+func (r Random) Search(arr *element.Array, eval EvalFunc, budget int) (*Result, error) {
+	if r.Rng == nil {
+		return nil, fmt.Errorf("control: Random needs an Rng")
+	}
+	n := r.Samples
+	if n < 1 {
+		n = 64
+	}
+	t := newTracker(eval, budget)
+	for i := 0; i < n && !t.done(); i++ {
+		if _, err := t.measure(randomConfig(arr, r.Rng)); err != nil {
+			return finishOrFail(t, err)
+		}
+	}
+	return t.result(t.done())
+}
+
+// randomConfig draws a uniform configuration.
+func randomConfig(arr *element.Array, rng *rand.Rand) element.Config {
+	c := make(element.Config, arr.N())
+	for i := range c {
+		c[i] = rng.IntN(arr.Elements[i].NumStates())
+	}
+	return c
+}
+
+// mutate returns cfg with one random element switched to a different
+// random state.
+func mutate(arr *element.Array, cfg element.Config, rng *rand.Rand) element.Config {
+	out := cfg.Clone()
+	if arr.N() == 0 {
+		return out
+	}
+	i := rng.IntN(arr.N())
+	m := arr.Elements[i].NumStates()
+	if m < 2 {
+		return out
+	}
+	ns := rng.IntN(m - 1)
+	if ns >= out[i] {
+		ns++
+	}
+	out[i] = ns
+	return out
+}
+
+// finishOrFail converts a mid-algorithm error into the final return:
+// budget exhaustion yields the partial result, anything else fails the
+// search.
+func finishOrFail(t *tracker, err error) (*Result, error) {
+	if errors.Is(err, ErrBudgetExhausted) {
+		return t.result(true)
+	}
+	return nil, err
+}

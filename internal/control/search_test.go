@@ -1,0 +1,269 @@
+package control
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"press/internal/element"
+	"press/internal/geom"
+)
+
+// synthArray builds an n-element SP4T array (4 states each) at dummy
+// positions; the synthetic landscapes below never touch the positions.
+func synthArray(n int) *element.Array {
+	elems := make([]*element.Element, n)
+	for i := range elems {
+		elems[i] = &element.Element{Pos: geom.V(float64(i), 1, 1), States: element.SP4TStates()}
+	}
+	return element.NewArray(elems...)
+}
+
+// separable is an easy landscape: score = Σ bonus[cfg[i]]; global optimum
+// is all elements in state 2.
+func separable(cfg element.Config) (float64, error) {
+	bonus := []float64{0, 1, 3, 2}
+	var s float64
+	for _, si := range cfg {
+		s += bonus[si]
+	}
+	return s, nil
+}
+
+// deceptive has a strong local optimum at all-0 and the global optimum at
+// all-3: single-element moves away from all-0 always hurt.
+func deceptive(cfg element.Config) (float64, error) {
+	all0, all3 := true, true
+	for _, si := range cfg {
+		if si != 0 {
+			all0 = false
+		}
+		if si != 3 {
+			all3 = false
+		}
+	}
+	switch {
+	case all3:
+		return 100, nil
+	case all0:
+		return 50, nil
+	default:
+		var s float64
+		for _, si := range cfg {
+			s -= float64(si)
+		}
+		return s, nil
+	}
+}
+
+func TestExhaustiveFindsGlobalOptimum(t *testing.T) {
+	arr := synthArray(3)
+	res, err := Exhaustive{}.Search(arr, separable, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 64 {
+		t.Errorf("evaluations = %d, want 64", res.Evaluations)
+	}
+	if res.BestScore != 9 || !res.Best.Equal(element.Config{2, 2, 2}) {
+		t.Errorf("best = %v score %v, want {2,2,2} score 9", res.Best, res.BestScore)
+	}
+}
+
+func TestExhaustiveBudget(t *testing.T) {
+	arr := synthArray(3)
+	res, err := Exhaustive{}.Search(arr, separable, 10)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if res == nil || res.Evaluations != 10 {
+		t.Fatalf("partial result = %+v", res)
+	}
+	if len(res.Best) != 3 {
+		t.Error("partial result lacks a best config")
+	}
+}
+
+func TestGreedySolvesSeparableCheaply(t *testing.T) {
+	arr := synthArray(6) // 4^6 = 4096 configs
+	g := Greedy{Rng: rand.New(rand.NewPCG(1, 2))}
+	res, err := g.Search(arr, separable, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore != 18 {
+		t.Errorf("greedy best = %v, want 18 (global)", res.BestScore)
+	}
+	if res.Evaluations > 200 {
+		t.Errorf("greedy used %d evaluations; coordinate descent should need ~tens", res.Evaluations)
+	}
+}
+
+func TestGreedyStuckOnDeceptive(t *testing.T) {
+	// Start a single greedy run enough times and it will sometimes land
+	// on the all-0 local optimum; what matters here is that it never
+	// reports a score that is not a local optimum's.
+	arr := synthArray(4)
+	g := Greedy{Rng: rand.New(rand.NewPCG(3, 4)), Restarts: 5}
+	res, err := g.Search(arr, deceptive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore != 100 && res.BestScore != 50 {
+		t.Errorf("greedy best %v is not a local optimum of the deceptive landscape", res.BestScore)
+	}
+}
+
+func TestHillClimbImproves(t *testing.T) {
+	arr := synthArray(5)
+	h := HillClimb{Rng: rand.New(rand.NewPCG(5, 6)), Restarts: 3, StepsPerRestart: 60}
+	res, err := h.Search(arr, separable, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore < 12 {
+		t.Errorf("hill climb best = %v; expected ≥12 on the separable landscape", res.BestScore)
+	}
+}
+
+func TestAnnealEscapesLocalOptimum(t *testing.T) {
+	// With temperature, annealing should find the all-3 global optimum of
+	// the deceptive landscape in most seeds; we assert it at least ties
+	// the local optimum and that some seed reaches the global.
+	arr := synthArray(3)
+	foundGlobal := false
+	for seed := uint64(0); seed < 10; seed++ {
+		a := Anneal{Rng: rand.New(rand.NewPCG(seed, seed+1)), Steps: 300, T0: 20}
+		res, err := a.Search(arr, deceptive, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BestScore >= 100 {
+			foundGlobal = true
+		}
+		if res.BestScore < 50 && res.Evaluations > 100 {
+			t.Errorf("seed %d: anneal best %v below the easy local optimum", seed, res.BestScore)
+		}
+	}
+	if !foundGlobal {
+		t.Error("no seed found the global optimum; annealing is not exploring")
+	}
+}
+
+func TestGeneticFindsGoodConfigs(t *testing.T) {
+	arr := synthArray(6)
+	g := Genetic{Rng: rand.New(rand.NewPCG(7, 8)), Pop: 16, Generations: 15}
+	res, err := g.Search(arr, separable, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore < 15 {
+		t.Errorf("genetic best = %v; expected ≥15", res.BestScore)
+	}
+	if err := arr.Validate(res.Best); err != nil {
+		t.Errorf("genetic returned invalid config: %v", err)
+	}
+}
+
+func TestRandomBaseline(t *testing.T) {
+	arr := synthArray(3)
+	r := Random{Rng: rand.New(rand.NewPCG(9, 10)), Samples: 30}
+	res, err := r.Search(arr, separable, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 30 {
+		t.Errorf("evaluations = %d, want 30", res.Evaluations)
+	}
+	if res.BestScore < 4 {
+		t.Errorf("random best = %v; suspiciously bad for 30 samples", res.BestScore)
+	}
+}
+
+func TestTraceMonotone(t *testing.T) {
+	arr := synthArray(4)
+	searchers := []Searcher{
+		Exhaustive{},
+		Greedy{Rng: rand.New(rand.NewPCG(1, 1))},
+		HillClimb{Rng: rand.New(rand.NewPCG(2, 2))},
+		Anneal{Rng: rand.New(rand.NewPCG(3, 3))},
+		Genetic{Rng: rand.New(rand.NewPCG(4, 4))},
+		Random{Rng: rand.New(rand.NewPCG(5, 5))},
+	}
+	for _, s := range searchers {
+		res, err := s.Search(arr, separable, 150)
+		if err != nil && !errors.Is(err, ErrBudgetExhausted) {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(res.Trace) != res.Evaluations {
+			t.Errorf("%s: trace length %d != evaluations %d", s.Name(), len(res.Trace), res.Evaluations)
+		}
+		for i := 1; i < len(res.Trace); i++ {
+			if res.Trace[i] < res.Trace[i-1] {
+				t.Fatalf("%s: best-so-far trace decreased at %d", s.Name(), i)
+			}
+		}
+		if res.Trace[len(res.Trace)-1] != res.BestScore {
+			t.Errorf("%s: trace end %v != best %v", s.Name(), res.Trace[len(res.Trace)-1], res.BestScore)
+		}
+	}
+}
+
+func TestSearchersRespectBudgetExactly(t *testing.T) {
+	arr := synthArray(5)
+	budget := 25
+	searchers := []Searcher{
+		Exhaustive{},
+		Greedy{Rng: rand.New(rand.NewPCG(1, 9)), Restarts: 10},
+		HillClimb{Rng: rand.New(rand.NewPCG(2, 9)), Restarts: 10, StepsPerRestart: 100},
+		Anneal{Rng: rand.New(rand.NewPCG(3, 9)), Steps: 1000},
+		Genetic{Rng: rand.New(rand.NewPCG(4, 9)), Pop: 20, Generations: 50},
+		Random{Rng: rand.New(rand.NewPCG(5, 9)), Samples: 1000},
+	}
+	for _, s := range searchers {
+		res, err := s.Search(arr, separable, budget)
+		if !errors.Is(err, ErrBudgetExhausted) {
+			t.Errorf("%s: err = %v, want ErrBudgetExhausted", s.Name(), err)
+			continue
+		}
+		if res.Evaluations != budget {
+			t.Errorf("%s: spent %d measurements with budget %d", s.Name(), res.Evaluations, budget)
+		}
+	}
+}
+
+func TestSearchersNeedRng(t *testing.T) {
+	arr := synthArray(2)
+	for _, s := range []Searcher{Greedy{}, HillClimb{}, Anneal{}, Genetic{}, Random{}} {
+		if _, err := s.Search(arr, separable, 0); err == nil {
+			t.Errorf("%s without Rng accepted", s.Name())
+		}
+	}
+}
+
+func TestMutateChangesExactlyOneElement(t *testing.T) {
+	arr := synthArray(6)
+	rng := rand.New(rand.NewPCG(11, 12))
+	base := randomConfig(arr, rng)
+	for trial := 0; trial < 200; trial++ {
+		m := mutate(arr, base, rng)
+		diff := 0
+		for i := range base {
+			if m[i] != base[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("mutate changed %d elements", diff)
+		}
+	}
+}
+
+func TestEvalErrorPropagates(t *testing.T) {
+	arr := synthArray(2)
+	boom := errors.New("radio exploded")
+	failing := func(cfg element.Config) (float64, error) { return 0, boom }
+	if _, err := (Exhaustive{}).Search(arr, failing, 0); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the eval error", err)
+	}
+}

@@ -1,0 +1,140 @@
+package controlplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"press/internal/element"
+)
+
+// Agent is the element-side endpoint: it owns a PRESS array, applies
+// validated SetConfig commands, and answers Query/Ping. One agent can
+// serve many controller connections (e.g. a handover between
+// semi-centralized controllers).
+type Agent struct {
+	ID    uint32
+	Array *element.Array
+	// OnApply, when set, is invoked after each successful actuation —
+	// the hook the simulator uses to re-point the radio model, and real
+	// hardware would use to drive the RF switches.
+	OnApply func(cfg element.Config)
+	// ActuationDelay models RF-switch settling time before the Ack.
+	ActuationDelay time.Duration
+
+	mu      sync.Mutex
+	current element.Config
+}
+
+// NewAgent builds an agent with every element initially in state 0.
+func NewAgent(id uint32, arr *element.Array) *Agent {
+	return &Agent{ID: id, Array: arr, current: make(element.Config, arr.N())}
+}
+
+// Current returns a copy of the applied configuration.
+func (a *Agent) Current() element.Config {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.current.Clone()
+}
+
+// Serve handles one controller connection until the context is cancelled
+// or the connection fails. It sends a Hello first, then answers requests.
+func (a *Agent) Serve(ctx context.Context, conn Conn) error {
+	if err := conn.Send(0, &Hello{AgentID: a.ID, NumElements: uint16(a.Array.N())}); err != nil {
+		return fmt.Errorf("controlplane: hello: %w", err)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Poll with a short deadline so cancellation is honoured even on
+		// an idle connection.
+		_ = conn.SetRecvDeadline(time.Now().Add(50 * time.Millisecond))
+		seq, msg, err := conn.Recv()
+		if err != nil {
+			var to interface{ Timeout() bool }
+			if errors.As(err, &to) && to.Timeout() {
+				continue
+			}
+			if errors.Is(err, ErrBadCRC) {
+				continue // corrupted frame: drop it, stay alive
+			}
+			return err
+		}
+		if err := a.handle(conn, seq, msg); err != nil {
+			return err
+		}
+	}
+}
+
+// handle dispatches one request.
+func (a *Agent) handle(conn Conn, seq uint32, msg Message) error {
+	switch m := msg.(type) {
+	case *SetConfig:
+		cfg := make(element.Config, len(m.States))
+		for i, s := range m.States {
+			cfg[i] = int(s)
+		}
+		if err := a.Array.Validate(cfg); err != nil {
+			return conn.Send(seq, &Ack{AckSeq: seq, Status: StatusBadConfig})
+		}
+		if a.ActuationDelay > 0 {
+			time.Sleep(a.ActuationDelay)
+		}
+		a.mu.Lock()
+		a.current = cfg
+		a.mu.Unlock()
+		if a.OnApply != nil {
+			a.OnApply(cfg.Clone())
+		}
+		return conn.Send(seq, &Ack{AckSeq: seq, Status: StatusOK})
+	case *Query:
+		cur := a.Current()
+		states := make([]uint8, len(cur))
+		for i, s := range cur {
+			states[i] = uint8(s)
+		}
+		return conn.Send(seq, &Report{States: states})
+	case *Ping:
+		return conn.Send(seq, &Pong{T: m.T})
+	case *Hello:
+		// A Hello *request* is a discovery probe (datagram controllers
+		// have no stream handshake); answer with our identity.
+		return conn.Send(seq, &Hello{AgentID: a.ID, NumElements: uint16(a.Array.N())})
+	default:
+		// Unknown or unexpected messages are ignored: a controller
+		// restart may replay, and robustness beats strictness here.
+		return nil
+	}
+}
+
+// ListenAndServe accepts controller connections on l until ctx is done,
+// serving each in its own goroutine. It is the agent-side entry point of
+// cmd/pressctl.
+func (a *Agent) ListenAndServe(ctx context.Context, l net.Listener) error {
+	go func() {
+		<-ctx.Done()
+		l.Close()
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer c.Close()
+			_ = a.Serve(ctx, NewStreamConn(c))
+		}()
+	}
+}

@@ -1,0 +1,17 @@
+package controlplane
+
+import "testing"
+
+func TestBothEndsCloseSafely(t *testing.T) {
+	a, b := NewLossyPipe(LossyConfig{Seed: 1})
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent too.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

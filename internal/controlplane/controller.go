@@ -1,0 +1,248 @@
+package controlplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"press/internal/element"
+)
+
+// Stats counts controller-side protocol events, for the latency/loss
+// reporting the design-space exploration needs.
+type Stats struct {
+	Sent      atomic.Int64
+	Acked     atomic.Int64
+	Retries   atomic.Int64
+	Rejected  atomic.Int64
+	Timeouts  atomic.Int64
+	CRCErrors atomic.Int64
+}
+
+// Controller is the controller-side endpoint: it actuates a remote agent
+// with at-least-once retransmission and matches acknowledgements by
+// sequence number, tolerating the loss and corruption the simulated
+// control channels inject.
+type Controller struct {
+	conn Conn
+	// Timeout is the per-attempt ack deadline (default 100 ms).
+	Timeout time.Duration
+	// Retries is the number of retransmissions after the first attempt
+	// (default 4).
+	Retries int
+	// Stats accumulates protocol counters.
+	Stats Stats
+
+	seq atomic.Uint32
+	// agentID and numElements are learned from the agent's Hello.
+	agentID     uint32
+	numElements int
+	helloSeen   bool
+}
+
+// NewController wraps a connection. Call Handshake before actuating.
+func NewController(conn Conn) *Controller {
+	return &Controller{conn: conn, Timeout: 100 * time.Millisecond, Retries: 4}
+}
+
+// ErrRejected means the agent refused the configuration.
+var ErrRejected = errors.New("controlplane: agent rejected configuration")
+
+// Handshake waits for the agent's Hello and records its array size.
+func (c *Controller) Handshake(ctx context.Context) error {
+	deadline := time.Now().Add(c.Timeout * time.Duration(c.Retries+1))
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = c.conn.SetRecvDeadline(deadline)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_, msg, err := c.conn.Recv()
+		if err != nil {
+			return fmt.Errorf("controlplane: handshake: %w", err)
+		}
+		if h, ok := msg.(*Hello); ok {
+			c.agentID = h.AgentID
+			c.numElements = int(h.NumElements)
+			c.helloSeen = true
+			return nil
+		}
+		// Skip anything stale until the Hello arrives.
+	}
+}
+
+// Probe discovers the agent over a datagram transport, where the agent
+// cannot announce itself: send a Hello, await the agent's Hello reply,
+// retrying like SetConfig does. Stream controllers use Handshake instead.
+func (c *Controller) Probe(ctx context.Context) error {
+	seq := c.seq.Add(1)
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := c.conn.Send(seq, &Hello{}); err != nil {
+			return err
+		}
+		deadline := time.Now().Add(c.Timeout)
+		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
+		_ = c.conn.SetRecvDeadline(deadline)
+		for {
+			_, msg, err := c.conn.Recv()
+			if err != nil {
+				lastErr = err
+				break
+			}
+			if h, ok := msg.(*Hello); ok && (h.AgentID != 0 || h.NumElements != 0) {
+				c.agentID = h.AgentID
+				c.numElements = int(h.NumElements)
+				c.helloSeen = true
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("controlplane: probe unanswered: %w", lastErr)
+}
+
+// AgentID returns the agent identity learned in the handshake.
+func (c *Controller) AgentID() uint32 { return c.agentID }
+
+// NumElements returns the remote array size learned in the handshake.
+func (c *Controller) NumElements() int { return c.numElements }
+
+// SetConfig actuates cfg on the agent, retrying on timeout, and returns
+// once the matching Ack arrives. ErrRejected reports an agent-side
+// validation failure (no retry: the config itself is bad).
+func (c *Controller) SetConfig(ctx context.Context, cfg element.Config) error {
+	if c.helloSeen && len(cfg) != c.numElements {
+		return fmt.Errorf("controlplane: config has %d states for %d elements", len(cfg), c.numElements)
+	}
+	states := make([]uint8, len(cfg))
+	for i, s := range cfg {
+		if s < 0 || s > 255 {
+			return fmt.Errorf("controlplane: state %d out of uint8 range", s)
+		}
+		states[i] = uint8(s)
+	}
+	msg := &SetConfig{States: states}
+	seq := c.seq.Add(1)
+
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt > 0 {
+			c.Stats.Retries.Add(1)
+		}
+		if err := c.conn.Send(seq, msg); err != nil {
+			return err
+		}
+		c.Stats.Sent.Add(1)
+
+		status, err := c.awaitAck(ctx, seq)
+		if err == nil {
+			if status != StatusOK {
+				c.Stats.Rejected.Add(1)
+				return fmt.Errorf("%w (status %d)", ErrRejected, status)
+			}
+			c.Stats.Acked.Add(1)
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("controlplane: set-config seq %d unacknowledged after %d attempts: %w",
+		seq, c.Retries+1, lastErr)
+}
+
+// awaitAck consumes messages until the matching ack or the attempt
+// deadline.
+func (c *Controller) awaitAck(ctx context.Context, seq uint32) (uint8, error) {
+	deadline := time.Now().Add(c.Timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = c.conn.SetRecvDeadline(deadline)
+	for {
+		_, msg, err := c.conn.Recv()
+		if err != nil {
+			if errors.Is(err, ErrBadCRC) {
+				c.Stats.CRCErrors.Add(1)
+				continue
+			}
+			var to interface{ Timeout() bool }
+			if errors.As(err, &to) && to.Timeout() {
+				c.Stats.Timeouts.Add(1)
+			}
+			return 0, err
+		}
+		if ack, ok := msg.(*Ack); ok && ack.AckSeq == seq {
+			return ack.Status, nil
+		}
+		// Stale ack or unsolicited message: keep draining.
+	}
+}
+
+// QueryConfig fetches the agent's applied configuration.
+func (c *Controller) QueryConfig(ctx context.Context) (element.Config, error) {
+	seq := c.seq.Add(1)
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := c.conn.Send(seq, &Query{}); err != nil {
+			return nil, err
+		}
+		deadline := time.Now().Add(c.Timeout)
+		_ = c.conn.SetRecvDeadline(deadline)
+		for {
+			_, msg, err := c.conn.Recv()
+			if err != nil {
+				if errors.Is(err, ErrBadCRC) {
+					continue
+				}
+				lastErr = err
+				break
+			}
+			if rep, ok := msg.(*Report); ok {
+				cfg := make(element.Config, len(rep.States))
+				for i, s := range rep.States {
+					cfg[i] = int(s)
+				}
+				return cfg, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("controlplane: query unanswered: %w", lastErr)
+}
+
+// Ping measures the control-plane round-trip time — the number §2's
+// coherence-time budget divides by.
+func (c *Controller) Ping(ctx context.Context) (time.Duration, error) {
+	seq := c.seq.Add(1)
+	start := time.Now()
+	if err := c.conn.Send(seq, &Ping{T: start.UnixNano()}); err != nil {
+		return 0, err
+	}
+	deadline := start.Add(c.Timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = c.conn.SetRecvDeadline(deadline)
+	for {
+		_, msg, err := c.conn.Recv()
+		if err != nil {
+			return 0, err
+		}
+		if pong, ok := msg.(*Pong); ok && pong.T == start.UnixNano() {
+			return time.Since(start), nil
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package controlplane
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame-level errors.
+var (
+	// ErrBadMagic means the stream is not speaking this protocol.
+	ErrBadMagic = errors.New("controlplane: bad magic")
+	// ErrBadVersion means a protocol version we do not understand.
+	ErrBadVersion = errors.New("controlplane: unsupported version")
+	// ErrBadCRC means the frame was corrupted in transit.
+	ErrBadCRC = errors.New("controlplane: CRC mismatch")
+	// ErrTooLarge means the frame declares an oversized payload —
+	// either corruption or a hostile peer; the connection should drop.
+	ErrTooLarge = errors.New("controlplane: payload exceeds MaxPayload")
+)
+
+const headerLen = 10 // magic(2) + version(1) + type(1) + length(2) + seq(4)
+
+// EncodeFrame serializes seq+msg into a self-contained frame.
+func EncodeFrame(seq uint32, msg Message) ([]byte, error) {
+	payload := msg.appendPayload(nil)
+	if len(payload) > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	buf := make([]byte, 0, headerLen+len(payload)+4)
+	buf = binary.BigEndian.AppendUint16(buf, Magic)
+	buf = append(buf, Version, uint8(msg.MsgType()))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(payload)))
+	buf = binary.BigEndian.AppendUint32(buf, seq)
+	buf = append(buf, payload...)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf)), nil
+}
+
+// DecodeFrame parses one complete frame, verifying magic, version, length
+// and CRC. It returns the sequence number and decoded body.
+func DecodeFrame(buf []byte) (seq uint32, msg Message, err error) {
+	if len(buf) < headerLen+4 {
+		return 0, nil, fmt.Errorf("controlplane: frame truncated (%d bytes)", len(buf))
+	}
+	if binary.BigEndian.Uint16(buf) != Magic {
+		return 0, nil, ErrBadMagic
+	}
+	if buf[2] != Version {
+		return 0, nil, ErrBadVersion
+	}
+	plen := int(binary.BigEndian.Uint16(buf[4:]))
+	if plen > MaxPayload {
+		return 0, nil, ErrTooLarge
+	}
+	if len(buf) != headerLen+plen+4 {
+		return 0, nil, fmt.Errorf("controlplane: frame length %d does not match declared payload %d", len(buf), plen)
+	}
+	body := buf[:headerLen+plen]
+	wantCRC := binary.BigEndian.Uint32(buf[headerLen+plen:])
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return 0, nil, ErrBadCRC
+	}
+	m, err := newMessage(Type(buf[3]))
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := m.decodePayload(buf[headerLen : headerLen+plen]); err != nil {
+		return 0, nil, err
+	}
+	return binary.BigEndian.Uint32(buf[6:]), m, nil
+}
+
+// WriteFrame writes one frame to a stream.
+func WriteFrame(w io.Writer, seq uint32, msg Message) error {
+	buf, err := EncodeFrame(seq, msg)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads exactly one frame from a stream, resynchronization-free:
+// a framing error poisons the stream and the caller should drop the
+// connection (TCP guarantees ordering, and the in-memory transports are
+// datagram-like, so partial frames only occur on a broken peer).
+func ReadFrame(r io.Reader) (seq uint32, msg Message, err error) {
+	header := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return 0, nil, err
+	}
+	if binary.BigEndian.Uint16(header) != Magic {
+		return 0, nil, ErrBadMagic
+	}
+	if header[2] != Version {
+		return 0, nil, ErrBadVersion
+	}
+	plen := int(binary.BigEndian.Uint16(header[4:]))
+	if plen > MaxPayload {
+		return 0, nil, ErrTooLarge
+	}
+	rest := make([]byte, plen+4)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return 0, nil, err
+	}
+	return DecodeFrame(append(header, rest...))
+}

@@ -1,0 +1,152 @@
+package controlplane
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+func allMessages() []Message {
+	return []Message{
+		&Hello{AgentID: 7, NumElements: 3},
+		&SetConfig{States: []uint8{0, 3, 1}},
+		&SetConfig{States: nil},
+		&Ack{AckSeq: 42, Status: StatusOK},
+		&Ack{AckSeq: 1, Status: StatusBadConfig},
+		&Query{},
+		&Report{States: []uint8{2, 2}},
+		&Ping{T: 123456789},
+		&Pong{T: -42},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, msg := range allMessages() {
+		buf, err := EncodeFrame(99, msg)
+		if err != nil {
+			t.Fatalf("%v: %v", msg.MsgType(), err)
+		}
+		seq, got, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", msg.MsgType(), err)
+		}
+		if seq != 99 {
+			t.Errorf("%v: seq = %d", msg.MsgType(), seq)
+		}
+		if !reflect.DeepEqual(msg, got) {
+			// SetConfig{nil} decodes to empty non-nil slice; normalize.
+			if sc, ok := msg.(*SetConfig); ok && len(sc.States) == 0 {
+				if gsc := got.(*SetConfig); len(gsc.States) == 0 {
+					continue
+				}
+			}
+			t.Errorf("%v: round trip %+v != %+v", msg.MsgType(), got, msg)
+		}
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	for i, msg := range allMessages() {
+		if err := WriteFrame(&buf, uint32(i), msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range allMessages() {
+		seq, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if seq != uint32(i) {
+			t.Errorf("frame %d: seq %d", i, seq)
+		}
+		if got.MsgType() != want.MsgType() {
+			t.Errorf("frame %d: type %v != %v", i, got.MsgType(), want.MsgType())
+		}
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	buf, _ := EncodeFrame(1, &Query{})
+	buf[0] = 0xFF
+	if _, _, err := DecodeFrame(buf); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	buf, _ := EncodeFrame(1, &Query{})
+	buf[2] = 99
+	if _, _, err := DecodeFrame(buf); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	// Flip every single byte position in turn (except where the flip
+	// still yields the same decoded result is impossible for CRC32):
+	// corruption must never decode silently.
+	orig, _ := EncodeFrame(7, &SetConfig{States: []uint8{1, 2, 3}})
+	for pos := range orig {
+		buf := append([]byte(nil), orig...)
+		buf[pos] ^= 0x01
+		_, _, err := DecodeFrame(buf)
+		if err == nil {
+			t.Fatalf("flip at byte %d decoded silently", pos)
+		}
+	}
+}
+
+func TestDecodeTruncatedAndOversized(t *testing.T) {
+	buf, _ := EncodeFrame(1, &Ping{T: 1})
+	if _, _, err := DecodeFrame(buf[:5]); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	if _, _, err := DecodeFrame(buf[:len(buf)-1]); err == nil {
+		t.Error("frame missing CRC byte accepted")
+	}
+	big := &SetConfig{States: make([]uint8, MaxPayload+1)}
+	if _, err := EncodeFrame(1, big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized encode err = %v", err)
+	}
+}
+
+func TestDecodeRandomGarbage(t *testing.T) {
+	// Random byte soup must never decode successfully (the magic+CRC
+	// gauntlet) and, critically, must never panic.
+	rng := rand.New(rand.NewPCG(13, 37))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.IntN(64)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = uint8(rng.IntN(256))
+		}
+		if _, _, err := DecodeFrame(buf); err == nil {
+			t.Fatalf("garbage of %d bytes decoded", n)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversizedDeclaredLength(t *testing.T) {
+	// A hostile peer declaring a giant payload must be rejected before
+	// any allocation of that size.
+	buf, _ := EncodeFrame(1, &Query{})
+	buf[4], buf[5] = 0xFF, 0xFF
+	if _, _, err := ReadFrame(bytes.NewReader(buf)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeSetConfig.String() != "set-config" || Type(200).String() != "type(200)" {
+		t.Error("type names wrong")
+	}
+}
+
+func TestNewMessageUnknown(t *testing.T) {
+	if _, err := newMessage(Type(0)); err == nil {
+		t.Error("unknown type accepted")
+	}
+}

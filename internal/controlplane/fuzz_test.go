@@ -1,0 +1,61 @@
+package controlplane
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame hammers the wire decoder with arbitrary bytes: it must
+// never panic, and anything it accepts must re-encode to the same frame
+// (decode∘encode is the identity on the accepted language).
+func FuzzDecodeFrame(f *testing.F) {
+	for _, msg := range allMessages() {
+		buf, err := EncodeFrame(7, msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x50, 0x52, 1, 1})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, msg, err := DecodeFrame(data)
+		if err != nil {
+			return // rejected input: fine, as long as we did not panic
+		}
+		re, err := EncodeFrame(seq, msg)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not the identity:\n in %x\nout %x", data, re)
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary byte streams to the stream reader: no
+// panics, no over-allocation (the MaxPayload guard), and any frame read
+// must satisfy the same re-encode identity.
+func FuzzReadFrame(f *testing.F) {
+	var stream bytes.Buffer
+	for i, msg := range allMessages() {
+		_ = WriteFrame(&stream, uint32(i), msg)
+	}
+	f.Add(stream.Bytes())
+	f.Add([]byte{0x50})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			seq, msg, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			if _, err := EncodeFrame(seq, msg); err != nil {
+				t.Fatalf("read frame failed to re-encode: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,262 @@
+// Package controlplane implements the PRESS control plane of §2/§4.2: a
+// compact binary protocol between a (semi-)centralized controller and the
+// wall-embedded element agents, over any stream transport. The paper's
+// requirement is low-latency actuation of many cheap elements within the
+// channel coherence time, so the protocol is small (12-byte header),
+// integrity-checked (CRC-32), versioned, and strictly request/response so
+// a microcontroller-class agent can implement it.
+//
+// Wire format, big endian:
+//
+//	magic   uint16  0x5052 ("PR")
+//	version uint8   1
+//	type    uint8   message type
+//	length  uint16  payload length
+//	seq     uint32  sender sequence number
+//	payload [length]byte
+//	crc32   uint32  IEEE CRC over header+payload
+package controlplane
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol constants.
+const (
+	Magic   uint16 = 0x5052
+	Version uint8  = 1
+	// MaxPayload bounds a frame's payload; element arrays are small, so
+	// frames stay comfortably within one MTU.
+	MaxPayload = 1024
+)
+
+// Type identifies a message type on the wire.
+type Type uint8
+
+// Message types.
+const (
+	TypeHello Type = iota + 1
+	TypeSetConfig
+	TypeAck
+	TypeQuery
+	TypeReport
+	TypePing
+	TypePong
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeSetConfig:
+		return "set-config"
+	case TypeAck:
+		return "ack"
+	case TypeQuery:
+		return "query"
+	case TypeReport:
+		return "report"
+	case TypePing:
+		return "ping"
+	case TypePong:
+		return "pong"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Status codes carried in Ack messages.
+const (
+	StatusOK uint8 = iota
+	StatusBadConfig
+	StatusBusy
+)
+
+// Message is one control-plane message body. Implementations are the
+// concrete message structs below.
+type Message interface {
+	// MsgType returns the wire type tag.
+	MsgType() Type
+	// appendPayload serializes the body onto b.
+	appendPayload(b []byte) []byte
+	// decodePayload parses the body from p.
+	decodePayload(p []byte) error
+}
+
+// Hello announces an agent and its array size to the controller.
+type Hello struct {
+	AgentID     uint32
+	NumElements uint16
+}
+
+// MsgType implements Message.
+func (*Hello) MsgType() Type { return TypeHello }
+
+func (h *Hello) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, h.AgentID)
+	return binary.BigEndian.AppendUint16(b, h.NumElements)
+}
+
+func (h *Hello) decodePayload(p []byte) error {
+	if len(p) != 6 {
+		return fmt.Errorf("controlplane: hello payload %d bytes, want 6", len(p))
+	}
+	h.AgentID = binary.BigEndian.Uint32(p)
+	h.NumElements = binary.BigEndian.Uint16(p[4:])
+	return nil
+}
+
+// SetConfig actuates the array: one state index per element.
+type SetConfig struct {
+	States []uint8
+}
+
+// MsgType implements Message.
+func (*SetConfig) MsgType() Type { return TypeSetConfig }
+
+func (m *SetConfig) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.States)))
+	return append(b, m.States...)
+}
+
+func (m *SetConfig) decodePayload(p []byte) error {
+	if len(p) < 2 {
+		return errors.New("controlplane: set-config payload too short")
+	}
+	n := int(binary.BigEndian.Uint16(p))
+	if len(p) != 2+n {
+		return fmt.Errorf("controlplane: set-config says %d states, has %d bytes", n, len(p)-2)
+	}
+	m.States = append([]uint8(nil), p[2:]...)
+	return nil
+}
+
+// Ack acknowledges a SetConfig (or reports why it was rejected).
+type Ack struct {
+	// AckSeq echoes the sequence number being acknowledged.
+	AckSeq uint32
+	Status uint8
+}
+
+// MsgType implements Message.
+func (*Ack) MsgType() Type { return TypeAck }
+
+func (a *Ack) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, a.AckSeq)
+	return append(b, a.Status)
+}
+
+func (a *Ack) decodePayload(p []byte) error {
+	if len(p) != 5 {
+		return fmt.Errorf("controlplane: ack payload %d bytes, want 5", len(p))
+	}
+	a.AckSeq = binary.BigEndian.Uint32(p)
+	a.Status = p[4]
+	return nil
+}
+
+// Query asks the agent for its current configuration.
+type Query struct{}
+
+// MsgType implements Message.
+func (*Query) MsgType() Type { return TypeQuery }
+
+func (*Query) appendPayload(b []byte) []byte { return b }
+
+func (*Query) decodePayload(p []byte) error {
+	if len(p) != 0 {
+		return errors.New("controlplane: query carries no payload")
+	}
+	return nil
+}
+
+// Report answers a Query with the applied configuration.
+type Report struct {
+	States []uint8
+}
+
+// MsgType implements Message.
+func (*Report) MsgType() Type { return TypeReport }
+
+func (r *Report) appendPayload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(r.States)))
+	return append(b, r.States...)
+}
+
+func (r *Report) decodePayload(p []byte) error {
+	if len(p) < 2 {
+		return errors.New("controlplane: report payload too short")
+	}
+	n := int(binary.BigEndian.Uint16(p))
+	if len(p) != 2+n {
+		return fmt.Errorf("controlplane: report says %d states, has %d bytes", n, len(p)-2)
+	}
+	r.States = append([]uint8(nil), p[2:]...)
+	return nil
+}
+
+// Ping measures control-plane round-trip time; T is an opaque timestamp
+// echoed back in the Pong.
+type Ping struct {
+	T int64
+}
+
+// MsgType implements Message.
+func (*Ping) MsgType() Type { return TypePing }
+
+func (p *Ping) appendPayload(b []byte) []byte {
+	return binary.BigEndian.AppendUint64(b, uint64(p.T))
+}
+
+func (p *Ping) decodePayload(buf []byte) error {
+	if len(buf) != 8 {
+		return fmt.Errorf("controlplane: ping payload %d bytes, want 8", len(buf))
+	}
+	p.T = int64(binary.BigEndian.Uint64(buf))
+	return nil
+}
+
+// Pong echoes a Ping.
+type Pong struct {
+	T int64
+}
+
+// MsgType implements Message.
+func (*Pong) MsgType() Type { return TypePong }
+
+func (p *Pong) appendPayload(b []byte) []byte {
+	return binary.BigEndian.AppendUint64(b, uint64(p.T))
+}
+
+func (p *Pong) decodePayload(buf []byte) error {
+	if len(buf) != 8 {
+		return fmt.Errorf("controlplane: pong payload %d bytes, want 8", len(buf))
+	}
+	p.T = int64(binary.BigEndian.Uint64(buf))
+	return nil
+}
+
+// newMessage returns a fresh body struct for a wire type.
+func newMessage(t Type) (Message, error) {
+	switch t {
+	case TypeHello:
+		return &Hello{}, nil
+	case TypeSetConfig:
+		return &SetConfig{}, nil
+	case TypeAck:
+		return &Ack{}, nil
+	case TypeQuery:
+		return &Query{}, nil
+	case TypeReport:
+		return &Report{}, nil
+	case TypePing:
+		return &Ping{}, nil
+	case TypePong:
+		return &Pong{}, nil
+	default:
+		return nil, fmt.Errorf("controlplane: unknown message type %d", uint8(t))
+	}
+}

@@ -1,0 +1,137 @@
+package controlplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"press/internal/element"
+)
+
+// MultiController drives several element agents — separate wall segments,
+// each with its own microcontroller and link — as one logical array. The
+// global configuration is split across agents by position, actuated
+// concurrently, and an actuation only counts as complete when every
+// segment has acknowledged: the semi-centralized controller shape of
+// §4.2.
+type MultiController struct {
+	parts []part
+	total int
+}
+
+type part struct {
+	ctrl   *Controller
+	offset int
+	count  int
+}
+
+// NewMultiController composes controllers whose agents have completed
+// their handshake/probe (so element counts are known). The global config
+// is the concatenation of the agents' arrays in the order given.
+func NewMultiController(ctrls ...*Controller) (*MultiController, error) {
+	if len(ctrls) == 0 {
+		return nil, errors.New("controlplane: no controllers")
+	}
+	m := &MultiController{}
+	offset := 0
+	for i, c := range ctrls {
+		n := c.NumElements()
+		if n == 0 {
+			return nil, fmt.Errorf("controlplane: controller %d has not learned its agent's array size (handshake/probe first)", i)
+		}
+		m.parts = append(m.parts, part{ctrl: c, offset: offset, count: n})
+		offset += n
+	}
+	m.total = offset
+	return m, nil
+}
+
+// NumElements returns the size of the combined logical array.
+func (m *MultiController) NumElements() int { return m.total }
+
+// SetConfig actuates the global configuration across all agents
+// concurrently and waits for every acknowledgement. On any failure it
+// reports which segment failed; partial actuation is possible (some
+// segments acked, some not), mirroring reality — callers that care
+// should re-issue, which is idempotent.
+func (m *MultiController) SetConfig(ctx context.Context, global element.Config) error {
+	if len(global) != m.total {
+		return fmt.Errorf("controlplane: global config has %d states for %d elements", len(global), m.total)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(m.parts))
+	for i, p := range m.parts {
+		wg.Add(1)
+		go func(i int, p part) {
+			defer wg.Done()
+			slice := global[p.offset : p.offset+p.count]
+			if err := p.ctrl.SetConfig(ctx, slice.Clone()); err != nil {
+				errs[i] = fmt.Errorf("segment %d (agent %d): %w", i, p.ctrl.AgentID(), err)
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// QueryConfig assembles the global configuration from every agent.
+func (m *MultiController) QueryConfig(ctx context.Context) (element.Config, error) {
+	out := make(element.Config, m.total)
+	var wg sync.WaitGroup
+	errs := make([]error, len(m.parts))
+	for i, p := range m.parts {
+		wg.Add(1)
+		go func(i int, p part) {
+			defer wg.Done()
+			cfg, err := p.ctrl.QueryConfig(ctx)
+			if err != nil {
+				errs[i] = fmt.Errorf("segment %d: %w", i, err)
+				return
+			}
+			if len(cfg) != p.count {
+				errs[i] = fmt.Errorf("segment %d reported %d states, want %d", i, len(cfg), p.count)
+				return
+			}
+			copy(out[p.offset:p.offset+p.count], cfg)
+		}(i, p)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MaxPing returns the slowest segment's control round-trip — the number
+// that bounds how fast the whole logical array can be actuated.
+func (m *MultiController) MaxPing(ctx context.Context) (time.Duration, error) {
+	var (
+		mu    sync.Mutex
+		worst time.Duration
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, len(m.parts))
+	for i, p := range m.parts {
+		wg.Add(1)
+		go func(i int, p part) {
+			defer wg.Done()
+			rtt, err := p.ctrl.Ping(ctx)
+			if err != nil {
+				errs[i] = fmt.Errorf("segment %d: %w", i, err)
+				return
+			}
+			mu.Lock()
+			if rtt > worst {
+				worst = rtt
+			}
+			mu.Unlock()
+		}(i, p)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return 0, err
+	}
+	return worst, nil
+}

@@ -1,0 +1,164 @@
+package controlplane
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"press/internal/element"
+)
+
+// multiSetup spins up n agents with the given element counts over clean
+// pipes and returns handshaked controllers plus the agents.
+func multiSetup(t *testing.T, counts []int) ([]*Agent, []*Controller) {
+	t.Helper()
+	agents := make([]*Agent, len(counts))
+	ctrls := make([]*Controller, len(counts))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	for i, n := range counts {
+		a, b := NewLossyPipe(LossyConfig{Seed: uint64(100 + i)})
+		agents[i] = NewAgent(uint32(i+1), testArray(n))
+		startAgent(t, agents[i], a)
+		ctrls[i] = NewController(b)
+		ctrls[i].Timeout = 500 * time.Millisecond
+		if err := ctrls[i].Handshake(ctx); err != nil {
+			t.Fatalf("agent %d handshake: %v", i, err)
+		}
+	}
+	return agents, ctrls
+}
+
+func TestMultiControllerSetAndQuery(t *testing.T) {
+	agents, ctrls := multiSetup(t, []int{2, 3, 1})
+	mc, err := NewMultiController(ctrls...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.NumElements() != 6 {
+		t.Fatalf("total elements = %d, want 6", mc.NumElements())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	global := element.Config{1, 2, 3, 0, 1, 2}
+	if err := mc.SetConfig(ctx, global); err != nil {
+		t.Fatal(err)
+	}
+	if !agents[0].Current().Equal(element.Config{1, 2}) {
+		t.Errorf("segment 0 at %v", agents[0].Current())
+	}
+	if !agents[1].Current().Equal(element.Config{3, 0, 1}) {
+		t.Errorf("segment 1 at %v", agents[1].Current())
+	}
+	if !agents[2].Current().Equal(element.Config{2}) {
+		t.Errorf("segment 2 at %v", agents[2].Current())
+	}
+
+	back, err := mc.QueryConfig(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(global) {
+		t.Errorf("query returned %v, want %v", back, global)
+	}
+}
+
+func TestMultiControllerLengthValidation(t *testing.T) {
+	_, ctrls := multiSetup(t, []int{2, 2})
+	mc, err := NewMultiController(ctrls...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := mc.SetConfig(ctx, element.Config{0, 0, 0}); err == nil {
+		t.Error("short global config accepted")
+	}
+}
+
+func TestMultiControllerRejectsUnprobed(t *testing.T) {
+	_, b := NewLossyPipe(LossyConfig{Seed: 1})
+	ctrl := NewController(b) // never handshaked: element count unknown
+	if _, err := NewMultiController(ctrl); err == nil {
+		t.Error("unprobed controller accepted")
+	}
+	if _, err := NewMultiController(); err == nil {
+		t.Error("empty controller list accepted")
+	}
+}
+
+func TestMultiControllerSurvivesLoss(t *testing.T) {
+	// One clean segment, one lossy segment: the lossy one retries and the
+	// joint actuation still completes.
+	agents := make([]*Agent, 2)
+	ctrls := make([]*Controller, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	cfgs := []LossyConfig{
+		{Seed: 201},
+		{Seed: 202, LossRate: 0.3, Latency: time.Millisecond},
+	}
+	for i, lc := range cfgs {
+		a, b := NewLossyPipe(lc)
+		agents[i] = NewAgent(uint32(10+i), testArray(2))
+		startAgent(t, agents[i], a)
+		ctrls[i] = NewController(b)
+		ctrls[i].Timeout = 50 * time.Millisecond
+		ctrls[i].Retries = 20
+		if err := ctrls[i].Handshake(ctx); err != nil {
+			t.Logf("segment %d handshake lost (%v); probing instead", i, err)
+			if err := ctrls[i].Probe(ctx); err != nil {
+				t.Fatalf("segment %d probe: %v", i, err)
+			}
+		}
+	}
+	mc, err := NewMultiController(ctrls...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := element.Config{3, 2, 1, 0}
+	if err := mc.SetConfig(ctx, global); err != nil {
+		t.Fatal(err)
+	}
+	if !agents[0].Current().Equal(element.Config{3, 2}) ||
+		!agents[1].Current().Equal(element.Config{1, 0}) {
+		t.Errorf("segments at %v / %v", agents[0].Current(), agents[1].Current())
+	}
+}
+
+func TestMultiControllerMaxPing(t *testing.T) {
+	_, ctrls := multiSetup(t, []int{1, 1})
+	mc, err := NewMultiController(ctrls...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rtt, err := mc.MaxPing(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 {
+		t.Errorf("max ping = %v", rtt)
+	}
+}
+
+func TestMultiControllerReportsFailingSegment(t *testing.T) {
+	_, ctrls := multiSetup(t, []int{2, 2})
+	mc, err := NewMultiController(ctrls...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// State 9 does not exist on an SP4T element: segment 1's agent
+	// rejects, segment 0 succeeds, and the joint error names segment 1.
+	err = mc.SetConfig(ctx, element.Config{0, 0, 9, 0})
+	if err == nil {
+		t.Fatal("invalid per-segment state accepted")
+	}
+	if got := err.Error(); !strings.Contains(got, "segment 1") {
+		t.Errorf("error does not identify the failing segment: %v", got)
+	}
+}

@@ -1,0 +1,126 @@
+package controlplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// PacketConn adapts a net.PacketConn (UDP, unixgram) into a control-plane
+// Conn toward one fixed peer. Datagram semantics fit the protocol
+// naturally: one frame per datagram, corrupted datagrams dropped, loss
+// handled by the controller's retransmission — the same behaviour the
+// simulated lossy pipe models, now over a real socket.
+type PacketConn struct {
+	pc   net.PacketConn
+	peer net.Addr
+}
+
+// NewPacketConn wraps pc, sending to and accepting replies from peer.
+func NewPacketConn(pc net.PacketConn, peer net.Addr) *PacketConn {
+	return &PacketConn{pc: pc, peer: peer}
+}
+
+// Send implements Conn.
+func (p *PacketConn) Send(seq uint32, msg Message) error {
+	buf, err := EncodeFrame(seq, msg)
+	if err != nil {
+		return err
+	}
+	_, err = p.pc.WriteTo(buf, p.peer)
+	return err
+}
+
+// Recv implements Conn. Datagrams that fail to decode, or that arrive
+// from an unexpected source, are dropped silently.
+func (p *PacketConn) Recv() (uint32, Message, error) {
+	buf := make([]byte, headerLen+MaxPayload+4)
+	for {
+		n, from, err := p.pc.ReadFrom(buf)
+		if err != nil {
+			return 0, nil, err
+		}
+		if from.String() != p.peer.String() {
+			continue // not our agent: a stray datagram on the port
+		}
+		seq, msg, err := DecodeFrame(buf[:n])
+		if err != nil {
+			continue // corrupted datagram: drop, like a PHY would
+		}
+		return seq, msg, nil
+	}
+}
+
+// SetRecvDeadline implements Conn.
+func (p *PacketConn) SetRecvDeadline(t time.Time) error {
+	return p.pc.SetReadDeadline(t)
+}
+
+// Close implements Conn.
+func (p *PacketConn) Close() error { return p.pc.Close() }
+
+// ServePacket serves the element-agent protocol over a datagram socket:
+// each request datagram is answered to its source address, so one UDP
+// socket serves any number of controllers — the natural shape for the
+// low-rate broadcast-ish control channels §4.2 sketches. It announces
+// itself by answering a Hello to any source whose first frame fails to
+// be a known request (controllers over UDP skip the stream handshake and
+// simply start with SetConfig/Query/Ping).
+func (a *Agent) ServePacket(ctx context.Context, pc net.PacketConn) error {
+	go func() {
+		<-ctx.Done()
+		pc.Close()
+	}()
+	buf := make([]byte, headerLen+MaxPayload+4)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_ = pc.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			var to interface{ Timeout() bool }
+			if errors.As(err, &to) && to.Timeout() {
+				continue
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		seq, msg, derr := DecodeFrame(buf[:n])
+		if derr != nil {
+			continue // corrupted datagram
+		}
+		reply := replyConn{pc: pc, to: from}
+		if err := a.handle(reply, seq, msg); err != nil {
+			return fmt.Errorf("controlplane: reply to %v: %w", from, err)
+		}
+	}
+}
+
+// replyConn is the one-shot Conn the datagram server hands to the shared
+// request handler: Send goes back to the requester, Recv is unused.
+type replyConn struct {
+	pc net.PacketConn
+	to net.Addr
+}
+
+func (r replyConn) Send(seq uint32, msg Message) error {
+	buf, err := EncodeFrame(seq, msg)
+	if err != nil {
+		return err
+	}
+	_, err = r.pc.WriteTo(buf, r.to)
+	return err
+}
+
+func (replyConn) Recv() (uint32, Message, error) {
+	return 0, nil, errors.New("controlplane: replyConn cannot receive")
+}
+
+func (replyConn) SetRecvDeadline(time.Time) error { return nil }
+
+func (replyConn) Close() error { return nil }

@@ -1,0 +1,154 @@
+package controlplane
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"press/internal/element"
+)
+
+// startUDPAgent runs an agent on a loopback UDP socket and returns the
+// agent, its address, and a cleanup handled by t.
+func startUDPAgent(t *testing.T, arr *element.Array) (*Agent, net.Addr) {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := NewAgent(21, arr)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = agent.ServePacket(ctx, pc)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return agent, pc.LocalAddr()
+}
+
+// dialUDPController opens a controller socket toward the agent.
+func dialUDPController(t *testing.T, agentAddr net.Addr) *Controller {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pc.Close() })
+	ctrl := NewController(NewPacketConn(pc, agentAddr))
+	ctrl.Timeout = 500 * time.Millisecond
+	return ctrl
+}
+
+func TestUDPProbeAndActuate(t *testing.T) {
+	arr := testArray(3)
+	agent, addr := startUDPAgent(t, arr)
+	ctrl := dialUDPController(t, addr)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ctrl.Probe(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.AgentID() != 21 || ctrl.NumElements() != 3 {
+		t.Fatalf("probe learned id=%d n=%d", ctrl.AgentID(), ctrl.NumElements())
+	}
+	want := element.Config{2, 0, 3}
+	if err := ctrl.SetConfig(ctx, want); err != nil {
+		t.Fatal(err)
+	}
+	if !agent.Current().Equal(want) {
+		t.Errorf("agent at %v, want %v", agent.Current(), want)
+	}
+	got, err := ctrl.QueryConfig(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("query returned %v", got)
+	}
+	rtt, err := ctrl.Ping(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 || rtt > time.Second {
+		t.Errorf("udp rtt = %v", rtt)
+	}
+}
+
+func TestUDPMultipleControllers(t *testing.T) {
+	arr := testArray(2)
+	agent, addr := startUDPAgent(t, arr)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		ctrl := dialUDPController(t, addr)
+		if err := ctrl.Probe(ctx); err != nil {
+			t.Fatalf("controller %d probe: %v", i, err)
+		}
+		cfg := element.Config{i % 4, (i + 2) % 4}
+		if err := ctrl.SetConfig(ctx, cfg); err != nil {
+			t.Fatalf("controller %d: %v", i, err)
+		}
+		if !agent.Current().Equal(cfg) {
+			t.Fatalf("controller %d: agent at %v", i, agent.Current())
+		}
+	}
+}
+
+func TestUDPIgnoresStraySources(t *testing.T) {
+	arr := testArray(2)
+	_, addr := startUDPAgent(t, arr)
+	ctrl := dialUDPController(t, addr)
+
+	// A third socket spams the controller's port with garbage and with
+	// valid-looking frames; Recv must keep waiting for the real peer.
+	stray, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stray.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ctrl.Probe(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Find the controller's local address via a throwaway set: the
+	// PacketConn wraps our own socket, so spam the agent instead and make
+	// sure the agent survives garbage.
+	if _, err := stray.WriteTo([]byte("garbage"), addr); err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := EncodeFrame(9, &SetConfig{States: []uint8{9, 9}})
+	if _, err := stray.WriteTo(buf, addr); err != nil {
+		t.Fatal(err)
+	}
+	// The agent must still answer the legitimate controller.
+	if err := ctrl.SetConfig(ctx, element.Config{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPControllerTimesOutWithoutAgent(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	// Point at a port nobody listens on.
+	dead := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1}
+	ctrl := NewController(NewPacketConn(pc, dead))
+	ctrl.Timeout = 50 * time.Millisecond
+	ctrl.Retries = 1
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ctrl.Probe(ctx); err == nil {
+		t.Error("probe succeeded with no agent")
+	}
+}

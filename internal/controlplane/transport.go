@@ -1,0 +1,224 @@
+package controlplane
+
+import (
+	"errors"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is a message-oriented control-plane connection. Implementations
+// must be safe for one concurrent sender and one concurrent receiver.
+type Conn interface {
+	// Send transmits one message with the given sequence number.
+	Send(seq uint32, msg Message) error
+	// Recv blocks for the next message until the deadline set by
+	// SetRecvDeadline (zero deadline blocks indefinitely).
+	Recv() (uint32, Message, error)
+	// SetRecvDeadline bounds subsequent Recv calls.
+	SetRecvDeadline(t time.Time) error
+	// Close releases the connection; pending Recv calls fail.
+	Close() error
+}
+
+// ErrClosed is returned on use of a closed connection.
+var ErrClosed = errors.New("controlplane: connection closed")
+
+// StreamConn adapts any net.Conn (TCP, unix socket, net.Pipe) into a
+// framed control-plane Conn.
+type StreamConn struct {
+	c net.Conn
+
+	sendMu sync.Mutex
+}
+
+// NewStreamConn wraps a net.Conn.
+func NewStreamConn(c net.Conn) *StreamConn { return &StreamConn{c: c} }
+
+// Send implements Conn.
+func (s *StreamConn) Send(seq uint32, msg Message) error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	return WriteFrame(s.c, seq, msg)
+}
+
+// Recv implements Conn.
+func (s *StreamConn) Recv() (uint32, Message, error) {
+	return ReadFrame(s.c)
+}
+
+// SetRecvDeadline implements Conn.
+func (s *StreamConn) SetRecvDeadline(t time.Time) error {
+	return s.c.SetReadDeadline(t)
+}
+
+// Close implements Conn.
+func (s *StreamConn) Close() error { return s.c.Close() }
+
+// LossyConfig parameterizes the in-memory simulated transport: the
+// low-rate wireless (or ultrasound) control channels §4.2 considers are
+// slow and lossy, and the controller must be engineered against that.
+type LossyConfig struct {
+	// Latency is the one-way delivery delay.
+	Latency time.Duration
+	// LossRate is the probability of silently dropping a message.
+	LossRate float64
+	// CorruptRate is the probability of flipping bits in transit (the
+	// receiver sees a CRC failure).
+	CorruptRate float64
+	// Seed drives the loss/corruption draws.
+	Seed uint64
+}
+
+type lossyEnd struct {
+	cfg  LossyConfig
+	rng  *rand.Rand
+	rmu  sync.Mutex // guards rng
+	out  chan frame
+	in   chan frame
+	done chan struct{}
+
+	// closeOnce is shared between both ends: closing either end tears
+	// down the shared done channel exactly once.
+	closeOnce *sync.Once
+
+	dlMu     sync.Mutex
+	deadline time.Time
+
+	// Dropped counts messages this end's sends lost in transit.
+	dropped int
+	dmu     sync.Mutex
+}
+
+type frame struct {
+	buf []byte
+	at  time.Time
+}
+
+// NewLossyPipe returns the two ends of an in-memory control channel with
+// injected latency, loss, and corruption. Both ends share the config but
+// draw losses independently.
+func NewLossyPipe(cfg LossyConfig) (Conn, Conn) {
+	ab := make(chan frame, 256)
+	ba := make(chan frame, 256)
+	done := make(chan struct{})
+	once := &sync.Once{}
+	a := &lossyEnd{cfg: cfg, rng: rand.New(rand.NewPCG(cfg.Seed, 1)), out: ab, in: ba, done: done, closeOnce: once}
+	b := &lossyEnd{cfg: cfg, rng: rand.New(rand.NewPCG(cfg.Seed, 2)), out: ba, in: ab, done: done, closeOnce: once}
+	return a, b
+}
+
+// Send implements Conn.
+func (e *lossyEnd) Send(seq uint32, msg Message) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	buf, err := EncodeFrame(seq, msg)
+	if err != nil {
+		return err
+	}
+	e.rmu.Lock()
+	drop := e.rng.Float64() < e.cfg.LossRate
+	corrupt := !drop && e.rng.Float64() < e.cfg.CorruptRate
+	var flipAt int
+	if corrupt {
+		flipAt = e.rng.IntN(len(buf))
+	}
+	e.rmu.Unlock()
+
+	if drop {
+		e.dmu.Lock()
+		e.dropped++
+		e.dmu.Unlock()
+		return nil // silent loss: the sender cannot know
+	}
+	if corrupt {
+		buf = append([]byte(nil), buf...)
+		buf[flipAt] ^= 0x40
+	}
+	select {
+	case e.out <- frame{buf: buf, at: time.Now().Add(e.cfg.Latency)}:
+		return nil
+	case <-e.done:
+		return ErrClosed
+	}
+}
+
+// Recv implements Conn. Frames that fail to decode (the injected
+// corruption) are dropped silently, like a PHY discarding a packet with a
+// bad checksum — the pipe is datagram-like, so corruption never poisons
+// subsequent frames.
+func (e *lossyEnd) Recv() (uint32, Message, error) {
+	for {
+		e.dlMu.Lock()
+		deadline := e.deadline
+		e.dlMu.Unlock()
+
+		var timeout <-chan time.Time
+		var timer *time.Timer
+		if !deadline.IsZero() {
+			d := time.Until(deadline)
+			if d <= 0 {
+				return 0, nil, ErrTimeout
+			}
+			timer = time.NewTimer(d)
+			timeout = timer.C
+		}
+		select {
+		case f := <-e.in:
+			if timer != nil {
+				timer.Stop()
+			}
+			// Honour the injected latency.
+			if wait := time.Until(f.at); wait > 0 {
+				time.Sleep(wait)
+			}
+			seq, msg, err := DecodeFrame(f.buf)
+			if err != nil {
+				continue // corrupted in transit: drop
+			}
+			return seq, msg, nil
+		case <-timeout:
+			return 0, nil, ErrTimeout
+		case <-e.done:
+			if timer != nil {
+				timer.Stop()
+			}
+			return 0, nil, ErrClosed
+		}
+	}
+}
+
+// SetRecvDeadline implements Conn.
+func (e *lossyEnd) SetRecvDeadline(t time.Time) error {
+	e.dlMu.Lock()
+	e.deadline = t
+	e.dlMu.Unlock()
+	return nil
+}
+
+// Close implements Conn.
+func (e *lossyEnd) Close() error {
+	e.closeOnce.Do(func() { close(e.done) })
+	return nil
+}
+
+// Dropped reports how many of this end's sends were lost in transit.
+func (e *lossyEnd) Dropped() int {
+	e.dmu.Lock()
+	defer e.dmu.Unlock()
+	return e.dropped
+}
+
+// ErrTimeout is returned when a Recv deadline expires. It satisfies
+// errors.Is against itself and reports Timeout() true like net errors.
+var ErrTimeout = &timeoutError{}
+
+type timeoutError struct{}
+
+func (*timeoutError) Error() string   { return "controlplane: receive timeout" }
+func (*timeoutError) Timeout() bool   { return true }
+func (*timeoutError) Temporary() bool { return true }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"press/internal/control"
+	"press/internal/geom"
+	"press/internal/ofdm"
+)
+
+// TestOptimizeInterferenceSuppression exercises the Figure 2 "bystander"
+// story: the same transmitter reaches its own client (communication
+// channel, weight +1) and a neighbouring network's client (interference
+// channel, weight −1). Joint optimization should find a configuration
+// whose communication-minus-interference margin beats the terminated
+// baseline.
+func TestOptimizeInterferenceSuppression(t *testing.T) {
+	sp := testSpace(t)
+	// AP → its own client.
+	addTestLink(t, sp, "comm", geom.V(4.75, 4.5, 1.5), geom.V(7.25, 4.7, 1.3))
+	// Same AP position → a bystander in the other network.
+	addTestLink(t, sp, "intf", geom.V(4.75, 4.5, 1.5), geom.V(7.0, 6.5, 1.3))
+
+	goals := []Goal{
+		{Link: "comm", Objective: control.MaxMeanSNR{}, Weight: 1},
+		{Link: "intf", Objective: control.MaxMeanSNR{}, Weight: -1},
+	}
+	margin := func() float64 {
+		c, err := sp.Measure("comm", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i, err := sp.Measure("intf", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return control.MaxMeanSNR{}.Score(c) - control.MaxMeanSNR{}.Score(i)
+	}
+	before := margin()
+
+	out, err := sp.Optimize(goals, OptimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := margin()
+	if after < before-0.5 {
+		t.Errorf("optimization worsened the comm-vs-interference margin: %.2f → %.2f dB", before, after)
+	}
+	if out.PerLink["comm"] == 0 && out.PerLink["intf"] == 0 {
+		t.Error("per-link scores missing")
+	}
+}
+
+// TestInterferenceSINRPipeline glues the pieces end to end: measure the
+// communication and interference CSI under the optimized configuration
+// and push them through the SINR model.
+func TestInterferenceSINRPipeline(t *testing.T) {
+	sp := testSpace(t)
+	addTestLink(t, sp, "comm", geom.V(4.75, 4.5, 1.5), geom.V(7.25, 4.7, 1.3))
+	// Interferer: a *different* transmitter near the same receiver.
+	intfTX := geom.V(4.75, 6.2, 1.5)
+	addTestLink(t, sp, "intf-at-rx", intfTX, geom.V(7.25, 4.7, 1.3))
+
+	comm, err := sp.Measure("comm", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intf, err := sp.Measure("intf-at-rx", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinr, err := ofdm.SINRdB(comm, []*ofdm.CSI{intf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sinr) != 52 {
+		t.Fatalf("sinr has %d entries", len(sinr))
+	}
+	// SINR can never exceed SNR.
+	for k := range sinr {
+		if sinr[k] > comm.SNRdB[k]+1e-9 {
+			t.Fatalf("subcarrier %d: SINR %v above SNR %v", k, sinr[k], comm.SNRdB[k])
+		}
+	}
+	// And with a real co-channel interferer it must cost something.
+	lossy := 0
+	for k := range sinr {
+		if comm.SNRdB[k]-sinr[k] > 1 {
+			lossy++
+		}
+	}
+	if lossy == 0 {
+		t.Error("co-channel interferer cost nothing anywhere in the band")
+	}
+}

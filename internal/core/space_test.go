@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"press/internal/control"
+	"press/internal/element"
+	"press/internal/geom"
+	"press/internal/ofdm"
+	"press/internal/propagation"
+	"press/internal/radio"
+	"press/internal/rfphys"
+)
+
+func testSpace(t *testing.T) *Space {
+	t.Helper()
+	env := propagation.NewEnvironment(12, 9, 3)
+	env.AddScatterers(rand.New(rand.NewPCG(1, 2)), 10, 35)
+	env.Blockers = append(env.Blockers,
+		geom.NewBlocker(geom.V(5.6, 4.2, 0), geom.V(5.9, 5.0, 2.2), 35))
+	arr := element.NewArray(
+		element.NewParabolicElement(geom.V(6.0, 3.2, 1.5), geom.V(7.25, 4.7, 1.3)),
+		element.NewParabolicElement(geom.V(6.5, 3.2, 1.5), geom.V(7.25, 4.7, 1.3)),
+		element.NewParabolicElement(geom.V(5.6, 3.4, 1.5), geom.V(7.25, 4.7, 1.3)),
+	)
+	sp, err := NewSpace(env, arr, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func addTestLink(t *testing.T, sp *Space, name string, txPos, rxPos geom.Vec) {
+	t.Helper()
+	tx := &radio.Radio{
+		Node:       propagation.Node{Pos: txPos, Pattern: rfphys.Omni{PeakGainDBi: 2}},
+		TxPowerDBm: 15, NoiseFigureDB: 6,
+	}
+	rx := &radio.Radio{
+		Node:          propagation.Node{Pos: rxPos, Pattern: rfphys.Omni{PeakGainDBi: 2}},
+		NoiseFigureDB: 6,
+	}
+	if _, err := sp.AddLink(name, tx, rx, ofdm.WiFi20()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSpaceValidation(t *testing.T) {
+	if _, err := NewSpace(nil, element.NewArray(), 1); err == nil {
+		t.Error("nil environment accepted")
+	}
+	env := propagation.NewEnvironment(6, 5, 3)
+	env.MaxOrder = 99
+	if _, err := NewSpace(env, element.NewArray(), 1); err == nil {
+		t.Error("invalid environment accepted")
+	}
+}
+
+func TestSpaceStartsTerminated(t *testing.T) {
+	sp := testSpace(t)
+	cfg := sp.Applied()
+	for i, si := range cfg {
+		if sp.Array.Elements[i].States[si].Kind != element.Terminate {
+			t.Errorf("element %d initial state %d is not terminated", i, si)
+		}
+	}
+}
+
+func TestAddLinkAndMeasure(t *testing.T) {
+	sp := testSpace(t)
+	addTestLink(t, sp, "ap-client", geom.V(4.75, 4.5, 1.5), geom.V(7.25, 4.7, 1.3))
+	if sp.Link("ap-client") == nil {
+		t.Fatal("link not registered")
+	}
+	if _, err := sp.AddLink("ap-client", nil, nil, ofdm.WiFi20()); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	csi, err := sp.Measure("ap-client", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(csi.SNRdB) != 52 {
+		t.Fatalf("CSI has %d subcarriers", len(csi.SNRdB))
+	}
+	if _, err := sp.Measure("nope", 0); err == nil {
+		t.Error("unknown link accepted")
+	}
+	names := sp.LinkNames()
+	if len(names) != 1 || names[0] != "ap-client" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestApplyValidates(t *testing.T) {
+	sp := testSpace(t)
+	if err := sp.Apply(element.Config{0, 0}); err == nil {
+		t.Error("short config accepted")
+	}
+	want := element.Config{1, 2, 0}
+	if err := sp.Apply(want); err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Applied().Equal(want) {
+		t.Errorf("applied = %v", sp.Applied())
+	}
+	// Applied returns a copy, not an alias.
+	got := sp.Applied()
+	got[0] = 3
+	if sp.Applied()[0] == 3 {
+		t.Error("Applied aliases internal state")
+	}
+}
+
+func TestOptimizeSingleLink(t *testing.T) {
+	sp := testSpace(t)
+	addTestLink(t, sp, "link", geom.V(4.75, 4.5, 1.5), geom.V(7.25, 4.7, 1.3))
+
+	before, err := sp.Measure("link", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sp.Optimize([]Goal{{Link: "link", Objective: control.MaxMinSNR{}}}, OptimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Evaluations != 64 {
+		t.Errorf("evaluations = %d, want 64 (exhaustive default)", out.Evaluations)
+	}
+	if !sp.Applied().Equal(out.Best) {
+		t.Error("winner not applied")
+	}
+	// Optimized min SNR must be at least the terminated baseline (noise
+	// slack of 1 dB).
+	if out.PerLink["link"] < before.MinSNRdB()-1 {
+		t.Errorf("optimized %v dB below the terminated baseline %v dB",
+			out.PerLink["link"], before.MinSNRdB())
+	}
+}
+
+func TestOptimizeJointGoals(t *testing.T) {
+	sp := testSpace(t)
+	addTestLink(t, sp, "a", geom.V(4.75, 4.3, 1.5), geom.V(7.25, 4.5, 1.3))
+	addTestLink(t, sp, "b", geom.V(4.75, 5.1, 1.5), geom.V(7.25, 5.3, 1.3))
+
+	out, err := sp.Optimize([]Goal{
+		{Link: "a", Objective: control.MaxMinSNR{}, Weight: 1},
+		{Link: "b", Objective: control.MaxMinSNR{}, Weight: 2},
+	}, OptimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.PerLink) != 2 {
+		t.Fatalf("per-link scores = %v", out.PerLink)
+	}
+	if _, ok := out.PerLink["a"]; !ok {
+		t.Error("missing link a score")
+	}
+}
+
+func TestOptimizeBudget(t *testing.T) {
+	sp := testSpace(t)
+	addTestLink(t, sp, "link", geom.V(4.75, 4.5, 1.5), geom.V(7.25, 4.7, 1.3))
+	out, err := sp.Optimize(
+		[]Goal{{Link: "link", Objective: control.MaxMeanSNR{}}},
+		OptimizeOptions{Budget: 10},
+	)
+	if !errors.Is(err, control.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if out == nil || out.Evaluations != 10 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	// Best-effort configuration is still applied.
+	if !sp.Applied().Equal(out.Best) {
+		t.Error("best-effort winner not applied")
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	sp := testSpace(t)
+	if _, err := sp.Optimize(nil, OptimizeOptions{}); err == nil {
+		t.Error("no goals accepted")
+	}
+	if _, err := sp.Optimize([]Goal{{Link: "ghost", Objective: control.MaxMinSNR{}}}, OptimizeOptions{}); err == nil {
+		t.Error("unknown link accepted")
+	}
+	addTestLink(t, sp, "x", geom.V(4.75, 4.5, 1.5), geom.V(7.25, 4.7, 1.3))
+	if _, err := sp.Optimize([]Goal{{Link: "x"}}, OptimizeOptions{}); err == nil {
+		t.Error("nil objective accepted")
+	}
+}
+
+func TestOptimizeSkipApply(t *testing.T) {
+	sp := testSpace(t)
+	addTestLink(t, sp, "link", geom.V(4.75, 4.5, 1.5), geom.V(7.25, 4.7, 1.3))
+	before := sp.Applied()
+	if _, err := sp.Optimize(
+		[]Goal{{Link: "link", Objective: control.MaxMinSNR{}}},
+		OptimizeOptions{SkipApply: true},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Applied().Equal(before) {
+		t.Error("SkipApply still mutated the applied config")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	sp := testSpace(t)
+	addTestLink(t, sp, "link", geom.V(4.75, 4.5, 1.5), geom.V(7.25, 4.7, 1.3))
+	s := sp.Summary()
+	if s == "" || len(s) < 20 {
+		t.Errorf("summary = %q", s)
+	}
+}

@@ -1,0 +1,161 @@
+package element
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"press/internal/geom"
+	"press/internal/propagation"
+	"press/internal/rfphys"
+)
+
+func TestContinuousReflection(t *testing.T) {
+	e := NewOmniElement(geom.V(1, 1, 1))
+	// Phase 0: same as discrete state 0.
+	rc, dc := e.ContinuousReflection(0, lambda)
+	rd, dd := e.Reflection(0, lambda)
+	if rc != rd || dc != dd {
+		t.Errorf("continuous phase 0 (%v,%v) != discrete state 0 (%v,%v)", rc, dc, rd, dd)
+	}
+	// Phase π/2: same delay as discrete state 1.
+	_, dc = e.ContinuousReflection(math.Pi/2, lambda)
+	_, dd = e.Reflection(1, lambda)
+	if math.Abs(dc-dd) > 1e-22 {
+		t.Errorf("continuous π/2 delay %v != discrete %v", dc, dd)
+	}
+	// Off: terminated.
+	if r, _ := e.ContinuousReflection(Off, lambda); r != 0 {
+		t.Errorf("Off reflection = %v", r)
+	}
+	// Arbitrary phase: delay scales linearly.
+	_, d1 := e.ContinuousReflection(1.0, lambda)
+	_, d2 := e.ContinuousReflection(2.0, lambda)
+	if math.Abs(d2-2*d1) > 1e-22 {
+		t.Errorf("delay not linear in phase: %v vs %v", d1, d2)
+	}
+}
+
+func TestContinuousConfigWrap(t *testing.T) {
+	c := ContinuousConfig{-math.Pi / 2, 5 * math.Pi, Off, 0}
+	c.Wrap()
+	if math.Abs(c[0]-1.5*math.Pi) > 1e-12 {
+		t.Errorf("wrap(-π/2) = %v", c[0])
+	}
+	if math.Abs(c[1]-math.Pi) > 1e-12 {
+		t.Errorf("wrap(5π) = %v", c[1])
+	}
+	if !math.IsNaN(c[2]) {
+		t.Error("wrap clobbered Off")
+	}
+	if c[3] != 0 {
+		t.Errorf("wrap(0) = %v", c[3])
+	}
+}
+
+func TestValidateContinuous(t *testing.T) {
+	a := threeElementArray()
+	if err := a.ValidateContinuous(ContinuousConfig{0, 1, Off}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := a.ValidateContinuous(ContinuousConfig{0, 1}); err == nil {
+		t.Error("short config accepted")
+	}
+	if err := a.ValidateContinuous(ContinuousConfig{0, math.Inf(1), 0}); err == nil {
+		t.Error("infinite phase accepted")
+	}
+}
+
+func TestContinuousPathsMatchDiscreteAtBankPhases(t *testing.T) {
+	env := propagation.NewEnvironment(6, 5, 3)
+	tx := propagation.Node{Pos: geom.V(1, 2.5, 1.5)}
+	rx := propagation.Node{Pos: geom.V(5, 2.5, 1.5)}
+	a := threeElementArray()
+
+	// Discrete config {0,1,2} ≡ continuous {0, π/2, π}.
+	disc := a.Paths(env, tx, rx, Config{0, 1, 2}, lambda)
+	cont := a.ContinuousPaths(env, tx, rx, ContinuousConfig{0, math.Pi / 2, math.Pi}, lambda)
+	if len(disc) != len(cont) {
+		t.Fatalf("path counts differ: %d vs %d", len(disc), len(cont))
+	}
+	for i := range disc {
+		if cmplx.Abs(disc[i].Gain-cont[i].Gain) > 1e-15 ||
+			math.Abs(disc[i].Delay-cont[i].Delay) > 1e-22 {
+			t.Fatalf("path %d differs between discrete and continuous", i)
+		}
+	}
+	// Off suppresses the element's path.
+	off := a.ContinuousPaths(env, tx, rx, ContinuousConfig{0, Off, math.Pi}, lambda)
+	if len(off) != 2 {
+		t.Errorf("Off element still contributed: %d paths", len(off))
+	}
+}
+
+func TestContinuousPhaseBeatsDiscreteAtCarrier(t *testing.T) {
+	// The point of finer phases (§4.1): a continuous phase can align an
+	// element path exactly, where the SP4T bank quantizes to within π/4.
+	env := propagation.NewEnvironment(6, 5, 3)
+	tx := propagation.Node{Pos: geom.V(1, 2.5, 1.5)}
+	rx := propagation.Node{Pos: geom.V(5, 2.5, 1.5)}
+	a := NewArray(NewOmniElement(geom.V(3, 1, 1.5)))
+	fc := rfphys.SpeedOfLight / lambda
+
+	// Target: maximize |H| of the element path alone against a reference
+	// phasor e^{-j0.7} (an awkward phase for the 0/π2/π bank).
+	ref := cmplx.Exp(complex(0, -0.7))
+	scoreOf := func(h complex128) float64 { return cmplx.Abs(ref + h) }
+
+	bestDisc := math.Inf(-1)
+	for si := 0; si < 4; si++ {
+		h := propagation.ResponseAt(a.Paths(env, tx, rx, Config{si}, lambda), fc, 0)
+		if s := scoreOf(h / complex(cmplx.Abs(h)+1e-30, 0)); s > bestDisc && cmplx.Abs(h) > 0 {
+			bestDisc = s
+		}
+	}
+	bestCont := math.Inf(-1)
+	for p := 0.0; p < 2*math.Pi; p += 0.01 {
+		h := propagation.ResponseAt(a.ContinuousPaths(env, tx, rx, ContinuousConfig{p}, lambda), fc, 0)
+		if s := scoreOf(h / complex(cmplx.Abs(h), 0)); s > bestCont {
+			bestCont = s
+		}
+	}
+	if bestCont <= bestDisc {
+		t.Errorf("continuous phases (%v) did not beat the 3-phase bank (%v)", bestCont, bestDisc)
+	}
+}
+
+func TestQuantizeContinuous(t *testing.T) {
+	a := threeElementArray() // SP4T: 0, π/2, π, T
+	cfg := a.QuantizeContinuous(ContinuousConfig{0.1, math.Pi/2 + 0.2, Off})
+	if cfg[0] != 0 {
+		t.Errorf("0.1 rad quantized to state %d, want 0", cfg[0])
+	}
+	if cfg[1] != 1 {
+		t.Errorf("π/2+0.2 quantized to state %d, want 1", cfg[1])
+	}
+	if a.Elements[2].States[cfg[2]].Kind != Terminate {
+		t.Errorf("Off quantized to state %d, want terminate", cfg[2])
+	}
+	// Circular wrap: a phase just below 2π is nearest to 0.
+	cfg = a.QuantizeContinuous(ContinuousConfig{2*math.Pi - 0.05, 0, 0})
+	if cfg[0] != 0 {
+		t.Errorf("2π−0.05 quantized to state %d, want 0", cfg[0])
+	}
+	if err := a.Validate(cfg); err != nil {
+		t.Errorf("quantized config invalid: %v", err)
+	}
+}
+
+func TestCircularDist(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0},
+		{0, math.Pi, math.Pi},
+		{0.1, 2*math.Pi - 0.1, 0.2},
+		{3 * math.Pi, 0, math.Pi},
+	}
+	for _, c := range cases {
+		if got := circularDist(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("circularDist(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

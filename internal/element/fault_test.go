@@ -1,0 +1,86 @@
+package element
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"press/internal/geom"
+	"press/internal/propagation"
+)
+
+func faultTestScene() (*propagation.Environment, propagation.Node, propagation.Node, *Array) {
+	env := propagation.NewEnvironment(6, 5, 3)
+	tx := propagation.Node{Pos: geom.V(1, 2.5, 1.5)}
+	rx := propagation.Node{Pos: geom.V(5, 2.5, 1.5)}
+	return env, tx, rx, threeElementArray()
+}
+
+func TestValidateFaults(t *testing.T) {
+	_, _, _, arr := faultTestScene()
+	good := Faults{0: {Kind: StuckAt, State: 2}, 2: {Kind: Dead}}
+	if err := arr.ValidateFaults(good); err != nil {
+		t.Errorf("valid faults rejected: %v", err)
+	}
+	if err := arr.ValidateFaults(Faults{9: {Kind: Dead}}); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+	if err := arr.ValidateFaults(Faults{0: {Kind: StuckAt, State: 99}}); err == nil {
+		t.Error("invalid stuck state accepted")
+	}
+	if err := arr.ValidateFaults(nil); err != nil {
+		t.Errorf("empty plan rejected: %v", err)
+	}
+}
+
+func TestPathsWithFaultsHealthyEqualsPaths(t *testing.T) {
+	env, tx, rx, arr := faultTestScene()
+	cfg := Config{0, 1, 2}
+	a := arr.Paths(env, tx, rx, cfg, lambda)
+	b := arr.PathsWithFaults(env, tx, rx, cfg, nil, lambda)
+	if len(a) != len(b) {
+		t.Fatalf("path counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Gain != b[i].Gain || a[i].Delay != b[i].Delay {
+			t.Fatalf("path %d differs with empty fault plan", i)
+		}
+	}
+}
+
+func TestDeadElementContributesNothing(t *testing.T) {
+	env, tx, rx, arr := faultTestScene()
+	paths := arr.PathsWithFaults(env, tx, rx, Config{0, 0, 0},
+		Faults{1: {Kind: Dead}}, lambda)
+	if len(paths) != 2 {
+		t.Fatalf("dead element still contributed: %d paths", len(paths))
+	}
+}
+
+func TestStuckElementIgnoresCommands(t *testing.T) {
+	env, tx, rx, arr := faultTestScene()
+	faults := Faults{0: {Kind: StuckAt, State: 2}}
+	// Commanding state 0 or state 1 makes no difference: element 0 is
+	// jammed at state 2.
+	a := arr.PathsWithFaults(env, tx, rx, Config{0, 3, 3}, faults, lambda)
+	b := arr.PathsWithFaults(env, tx, rx, Config{1, 3, 3}, faults, lambda)
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("path counts: %d, %d", len(a), len(b))
+	}
+	if a[0].Gain != b[0].Gain || a[0].Delay != b[0].Delay {
+		t.Error("stuck element responded to commands")
+	}
+	// And it matches the healthy array actually set to state 2.
+	ref := arr.Paths(env, tx, rx, Config{2, 3, 3}, lambda)
+	if len(ref) != 1 || cmplx.Abs(ref[0].Gain-a[0].Gain) > 1e-18 {
+		t.Error("stuck state does not match the jammed state's physics")
+	}
+}
+
+func TestStuckTerminatedStaysSilent(t *testing.T) {
+	env, tx, rx, arr := faultTestScene()
+	faults := Faults{0: {Kind: StuckAt, State: 3}} // jammed on the absorber
+	paths := arr.PathsWithFaults(env, tx, rx, Config{0, 3, 3}, faults, lambda)
+	if len(paths) != 0 {
+		t.Errorf("absorber-jammed element still radiated: %d paths", len(paths))
+	}
+}

@@ -1,0 +1,38 @@
+package element
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseState throws arbitrary strings at the notation parser: it
+// must never panic, and anything it accepts must round-trip through
+// String back to an equivalent state.
+func FuzzParseState(f *testing.F) {
+	for _, seed := range []string{"T", "0", "0.5π", "π", "1.5pi", "2rad", "", "x", "-0.5π", "1e3π"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		st, err := ParseState(s)
+		if err != nil {
+			return
+		}
+		if st.Kind == Reflect && (math.IsNaN(st.PhaseRad) || math.IsInf(st.PhaseRad, 0)) {
+			t.Fatalf("accepted non-finite phase from %q", s)
+		}
+		back, err := ParseState(st.String())
+		if err != nil {
+			t.Fatalf("String output %q of parsed %q does not re-parse: %v", st.String(), s, err)
+		}
+		if back.Kind != st.Kind {
+			t.Fatalf("kind changed through round trip of %q", s)
+		}
+		if st.Kind == Reflect {
+			// String formats with limited precision; allow that rounding.
+			tol := 1e-3 * (1 + math.Abs(st.PhaseRad))
+			if math.Abs(back.PhaseRad-st.PhaseRad) > tol {
+				t.Fatalf("phase drifted through round trip of %q: %v → %v", s, st.PhaseRad, back.PhaseRad)
+			}
+		}
+	})
+}

@@ -1,0 +1,133 @@
+// Package element models PRESS elements: the low-cost wall-embedded
+// antennas of the paper's Figure 3, each behind a chain of SP4T RF
+// switches selecting between open waveguide stubs of different lengths
+// (switched reflection phase) or an absorptive load (no reflection).
+//
+// An element's entire effect on the wireless channel is the extra
+// TX→element→RX path it contributes; the package builds those paths via
+// propagation.BistaticPath for whole arrays under a given Configuration.
+package element
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// StateKind distinguishes reflective stubs from the absorptive load.
+type StateKind int
+
+// State kinds.
+const (
+	// Reflect re-radiates the incident signal with a switched phase.
+	Reflect StateKind = iota
+	// Terminate absorbs the incident signal (the paper's "T" state).
+	Terminate
+)
+
+// State is one selectable position of an element's switch chain.
+type State struct {
+	Kind StateKind
+	// PhaseRad is the additional reflection phase of a Reflect state,
+	// realized physically as an open stub adding PhaseRad/2π wavelengths
+	// of round-trip path. Ignored for Terminate.
+	PhaseRad float64
+}
+
+// String renders the state in the paper's notation: multiples of π for
+// reflective states ("0", "0.5π", "π", "1.5π"), "T" for terminated.
+func (s State) String() string {
+	if s.Kind == Terminate {
+		return "T"
+	}
+	frac := s.PhaseRad / math.Pi
+	switch {
+	case frac == 0:
+		return "0"
+	case frac == 1:
+		return "π"
+	case frac == math.Trunc(frac):
+		return fmt.Sprintf("%gπ", frac)
+	default:
+		return fmt.Sprintf("%.4gπ", frac)
+	}
+}
+
+// ParseState parses the paper's notation back into a State: "T" (or "t")
+// for terminated, otherwise a phase written as a multiple of π ("0",
+// "0.5π", "pi", "1.5pi") or as plain radians ("1.5708rad").
+func ParseState(s string) (State, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return State{}, fmt.Errorf("element: empty state")
+	}
+	if strings.EqualFold(t, "T") {
+		return State{Kind: Terminate}, nil
+	}
+	lower := strings.ToLower(t)
+	if rad, okSuffix := strings.CutSuffix(lower, "rad"); okSuffix {
+		var v float64
+		if _, err := fmt.Sscanf(rad, "%g", &v); err != nil {
+			return State{}, fmt.Errorf("element: bad radian state %q", s)
+		}
+		return State{Kind: Reflect, PhaseRad: v}, nil
+	}
+	mult := 1.0
+	body := lower
+	if cut, ok := strings.CutSuffix(lower, "π"); ok {
+		body, mult = cut, math.Pi
+	} else if cut, ok := strings.CutSuffix(lower, "pi"); ok {
+		body, mult = cut, math.Pi
+	}
+	if body == "" {
+		body = "1" // bare "π"
+	}
+	var v float64
+	if _, err := fmt.Sscanf(body, "%g", &v); err != nil {
+		return State{}, fmt.Errorf("element: bad state %q", s)
+	}
+	return State{Kind: Reflect, PhaseRad: v * mult}, nil
+}
+
+// SP4TStates returns the paper's prototype switch bank (Figure 3): three
+// open stubs adding 0, λ/4 and λ/2 of round-trip path — reflection phases
+// 0, π/2 and π — plus the absorptive load. With three elements this spans
+// the 4³ = 64 configurations of §3.2.
+func SP4TStates() []State {
+	return []State{
+		{Kind: Reflect, PhaseRad: 0},
+		{Kind: Reflect, PhaseRad: math.Pi / 2},
+		{Kind: Reflect, PhaseRad: math.Pi},
+		{Kind: Terminate},
+	}
+}
+
+// FourPhaseStates returns the §3.2.2 variant: four reflective stubs
+// (0, π/2, π, 3π/2) and no absorber, used "to decrease the reflected
+// phase granularity" in the network-harmonization experiment.
+func FourPhaseStates() []State {
+	return []State{
+		{Kind: Reflect, PhaseRad: 0},
+		{Kind: Reflect, PhaseRad: math.Pi / 2},
+		{Kind: Reflect, PhaseRad: math.Pi},
+		{Kind: Reflect, PhaseRad: 3 * math.Pi / 2},
+	}
+}
+
+// NPhaseStates returns n evenly spaced reflective phases covering [0, 2π),
+// optionally with the absorptive "off" state appended — the knob behind
+// the paper's §4.1 conjecture that "around eight phase values along with
+// the off state may provide sufficient resolution". It panics for n < 1.
+func NPhaseStates(n int, includeOff bool) []State {
+	if n < 1 {
+		panic("element: NPhaseStates needs n >= 1")
+	}
+	states := make([]State, 0, n+1)
+	for i := 0; i < n; i++ {
+		states = append(states, State{Kind: Reflect, PhaseRad: 2 * math.Pi * float64(i) / float64(n)})
+	}
+	if includeOff {
+		states = append(states, State{Kind: Terminate})
+	}
+	return states
+}

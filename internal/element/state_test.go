@@ -1,0 +1,129 @@
+package element
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStateString(t *testing.T) {
+	cases := []struct {
+		s    State
+		want string
+	}{
+		{State{Kind: Terminate}, "T"},
+		{State{Kind: Reflect, PhaseRad: 0}, "0"},
+		{State{Kind: Reflect, PhaseRad: math.Pi / 2}, "0.5π"},
+		{State{Kind: Reflect, PhaseRad: math.Pi}, "π"},
+		{State{Kind: Reflect, PhaseRad: 1.5 * math.Pi}, "1.5π"},
+		{State{Kind: Reflect, PhaseRad: 2 * math.Pi}, "2π"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestParseState(t *testing.T) {
+	cases := []struct {
+		in    string
+		kind  StateKind
+		phase float64
+	}{
+		{"T", Terminate, 0},
+		{"t", Terminate, 0},
+		{" T ", Terminate, 0},
+		{"0", Reflect, 0},
+		{"0.5π", Reflect, math.Pi / 2},
+		{"π", Reflect, math.Pi},
+		{"pi", Reflect, math.Pi},
+		{"1.5pi", Reflect, 1.5 * math.Pi},
+		{"0.25π", Reflect, math.Pi / 4},
+		{"1.5708rad", Reflect, 1.5708},
+	}
+	for _, c := range cases {
+		got, err := ParseState(c.in)
+		if err != nil {
+			t.Errorf("ParseState(%q): %v", c.in, err)
+			continue
+		}
+		if got.Kind != c.kind || math.Abs(got.PhaseRad-c.phase) > 1e-9 {
+			t.Errorf("ParseState(%q) = %+v, want kind=%v phase=%v", c.in, got, c.kind, c.phase)
+		}
+	}
+	for _, bad := range []string{"", "xyz", "πx", "radrad"} {
+		if _, err := ParseState(bad); err == nil {
+			t.Errorf("ParseState(%q) should fail", bad)
+		}
+	}
+}
+
+func TestStateStringRoundTrip(t *testing.T) {
+	for _, s := range append(SP4TStates(), NPhaseStates(8, true)...) {
+		parsed, err := ParseState(s.String())
+		if err != nil {
+			t.Fatalf("round trip of %q: %v", s.String(), err)
+		}
+		if parsed.Kind != s.Kind || math.Abs(parsed.PhaseRad-s.PhaseRad) > 1e-9 {
+			t.Errorf("round trip of %q gave %+v, want %+v", s.String(), parsed, s)
+		}
+	}
+}
+
+func TestSP4TStates(t *testing.T) {
+	states := SP4TStates()
+	if len(states) != 4 {
+		t.Fatalf("SP4T bank has %d states, want 4", len(states))
+	}
+	// Figure 3: stubs at 0, λ/4, λ/2 of round-trip path → phases
+	// 0, π/2, π — plus the absorptive load.
+	wantPhases := []float64{0, math.Pi / 2, math.Pi}
+	for i, w := range wantPhases {
+		if states[i].Kind != Reflect || math.Abs(states[i].PhaseRad-w) > 1e-12 {
+			t.Errorf("state %d = %+v, want phase %v", i, states[i], w)
+		}
+	}
+	if states[3].Kind != Terminate {
+		t.Error("state 3 should be the absorptive load")
+	}
+}
+
+func TestFourPhaseStates(t *testing.T) {
+	states := FourPhaseStates()
+	if len(states) != 4 {
+		t.Fatalf("four-phase bank has %d states", len(states))
+	}
+	for i, s := range states {
+		if s.Kind != Reflect {
+			t.Fatalf("state %d should reflect (§3.2.2 has no absorber)", i)
+		}
+		if want := float64(i) * math.Pi / 2; math.Abs(s.PhaseRad-want) > 1e-12 {
+			t.Errorf("state %d phase = %v, want %v", i, s.PhaseRad, want)
+		}
+	}
+}
+
+func TestNPhaseStates(t *testing.T) {
+	s8 := NPhaseStates(8, true)
+	if len(s8) != 9 {
+		t.Fatalf("8 phases + off = %d states", len(s8))
+	}
+	for i := 0; i < 8; i++ {
+		want := 2 * math.Pi * float64(i) / 8
+		if math.Abs(s8[i].PhaseRad-want) > 1e-12 {
+			t.Errorf("phase %d = %v, want %v", i, s8[i].PhaseRad, want)
+		}
+	}
+	if s8[8].Kind != Terminate {
+		t.Error("last state should be off")
+	}
+	if len(NPhaseStates(2, false)) != 2 {
+		t.Error("2-phase bank size wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NPhaseStates(0,...) should panic")
+		}
+	}()
+	NPhaseStates(0, false)
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import "testing"
+
+func TestContinuousAblationOrdering(t *testing.T) {
+	res, err := RunContinuousAblation(442, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole point of phase resolution: baseline ≤ SP4T ≤ finer banks,
+	// with slack for measurement noise.
+	if res.Discrete3DB < res.BaselineDB {
+		t.Errorf("SP4T optimum %.2f below baseline %.2f", res.Discrete3DB, res.BaselineDB)
+	}
+	if res.Discrete8DB < res.Discrete3DB-1 {
+		t.Errorf("8-phase (%.2f) materially below SP4T (%.2f)", res.Discrete8DB, res.Discrete3DB)
+	}
+	if res.ContinuousDB < res.Discrete3DB-1 {
+		t.Errorf("continuous (%.2f) materially below SP4T (%.2f)", res.ContinuousDB, res.Discrete3DB)
+	}
+	// Quantizing back to the coarse bank costs performance but stays a
+	// valid configuration (above baseline).
+	if res.QuantizedDB < res.BaselineDB-1 {
+		t.Errorf("quantized config (%.2f) below baseline (%.2f)", res.QuantizedDB, res.BaselineDB)
+	}
+	// The §4.1 conjecture from the continuous side: 8 discrete phases
+	// capture nearly all of the continuous gain.
+	if res.ContinuousDB-res.Discrete8DB > 2 {
+		t.Errorf("continuous beats 8 phases by %.2f dB; conjecture would cap it around ≤2",
+			res.ContinuousDB-res.Discrete8DB)
+	}
+}
+
+func TestStalenessGrowsWithSpeed(t *testing.T) {
+	res, err := RunStaleness(442, []float64{0, 0.5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	static := res.Rows[0]
+	if static.RegretDB > 1 {
+		t.Errorf("static regret %.2f dB; should be ≈0", static.RegretDB)
+	}
+	// Moving clients: the slow sweep's winner must be visibly stale.
+	for _, row := range res.Rows[1:] {
+		if row.RegretDB < 1 {
+			t.Errorf("%.1f mph: regret %.2f dB; expected the stale-winner penalty", row.SpeedMph, row.RegretDB)
+		}
+		// The oracle (instantaneous re-sweep) can never be below the
+		// stale winner's actual performance by more than noise.
+		if row.OracleDB < row.ActualDB-1 {
+			t.Errorf("%.1f mph: oracle %.2f below actual %.2f", row.SpeedMph, row.OracleDB, row.ActualDB)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllPrinters runs each harness at reduced size and checks that its
+// textual rendering and CSV export carry the figure's key content — the
+// rows/series cmd/pressim shows the user.
+func TestAllPrinters(t *testing.T) {
+	var buf bytes.Buffer
+	expect := func(name string, wants ...string) {
+		t.Helper()
+		s := buf.String()
+		for _, w := range wants {
+			if !strings.Contains(s, w) {
+				t.Errorf("%s output missing %q:\n%.400s", name, w, s)
+			}
+		}
+		buf.Reset()
+	}
+
+	f4, err := RunFig4(Fig4Options{Placements: 2, Trials: 2, BaseSeed: 438})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4.Print(&buf)
+	expect("fig4", "Figure 4", "Placement (a)", "paper: 18.6 dB")
+	if err := f4.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	expect("fig4 csv", "placement,config_a", "(a)")
+
+	f5, err := RunFig5(Fig5Options{Seed: 442, Trials: 2, NullDepthDB: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5.Print(&buf)
+	expect("fig5", "CCDF of null movement", "trial0", "paper: ≈9")
+	if err := f5.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	expect("fig5 csv", "trial,movement_subcarriers,ccdf")
+
+	f6, err := RunFig6(Fig6Options{Seed: 442, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6.Print(&buf)
+	expect("fig6", "Figure 6 left", "Figure 6 right", "paper: ≈0.38")
+	if err := f6.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	expect("fig6 csv", "panel,trial,x_db,ccdf", "delta")
+
+	f7, err := RunFig7(Fig7Options{Seed: 715, MaxSeedTries: 1, MinContrastDB: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7.Print(&buf)
+	expect("fig7", "opposite frequency selectivity", "contrast")
+	if err := f7.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	expect("fig7 csv", "subcarrier,snr_lower_cfg_db")
+
+	f8, err := RunFig8(Fig8Options{Seed: 822, Snapshots: 3, Repetitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8.Print(&buf)
+	expect("fig8", "condition number", "Best (lowest) median", "paper: ≈1.5 dB")
+	if err := f8.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	expect("fig8 csv", "series,config,x_cond_db,cdf", "best", "worst")
+
+	los, err := RunLoS(LoSOptions{Seed: 441, Trials: 1, ActiveGainDB: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	los.Print(&buf)
+	expect("los", "Line-of-sight", "paper: < 2 dB", "Active elements")
+
+	RunCoherence().Print(&buf)
+	expect("coherence", "prototype budget", "4.992s")
+
+	st, err := RunStaleness(442, []float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Print(&buf)
+	expect("staleness", "regret dB", "static")
+
+	a1, err := RunPhaseAblation(442, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1.Print(&buf)
+	expect("a1", "Ablation A1", "phases")
+
+	a2, err := RunElementAblation(442, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2.Print(&buf)
+	expect("a2", "Ablation A2", "parabolic", "omni")
+
+	a4, err := RunContinuousAblation(442, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a4.Print(&buf)
+	expect("a4", "Ablation A4", "SPSA", "quantized")
+
+	ms, err := RunMIMOScaling(822, []int{2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.Print(&buf)
+	expect("scaling", "MIMO dimension scaling", "spread dB")
+
+	as, err := RunArrayScaling(442, []int{4}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as.Print(&buf)
+	expect("arrayscale", "Array scaling", "hierarch")
+
+	ft, err := RunFaultTolerance(442)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.Print(&buf)
+	expect("faults", "Fault tolerance", "measured-loop")
+}
+
+// TestDefaultOptionConstructors pins the calibrated defaults so an
+// accidental edit cannot silently change every reproduced figure.
+func TestDefaultOptionConstructors(t *testing.T) {
+	if o := DefaultFig4(); o.Placements != 8 || o.Trials != 10 || o.BaseSeed != 438 {
+		t.Errorf("DefaultFig4 = %+v", o)
+	}
+	if o := DefaultFig5(); o.Seed != 442 || o.Trials != 10 {
+		t.Errorf("DefaultFig5 = %+v", o)
+	}
+	if o := DefaultFig6(); o.Seed != 442 || o.Trials != 10 {
+		t.Errorf("DefaultFig6 = %+v", o)
+	}
+	if o := DefaultFig7(); o.Seed != 700 || o.MinContrastDB != 3 {
+		t.Errorf("DefaultFig7 = %+v", o)
+	}
+	if o := DefaultFig8(); o.Seed != 822 || o.Snapshots != 50 || o.Repetitions != 5 {
+		t.Errorf("DefaultFig8 = %+v", o)
+	}
+	if o := DefaultLoS(); o.Seed != 441 {
+		t.Errorf("DefaultLoS = %+v", o)
+	}
+	if o := DefaultMIMO(7); o.NumElements != 3 || o.Snapshots != 50 {
+		t.Errorf("DefaultMIMO = %+v", o)
+	}
+	if s := DefaultSISO(7); s.NumElements != 3 || s.ScattererAmp != 35 || s.NumScatterers != 10 {
+		t.Errorf("DefaultSISO = %+v", s)
+	}
+}

@@ -1,0 +1,74 @@
+package geom
+
+// Blocker is an axis-aligned box obstacle (a metal cabinet, a wall
+// partition) that attenuates paths crossing it. The paper's NLoS
+// experiments "block the direct path between the transmitter and
+// receiver"; a Blocker is how the simulation reproduces that setup.
+type Blocker struct {
+	// Min and Max are opposite corners, Min component-wise ≤ Max.
+	Min, Max Vec
+	// AttenuationDB is the one-way power loss, in dB, applied to any
+	// path segment that passes through the box.
+	AttenuationDB float64
+}
+
+// NewBlocker builds a blocker from two opposite corners (in any order)
+// and a penetration loss in dB.
+func NewBlocker(a, b Vec, attenuationDB float64) Blocker {
+	lo := Vec{min(a.X, b.X), min(a.Y, b.Y), min(a.Z, b.Z)}
+	hi := Vec{max(a.X, b.X), max(a.Y, b.Y), max(a.Z, b.Z)}
+	return Blocker{Min: lo, Max: hi, AttenuationDB: attenuationDB}
+}
+
+// Intersects reports whether the segment from a to b passes through the
+// blocker box, using the slab method. Touching a face counts as an
+// intersection: grazing a metal cabinet still perturbs a radio path.
+func (bl Blocker) Intersects(a, b Vec) bool {
+	d := b.Sub(a)
+	tmin, tmax := 0.0, 1.0
+
+	for axis := 0; axis < 3; axis++ {
+		var origin, dir, lo, hi float64
+		switch axis {
+		case 0:
+			origin, dir, lo, hi = a.X, d.X, bl.Min.X, bl.Max.X
+		case 1:
+			origin, dir, lo, hi = a.Y, d.Y, bl.Min.Y, bl.Max.Y
+		default:
+			origin, dir, lo, hi = a.Z, d.Z, bl.Min.Z, bl.Max.Z
+		}
+		if dir == 0 {
+			if origin < lo || origin > hi {
+				return false
+			}
+			continue
+		}
+		t1 := (lo - origin) / dir
+		t2 := (hi - origin) / dir
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		if t1 > tmin {
+			tmin = t1
+		}
+		if t2 < tmax {
+			tmax = t2
+		}
+		if tmin > tmax {
+			return false
+		}
+	}
+	return true
+}
+
+// SegmentLossDB returns the total blocker penetration loss, in dB, of the
+// segment from a to b across all blockers in the slice.
+func SegmentLossDB(blockers []Blocker, a, b Vec) float64 {
+	var loss float64
+	for _, bl := range blockers {
+		if bl.Intersects(a, b) {
+			loss += bl.AttenuationDB
+		}
+	}
+	return loss
+}

@@ -1,0 +1,69 @@
+package geom
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBlockerCornersNormalized(t *testing.T) {
+	b := NewBlocker(V(2, 3, 1), V(1, 0, 2), 30)
+	if b.Min != V(1, 0, 1) || b.Max != V(2, 3, 2) {
+		t.Errorf("corners = %v %v", b.Min, b.Max)
+	}
+}
+
+func TestBlockerIntersects(t *testing.T) {
+	b := NewBlocker(V(2, 2, 0), V(3, 3, 3), 30)
+	cases := []struct {
+		name string
+		a, c Vec
+		want bool
+	}{
+		{"through", V(0, 2.5, 1.5), V(6, 2.5, 1.5), true},
+		{"misses", V(0, 0.5, 1.5), V(6, 0.5, 1.5), false},
+		{"endpoint inside", V(2.5, 2.5, 1), V(6, 5, 2), true},
+		{"both inside", V(2.2, 2.2, 1), V(2.8, 2.8, 2), true},
+		{"parallel outside", V(0, 4, 1), V(6, 4, 1), false},
+		{"diagonal through", V(1, 1, 0.5), V(4, 4, 2.5), true},
+		{"stops short", V(0, 2.5, 1.5), V(1.5, 2.5, 1.5), false},
+		{"grazes face", V(0, 2, 1.5), V(6, 2, 1.5), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := b.Intersects(c.a, c.c); got != c.want {
+				t.Errorf("Intersects(%v,%v) = %v, want %v", c.a, c.c, got, c.want)
+			}
+		})
+	}
+}
+
+func TestBlockerIntersectsSymmetric(t *testing.T) {
+	b := NewBlocker(V(2, 2, 0), V(3, 3, 3), 30)
+	rng := rand.New(rand.NewPCG(9, 9))
+	for trial := 0; trial < 300; trial++ {
+		p := V(rng.Float64()*6, rng.Float64()*5, rng.Float64()*3)
+		q := V(rng.Float64()*6, rng.Float64()*5, rng.Float64()*3)
+		if b.Intersects(p, q) != b.Intersects(q, p) {
+			t.Fatalf("asymmetric intersection for %v-%v", p, q)
+		}
+	}
+}
+
+func TestSegmentLossDB(t *testing.T) {
+	blockers := []Blocker{
+		NewBlocker(V(2, 2, 0), V(3, 3, 3), 30),
+		NewBlocker(V(4, 2, 0), V(5, 3, 3), 12),
+	}
+	// Passes through both.
+	if got := SegmentLossDB(blockers, V(0, 2.5, 1.5), V(6, 2.5, 1.5)); got != 42 {
+		t.Errorf("loss = %v, want 42", got)
+	}
+	// Passes through neither.
+	if got := SegmentLossDB(blockers, V(0, 0.5, 1.5), V(6, 0.5, 1.5)); got != 0 {
+		t.Errorf("loss = %v, want 0", got)
+	}
+	// Empty blocker list.
+	if got := SegmentLossDB(nil, V(0, 0, 0), V(1, 1, 1)); got != 0 {
+		t.Errorf("loss = %v, want 0", got)
+	}
+}

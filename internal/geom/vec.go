@@ -1,0 +1,95 @@
+// Package geom provides the 3-D geometry used by the propagation engine:
+// vectors, rays and segments, axis-aligned rooms with mirror images for
+// the image method, blockers, and angle-of-arrival/departure extraction.
+//
+// Coordinates are metres in a right-handed frame: x and y span the floor,
+// z is height. Azimuth is measured in the x–y plane from +x toward +y;
+// elevation is measured from the horizontal plane toward +z.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a 3-D point or direction.
+type Vec struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for Vec{x, y, z}.
+func V(x, y, z float64) Vec { return Vec{X: x, Y: y, Z: z} }
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v − w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s·v.
+func (v Vec) Scale(s float64) Vec { return Vec{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the scalar product v·w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the vector product v×w.
+func (v Vec) Cross(w Vec) Vec {
+	return Vec{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Dist returns the distance between points v and w.
+func (v Vec) Dist(w Vec) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v scaled to unit length. The zero vector is returned
+// unchanged (there is no meaningful direction to normalize to, and the
+// propagation code treats a zero direction as "no path").
+func (v Vec) Unit() Vec {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// String formats v with centimetre precision for logs and errors.
+func (v Vec) String() string {
+	return fmt.Sprintf("(%.2f, %.2f, %.2f)", v.X, v.Y, v.Z)
+}
+
+// Azimuth returns the angle of v's projection onto the floor plane,
+// in radians from +x toward +y, in (−π, π].
+func (v Vec) Azimuth() float64 { return math.Atan2(v.Y, v.X) }
+
+// Elevation returns the angle between v and the floor plane, in radians,
+// positive toward +z. The zero vector has elevation 0.
+func (v Vec) Elevation() float64 {
+	h := math.Hypot(v.X, v.Y)
+	if h == 0 && v.Z == 0 {
+		return 0
+	}
+	return math.Atan2(v.Z, h)
+}
+
+// AngleBetween returns the angle in radians between directions v and w,
+// in [0, π]. Either vector being zero yields 0.
+func AngleBetween(v, w Vec) float64 {
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		return 0
+	}
+	c := v.Dot(w) / (nv * nw)
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}

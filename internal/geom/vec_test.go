@@ -1,0 +1,133 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-12
+
+func near(a, b float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecArithmetic(t *testing.T) {
+	a, b := V(1, 2, 3), V(4, 5, 6)
+	if got := a.Add(b); got != V(5, 7, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != V(3, 3, 3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestCross(t *testing.T) {
+	x, y, z := V(1, 0, 0), V(0, 1, 0), V(0, 0, 1)
+	if got := x.Cross(y); got != z {
+		t.Errorf("x×y = %v, want z", got)
+	}
+	if got := y.Cross(x); got != z.Scale(-1) {
+		t.Errorf("y×x = %v, want -z", got)
+	}
+	// Cross product is orthogonal to both operands.
+	a, b := V(1, 2, 3), V(-2, 0.5, 4)
+	c := a.Cross(b)
+	if !near(c.Dot(a), 0) || !near(c.Dot(b), 0) {
+		t.Errorf("cross product not orthogonal: %v", c)
+	}
+}
+
+func TestNormDistUnit(t *testing.T) {
+	v := V(3, 4, 0)
+	if !near(v.Norm(), 5) {
+		t.Errorf("Norm = %v", v.Norm())
+	}
+	if !near(V(1, 1, 1).Dist(V(1, 1, 2)), 1) {
+		t.Error("Dist wrong")
+	}
+	u := v.Unit()
+	if !near(u.Norm(), 1) || !near(u.X, 0.6) || !near(u.Y, 0.8) {
+		t.Errorf("Unit = %v", u)
+	}
+	if z := V(0, 0, 0).Unit(); z != V(0, 0, 0) {
+		t.Errorf("Unit of zero = %v", z)
+	}
+}
+
+func TestAzimuthElevation(t *testing.T) {
+	cases := []struct {
+		v      Vec
+		az, el float64
+	}{
+		{V(1, 0, 0), 0, 0},
+		{V(0, 1, 0), math.Pi / 2, 0},
+		{V(-1, 0, 0), math.Pi, 0},
+		{V(0, 0, 1), 0, math.Pi / 2},
+		{V(1, 0, 1), 0, math.Pi / 4},
+		{V(1, 1, 0), math.Pi / 4, 0},
+	}
+	for _, c := range cases {
+		if got := c.v.Azimuth(); !near(got, c.az) {
+			t.Errorf("Azimuth(%v) = %v, want %v", c.v, got, c.az)
+		}
+		if got := c.v.Elevation(); !near(got, c.el) {
+			t.Errorf("Elevation(%v) = %v, want %v", c.v, got, c.el)
+		}
+	}
+}
+
+func TestAngleBetween(t *testing.T) {
+	if got := AngleBetween(V(1, 0, 0), V(0, 1, 0)); !near(got, math.Pi/2) {
+		t.Errorf("right angle = %v", got)
+	}
+	if got := AngleBetween(V(1, 2, 3), V(2, 4, 6)); !near(got, 0) {
+		t.Errorf("parallel = %v", got)
+	}
+	if got := AngleBetween(V(1, 0, 0), V(-1, 0, 0)); !near(got, math.Pi) {
+		t.Errorf("antiparallel = %v", got)
+	}
+	if got := AngleBetween(V(0, 0, 0), V(1, 0, 0)); got != 0 {
+		t.Errorf("zero vector = %v", got)
+	}
+}
+
+// Property: triangle inequality for Dist.
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz float64) bool {
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Mod(x, 1e6)
+		}
+		a := V(clamp(ax), clamp(ay), clamp(az))
+		b := V(clamp(bx), clamp(by), clamp(bz))
+		c := V(clamp(cx), clamp(cy), clamp(cz))
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rotating a vector to unit length preserves azimuth/elevation.
+func TestUnitPreservesDirectionProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		v := V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		if v.Norm() < 1e-9 {
+			continue
+		}
+		u := v.Unit()
+		if math.Abs(u.Azimuth()-v.Azimuth()) > 1e-9 ||
+			math.Abs(u.Elevation()-v.Elevation()) > 1e-9 {
+			t.Fatalf("Unit changed direction of %v", v)
+		}
+	}
+}

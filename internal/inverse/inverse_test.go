@@ -1,0 +1,184 @@
+package inverse
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+
+	"press/internal/cmat"
+	"press/internal/element"
+	"press/internal/geom"
+	"press/internal/ofdm"
+	"press/internal/propagation"
+	"press/internal/rfphys"
+)
+
+func testProblem(seed uint64) *Problem {
+	env := propagation.NewEnvironment(6, 5, 3)
+	env.AddScatterers(rand.New(rand.NewPCG(seed, 99)), 6, 30)
+	env.Blockers = append(env.Blockers,
+		geom.NewBlocker(geom.V(2.6, 2.2, 0), geom.V(2.9, 3.0, 2.2), 35))
+	tx := propagation.Node{Pos: geom.V(1.5, 2.5, 1.5), Pattern: rfphys.Omni{PeakGainDBi: 2}}
+	rx := propagation.Node{Pos: geom.V(4, 2.7, 1.3), Pattern: rfphys.Omni{PeakGainDBi: 2}}
+	arr := element.NewArray(
+		element.NewParabolicElement(geom.V(2.5, 1.5, 1.5), rx.Pos),
+		element.NewParabolicElement(geom.V(3.0, 1.25, 1.5), rx.Pos),
+		element.NewParabolicElement(geom.V(3.5, 1.5, 1.5), rx.Pos),
+	)
+	return &Problem{Env: env, TX: tx, RX: rx, Array: arr, Grid: ofdm.WiFi20()}
+}
+
+func TestBasisShape(t *testing.T) {
+	p := testProblem(1)
+	b := p.Basis()
+	if b.Rows != 52 || b.Cols != 3 {
+		t.Fatalf("basis shape %dx%d", b.Rows, b.Cols)
+	}
+	// Every element contributes a nonzero column here.
+	for j := 0; j < 3; j++ {
+		if b.Col(j).Norm() == 0 {
+			t.Errorf("element %d contributes nothing", j)
+		}
+	}
+}
+
+func TestForwardModelLinearity(t *testing.T) {
+	// Apply(cfg) must equal baseline + basis·x(cfg) to within the tiny
+	// dispersion of the stub delay across the band.
+	p := testProblem(2)
+	lambda := rfphys.Wavelength(p.Grid.CenterHz)
+	baseline := p.Baseline()
+	basis := p.Basis()
+
+	cfg := element.Config{0, 2, 3} // phases 0, π, terminated
+	x := make(cmat.Vector, 3)
+	for i, e := range p.Array.Elements {
+		refl, extra := e.Reflection(cfg[i], lambda)
+		x[i] = refl * cmplx.Exp(complex(0, -2*math.Pi*rfphys.SpeedOfLight/lambda*extra))
+	}
+	predicted := basis.MulVec(x)
+	actual := p.Apply(cfg)
+	for k := range actual {
+		want := baseline[k] + predicted[k]
+		if cmplx.Abs(actual[k]-want) > 2e-2*cmplx.Abs(actual[k])+1e-12 {
+			t.Fatalf("subcarrier %d: forward model mismatch %v vs %v", k, actual[k], want)
+		}
+	}
+}
+
+func TestSolveSelfConsistency(t *testing.T) {
+	// Target = the channel some known configuration produces. The solver
+	// must find a configuration at least as close to it as the baseline —
+	// and since the target is exactly realizable, it should essentially
+	// recover it.
+	p := testProblem(3)
+	want := element.Config{1, 2, 0}
+	target := p.Apply(want)
+
+	sol, err := Solve(p, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Improved() {
+		t.Errorf("solver did not improve on baseline: %v vs %v", sol.AchievedResidual, sol.BaselineResidual)
+	}
+	if sol.AchievedResidual > 1e-2*sol.BaselineResidual {
+		t.Errorf("realizable target not recovered: achieved %v, baseline %v",
+			sol.AchievedResidual, sol.BaselineResidual)
+	}
+}
+
+func TestSolveFlatTarget(t *testing.T) {
+	// Ask for a flattened channel at the baseline's median magnitude. The
+	// discrete projection cannot reach it exactly, but must not do worse
+	// than leaving the array terminated.
+	p := testProblem(4)
+	baseline := p.Baseline()
+	mags := make([]float64, len(baseline))
+	for k, h := range baseline {
+		mags[k] = cmplx.Abs(h)
+	}
+	// Median magnitude.
+	med := append([]float64(nil), mags...)
+	for i := 1; i < len(med); i++ {
+		for j := i; j > 0 && med[j] < med[j-1]; j-- {
+			med[j], med[j-1] = med[j-1], med[j]
+		}
+	}
+	target := TargetFlat(baseline, med[len(med)/2])
+
+	sol, err := Solve(p, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.AchievedResidual > sol.BaselineResidual*1.0001 {
+		t.Errorf("solution worse than baseline: %v > %v", sol.AchievedResidual, sol.BaselineResidual)
+	}
+}
+
+func TestProjectToConfig(t *testing.T) {
+	arr := element.NewArray(
+		&element.Element{Pos: geom.V(1, 1, 1), States: element.SP4TStates()},
+	)
+	lambda := 0.1218
+	amp := rfphys.DBToAmplitude(0) // LossDB 0 in this bare element
+
+	// Coefficient near amplitude·e^{-jπ/2} should pick state 1 (π/2 stub).
+	x := cmat.Vector{complex(amp, 0) * cmplx.Exp(complex(0, -math.Pi/2))}
+	cfg := ProjectToConfig(arr, x, lambda)
+	if cfg[0] != 1 {
+		t.Errorf("projected to state %d, want 1 (π/2)", cfg[0])
+	}
+	// Near-zero coefficient should pick the terminated state.
+	cfg = ProjectToConfig(arr, cmat.Vector{0.01}, lambda)
+	if arr.Elements[0].States[cfg[0]].Kind != element.Terminate {
+		t.Errorf("near-zero coefficient projected to state %d, want terminate", cfg[0])
+	}
+	// Phase 0 coefficient keeps state 0.
+	cfg = ProjectToConfig(arr, cmat.Vector{complex(amp, 0)}, lambda)
+	if cfg[0] != 0 {
+		t.Errorf("unit coefficient projected to state %d, want 0", cfg[0])
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	p := testProblem(5)
+	if _, err := Solve(p, make([]complex128, 7)); err == nil {
+		t.Error("wrong-length target accepted")
+	}
+	empty := &Problem{Env: p.Env, TX: p.TX, RX: p.RX, Array: element.NewArray(), Grid: p.Grid}
+	if _, err := Solve(empty, make([]complex128, 52)); err == nil {
+		t.Error("empty array accepted")
+	}
+}
+
+func TestTargetNotch(t *testing.T) {
+	base := []complex128{1, 1, 1, 1}
+	got := TargetNotch(base, 1, 3, 20)
+	if got[0] != 1 || got[3] != 1 {
+		t.Error("notch touched out-of-range subcarriers")
+	}
+	want := rfphys.DBToAmplitude(-20)
+	if math.Abs(cmplx.Abs(got[1])-want) > 1e-12 || math.Abs(cmplx.Abs(got[2])-want) > 1e-12 {
+		t.Errorf("notch depth wrong: %v", got)
+	}
+	// Out-of-range bounds are clamped safely.
+	if out := TargetNotch(base, -5, 99, 10); len(out) != 4 {
+		t.Error("bounds not clamped")
+	}
+}
+
+func TestTargetFlat(t *testing.T) {
+	base := []complex128{2i, -3, 0}
+	got := TargetFlat(base, 5)
+	for k, h := range got {
+		if math.Abs(cmplx.Abs(h)-5) > 1e-12 {
+			t.Errorf("entry %d magnitude %v, want 5", k, cmplx.Abs(h))
+		}
+	}
+	// Phase preserved where defined.
+	if cmplx.Abs(got[0]-5i) > 1e-12 {
+		t.Errorf("phase not preserved: %v", got[0])
+	}
+}

@@ -1,0 +1,137 @@
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+
+	"press/internal/propagation"
+)
+
+// TestFrequencyDomainModelMatchesTimeDomainDSP cross-validates the
+// simulator's central shortcut. Everywhere else the channel is applied
+// per subcarrier as Y_k = H(f_k)·X_k, with H from propagation.ResponseAt.
+// Here we instead run the actual DSP a radio performs: synthesize the
+// time-domain OFDM symbol, convolve it with the channel's baseband
+// impulse response, strip the cyclic prefix, FFT, and compare the
+// recovered per-subcarrier ratios against H(f_k).
+//
+// With path delays on exact sample ticks the impulse response is a set
+// of delta taps and the equivalence must hold to near machine precision.
+func TestFrequencyDomainModelMatchesTimeDomainDSP(t *testing.T) {
+	g := WiFi20()
+	w := WiFiWaveform
+	fs := 20e6 // 64 × 312.5 kHz
+	fc := g.CenterHz
+	rng := rand.New(rand.NewPCG(42, 43))
+
+	// Multipath with delays at integer sample ticks, all inside the CP.
+	type tap struct {
+		gain  complex128
+		delay float64
+	}
+	taps := []tap{
+		{complex(1e-3, 2e-4), 2 / fs},
+		{complex(-4e-4, 3e-4), 7 / fs},
+		{complex(2e-4, -5e-4), 13 / fs},
+	}
+	var paths []propagation.Path
+	for _, tp := range taps {
+		paths = append(paths, propagation.Path{Gain: tp.gain, Delay: tp.delay})
+	}
+
+	// Baseband impulse response: h[n] = Σ g_l·e^{-j2πfcτ_l}·δ[n − τ_l·fs].
+	h := make([]complex128, w.CP)
+	for _, tp := range taps {
+		n := int(math.Round(tp.delay * fs))
+		h[n] += tp.gain * cmplx.Exp(complex(0, -2*math.Pi*fc*tp.delay))
+	}
+
+	// Random QPSK-ish payload on the used subcarriers.
+	x := make([]complex128, g.NumUsed())
+	for i := range x {
+		x[i] = complex(float64(1-2*rng.IntN(2)), float64(1-2*rng.IntN(2)))
+	}
+	td, err := w.Synthesize(g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Linear convolution. Because every tap delay is below the CP length,
+	// the FFT window sees the circular convolution of the symbol body.
+	rxTD := make([]complex128, len(td))
+	for n := range td {
+		var acc complex128
+		for m, hm := range h {
+			if hm == 0 || n-m < 0 {
+				continue
+			}
+			acc += hm * td[n-m]
+		}
+		rxTD[n] = acc
+	}
+
+	got, err := w.Analyze(g, rxTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range g.Used {
+		want := propagation.ResponseAt(paths, fc+float64(k)*g.SpacingHz, 0)
+		ratio := got[i] / x[i]
+		// The frequency-domain model evaluates e^{-j2πfτ} at the absolute
+		// subcarrier frequency; the DSP realizes exactly that through the
+		// baseband mixing term. Tolerances cover accumulated FFT roundoff.
+		if cmplx.Abs(ratio-want) > 1e-9*(1+cmplx.Abs(want)) {
+			t.Fatalf("subcarrier offset %d: DSP H=%v, model H=%v", k, ratio, want)
+		}
+	}
+}
+
+// TestTimeDomainDelayBeyondCPBreaksOrthogonality documents the limit of
+// the frequency-domain model: a path longer than the cyclic prefix
+// spills inter-symbol interference into the FFT window, and the per-
+// subcarrier model stops matching — the reason Waveform.CP exists.
+func TestTimeDomainDelayBeyondCPBreaksOrthogonality(t *testing.T) {
+	g := WiFi20()
+	w := WiFiWaveform
+	rng := rand.New(rand.NewPCG(44, 45))
+
+	x := make([]complex128, g.NumUsed())
+	for i := range x {
+		x[i] = complex(float64(1-2*rng.IntN(2)), 0)
+	}
+	td, err := w.Synthesize(g, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two taps: one at zero and one 24 samples out — beyond the 16-sample
+	// CP. Zero-pad the head (no previous symbol): the long tap's energy
+	// enters the window misaligned.
+	delay := 24
+	rxTD := make([]complex128, len(td))
+	for n := range td {
+		acc := td[n] // tap at 0, unit gain
+		if n-delay >= 0 {
+			acc += 0.9 * td[n-delay]
+		}
+		rxTD[n] = acc
+	}
+	got, err := w.Analyze(g, rxTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The circular model would predict H_k = 1 + 0.9·e^{-j2πk·24/64};
+	// with the CP violated the recovered ratios must deviate noticeably
+	// on at least some subcarriers.
+	var worst float64
+	for i, k := range g.Used {
+		pred := 1 + 0.9*cmplx.Exp(complex(0, -2*math.Pi*float64(k*delay)/float64(w.NFFT)))
+		if d := cmplx.Abs(got[i]/x[i] - pred); d > worst {
+			worst = d
+		}
+	}
+	if worst < 0.05 {
+		t.Errorf("CP violation went unnoticed (worst deviation %v); the guard has no teeth", worst)
+	}
+}

@@ -1,0 +1,226 @@
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+
+	"press/internal/rfphys"
+)
+
+// simulateRx synthesizes received training symbols Y = √P·H·X + noise.
+func simulateRx(g Grid, h []complex128, tx []complex128, txPowerW, noiseW float64,
+	nSym int, rng *rand.Rand) [][]complex128 {
+
+	amp := complex(math.Sqrt(txPowerW), 0)
+	sigma := math.Sqrt(noiseW / 2)
+	rx := make([][]complex128, nSym)
+	for s := range rx {
+		rx[s] = make([]complex128, len(h))
+		for k := range h {
+			n := complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+			rx[s][k] = amp*h[k]*tx[k] + n
+		}
+	}
+	return rx
+}
+
+func flatChannel(n int, gain complex128) []complex128 {
+	h := make([]complex128, n)
+	for i := range h {
+		h[i] = gain
+	}
+	return h
+}
+
+func TestEstimateNoiseless(t *testing.T) {
+	g := WiFi20()
+	tx := TrainingSequence(g)
+	h := flatChannel(g.NumUsed(), complex(1e-3, 2e-3))
+	rx := simulateRx(g, h, tx, 0.1, 0, 1, rand.New(rand.NewPCG(1, 1)))
+
+	csi, err := Estimate(g, rx, tx, 0.1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range h {
+		if cmplx.Abs(csi.H[k]-h[k]) > 1e-12 {
+			t.Fatalf("H[%d] = %v, want %v", k, csi.H[k], h[k])
+		}
+	}
+}
+
+func TestEstimateSNRMatchesTruth(t *testing.T) {
+	g := WiFi20()
+	tx := TrainingSequence(g)
+	gain := 1e-4 // -80 dB channel
+	txPower := 0.01
+	noise := 1e-13
+	trueSNR := rfphys.LinearToDB(gain * gain * txPower / noise) // ≈ 30 dB
+
+	h := flatChannel(g.NumUsed(), complex(gain, 0))
+	rng := rand.New(rand.NewPCG(2, 3))
+	rx := simulateRx(g, h, tx, txPower, noise, 10, rng)
+	csi, err := Estimate(g, rx, tx, txPower, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, s := range csi.SNRdB {
+		if math.Abs(s-trueSNR) > 3 {
+			t.Fatalf("SNR[%d] = %v dB, want ≈%v", k, s, trueSNR)
+		}
+	}
+}
+
+func TestEstimateMeasuresNoiseEmpirically(t *testing.T) {
+	// Feed the estimator an optimistic nominal noise 20 dB below the
+	// real one: with multiple training symbols it should notice.
+	g := WiFi20()
+	tx := TrainingSequence(g)
+	h := flatChannel(g.NumUsed(), 1e-4)
+	realNoise := 1e-12
+	rng := rand.New(rand.NewPCG(4, 5))
+	rx := simulateRx(g, h, tx, 0.01, realNoise, 20, rng)
+
+	csi, err := Estimate(g, rx, tx, 0.01, realNoise/100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csi.NoisePowerW < realNoise/3 || csi.NoisePowerW > realNoise*3 {
+		t.Errorf("estimated noise %v, want within 5 dB of %v", csi.NoisePowerW, realNoise)
+	}
+}
+
+func TestEstimateAveragingReducesError(t *testing.T) {
+	g := WiFi20()
+	tx := TrainingSequence(g)
+	h := flatChannel(g.NumUsed(), 1e-4)
+	txPower, noise := 0.01, 1e-11
+
+	errFor := func(nSym int, seed uint64) float64 {
+		rng := rand.New(rand.NewPCG(seed, seed))
+		rx := simulateRx(g, h, tx, txPower, noise, nSym, rng)
+		csi, err := Estimate(g, rx, tx, txPower, noise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for k := range h {
+			sum += cmplx.Abs(csi.H[k] - h[k])
+		}
+		return sum / float64(len(h))
+	}
+	// Average over several seeds to avoid a flaky comparison.
+	var e1, e16 float64
+	for seed := uint64(1); seed <= 8; seed++ {
+		e1 += errFor(1, seed)
+		e16 += errFor(16, seed)
+	}
+	if e16 >= e1 {
+		t.Errorf("averaging 16 training symbols did not reduce error: %v vs %v", e16, e1)
+	}
+}
+
+func TestEstimateInputValidation(t *testing.T) {
+	g := WiFi20()
+	tx := TrainingSequence(g)
+	good := simulateRx(g, flatChannel(52, 1), tx, 1, 0, 1, rand.New(rand.NewPCG(1, 1)))
+
+	if _, err := Estimate(g, nil, tx, 1, 1e-12); err == nil {
+		t.Error("empty rx accepted")
+	}
+	if _, err := Estimate(g, good, tx[:10], 1, 1e-12); err == nil {
+		t.Error("short training sequence accepted")
+	}
+	if _, err := Estimate(g, [][]complex128{good[0][:5]}, tx, 1, 1e-12); err == nil {
+		t.Error("short rx symbol accepted")
+	}
+	if _, err := Estimate(g, good, tx, 0, 1e-12); err == nil {
+		t.Error("zero tx power accepted")
+	}
+	if _, err := Estimate(g, good, tx, 1, 0); err == nil {
+		t.Error("zero noise with single symbol accepted")
+	}
+}
+
+func TestCSIGainAndMin(t *testing.T) {
+	g := WiFi20()
+	csi := &CSI{Grid: g, H: []complex128{0.1, 0.01}, SNRdB: []float64{40, 20}}
+	gains := csi.GainDB()
+	if math.Abs(gains[0]+20) > 1e-9 || math.Abs(gains[1]+40) > 1e-9 {
+		t.Errorf("gains = %v", gains)
+	}
+	if csi.MinSNRdB() != 20 {
+		t.Errorf("MinSNRdB = %v", csi.MinSNRdB())
+	}
+	empty := &CSI{}
+	if !math.IsInf(empty.MinSNRdB(), -1) {
+		t.Error("empty CSI MinSNRdB should be -Inf")
+	}
+}
+
+func TestMCSSelection(t *testing.T) {
+	if m, ok := SelectMCS(30); !ok || m.Name != "64-QAM 3/4" {
+		t.Errorf("30 dB → %v", m.Name)
+	}
+	if m, ok := SelectMCS(11); !ok || m.Name != "QPSK 1/2" {
+		t.Errorf("11 dB → %v", m.Name)
+	}
+	if _, ok := SelectMCS(2); ok {
+		t.Error("2 dB should sustain no rate")
+	}
+}
+
+func TestEffectiveSNRPunishesNulls(t *testing.T) {
+	flat := make([]float64, 52)
+	nulled := make([]float64, 52)
+	for i := range flat {
+		flat[i], nulled[i] = 30, 30
+	}
+	for i := 0; i < 6; i++ {
+		nulled[10+i] = 5 // a 25 dB null across 6 subcarriers
+	}
+	if e := EffectiveSNRdB(flat); math.Abs(e-30) > 1e-9 {
+		t.Errorf("flat effective SNR = %v", e)
+	}
+	if e := EffectiveSNRdB(nulled); e > 20 {
+		t.Errorf("nulled effective SNR = %v, should drop well below 30", e)
+	}
+	if !math.IsInf(EffectiveSNRdB(nil), -1) {
+		t.Error("empty SNR should be -Inf")
+	}
+}
+
+func TestThroughputImprovesWhenNullRemoved(t *testing.T) {
+	// The paper's §1 argument: flattening the channel lets OFDM "offer a
+	// greater bit rate, and hence throughput, to higher layers".
+	g := WiFi20()
+	flat := make([]float64, 52)
+	nulled := make([]float64, 52)
+	for i := range flat {
+		flat[i], nulled[i] = 28, 28
+	}
+	for i := 0; i < 8; i++ {
+		nulled[20+i] = 4
+	}
+	tFlat := ThroughputMbps(g, flat)
+	tNull := ThroughputMbps(g, nulled)
+	if tFlat <= tNull {
+		t.Errorf("flat channel throughput %v ≤ nulled %v", tFlat, tNull)
+	}
+	if tFlat == 0 {
+		t.Error("flat 28 dB channel should sustain a rate")
+	}
+}
+
+func TestShannonExceedsMCS(t *testing.T) {
+	g := WiFi20()
+	snr := make([]float64, 52)
+	for i := range snr {
+		snr[i] = 25
+	}
+	if ShannonMbps(g, snr) <= ThroughputMbps(g, snr) {
+		t.Error("Shannon bound should exceed the MCS ladder")
+	}
+}

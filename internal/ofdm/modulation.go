@@ -1,0 +1,202 @@
+package ofdm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Modulation identifies a constellation of the 802.11a/g ladder.
+type Modulation int
+
+// Supported constellations.
+const (
+	BPSK Modulation = iota
+	QPSK
+	QAM16
+	QAM64
+)
+
+// String names the modulation.
+func (m Modulation) String() string {
+	switch m {
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16-QAM"
+	case QAM64:
+		return "64-QAM"
+	default:
+		return fmt.Sprintf("modulation(%d)", int(m))
+	}
+}
+
+// BitsPerSymbol returns the bits carried per constellation point.
+func (m Modulation) BitsPerSymbol() int {
+	switch m {
+	case BPSK:
+		return 1
+	case QPSK:
+		return 2
+	case QAM16:
+		return 4
+	case QAM64:
+		return 6
+	default:
+		return 0
+	}
+}
+
+// axisBits returns the bits per I/Q axis (0 for BPSK's single axis).
+func (m Modulation) axisBits() int {
+	switch m {
+	case QPSK:
+		return 1
+	case QAM16:
+		return 2
+	case QAM64:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// pamLevels builds the Gray-mapped PAM amplitudes for k bits per axis:
+// levels[g] is the amplitude transmitted for Gray-coded value g, with
+// levels spaced 2 apart around zero (unnormalized).
+func pamLevels(k int) []float64 {
+	l := 1 << k
+	levels := make([]float64, l)
+	for j := 0; j < l; j++ {
+		g := j ^ (j >> 1) // Gray code of position j
+		levels[g] = float64(2*j - (l - 1))
+	}
+	return levels
+}
+
+// norm returns the scale factor giving unit average symbol energy.
+func (m Modulation) norm() float64 {
+	switch m {
+	case BPSK:
+		return 1
+	case QPSK:
+		return math.Sqrt2
+	case QAM16:
+		return math.Sqrt(10)
+	case QAM64:
+		return math.Sqrt(42)
+	default:
+		return 1
+	}
+}
+
+// Modulate maps bits (one 0/1 per entry) onto constellation points with
+// unit average energy. The bit count must be a multiple of
+// BitsPerSymbol.
+func Modulate(m Modulation, bits []uint8) ([]complex128, error) {
+	bps := m.BitsPerSymbol()
+	if bps == 0 {
+		return nil, fmt.Errorf("ofdm: unsupported modulation %v", m)
+	}
+	if len(bits)%bps != 0 {
+		return nil, fmt.Errorf("ofdm: %d bits not a multiple of %d", len(bits), bps)
+	}
+	for i, b := range bits {
+		if b > 1 {
+			return nil, fmt.Errorf("ofdm: bit %d is %d, want 0/1", i, b)
+		}
+	}
+	out := make([]complex128, len(bits)/bps)
+	if m == BPSK {
+		for i := range out {
+			if bits[i] == 1 {
+				out[i] = 1
+			} else {
+				out[i] = -1
+			}
+		}
+		return out, nil
+	}
+	k := m.axisBits()
+	levels := pamLevels(k)
+	scale := 1 / m.norm()
+	for s := range out {
+		chunk := bits[s*bps : (s+1)*bps]
+		iVal := levels[bitsToUint(chunk[:k])]
+		qVal := levels[bitsToUint(chunk[k:])]
+		out[s] = complex(iVal*scale, qVal*scale)
+	}
+	return out, nil
+}
+
+// Demodulate performs hard-decision demodulation back to bits.
+func Demodulate(m Modulation, syms []complex128) ([]uint8, error) {
+	bps := m.BitsPerSymbol()
+	if bps == 0 {
+		return nil, fmt.Errorf("ofdm: unsupported modulation %v", m)
+	}
+	out := make([]uint8, 0, len(syms)*bps)
+	if m == BPSK {
+		for _, s := range syms {
+			if real(s) >= 0 {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+		}
+		return out, nil
+	}
+	k := m.axisBits()
+	levels := pamLevels(k)
+	scale := m.norm()
+	for _, s := range syms {
+		out = append(out, sliceAxis(real(s)*scale, levels, k)...)
+		out = append(out, sliceAxis(imag(s)*scale, levels, k)...)
+	}
+	return out, nil
+}
+
+// sliceAxis hard-decides one PAM axis back to its Gray-coded bits.
+func sliceAxis(v float64, levels []float64, k int) []uint8 {
+	bestG, bestD := 0, math.Inf(1)
+	for g, amp := range levels {
+		if d := math.Abs(v - amp); d < bestD {
+			bestG, bestD = g, d
+		}
+	}
+	return uintToBits(uint(bestG), k)
+}
+
+// bitsToUint packs MSB-first bits.
+func bitsToUint(bits []uint8) uint {
+	var v uint
+	for _, b := range bits {
+		v = v<<1 | uint(b)
+	}
+	return v
+}
+
+// uintToBits unpacks MSB-first bits.
+func uintToBits(v uint, k int) []uint8 {
+	out := make([]uint8, k)
+	for i := k - 1; i >= 0; i-- {
+		out[i] = uint8(v & 1)
+		v >>= 1
+	}
+	return out
+}
+
+// CountBitErrors compares two equal-length bit slices.
+func CountBitErrors(a, b []uint8) (int, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("ofdm: bit lengths differ: %d vs %d", len(a), len(b))
+	}
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n, nil
+}

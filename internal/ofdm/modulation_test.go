@@ -1,0 +1,159 @@
+package ofdm
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func randomBits(rng *rand.Rand, n int) []uint8 {
+	bits := make([]uint8, n)
+	for i := range bits {
+		bits[i] = uint8(rng.IntN(2))
+	}
+	return bits
+}
+
+func TestModulateRoundTripNoiseless(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64} {
+		bits := randomBits(rng, 240*m.BitsPerSymbol())
+		syms, err := Modulate(m, bits)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		back, err := Demodulate(m, syms)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		errs, err := CountBitErrors(bits, back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errs != 0 {
+			t.Errorf("%v: %d bit errors without noise", m, errs)
+		}
+	}
+}
+
+func TestModulateUnitEnergy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64} {
+		bits := randomBits(rng, 6000*m.BitsPerSymbol())
+		syms, err := Modulate(m, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e float64
+		for _, s := range syms {
+			e += real(s)*real(s) + imag(s)*imag(s)
+		}
+		e /= float64(len(syms))
+		if math.Abs(e-1) > 0.05 {
+			t.Errorf("%v: average symbol energy %v, want ≈1", m, e)
+		}
+	}
+}
+
+func TestModulateValidation(t *testing.T) {
+	if _, err := Modulate(QPSK, []uint8{1}); err == nil {
+		t.Error("odd bit count accepted for QPSK")
+	}
+	if _, err := Modulate(QPSK, []uint8{1, 7}); err == nil {
+		t.Error("non-binary bit accepted")
+	}
+	if _, err := Modulate(Modulation(99), []uint8{1}); err == nil {
+		t.Error("unknown modulation accepted")
+	}
+	if _, err := Demodulate(Modulation(99), nil); err == nil {
+		t.Error("unknown modulation accepted in demod")
+	}
+	if _, err := CountBitErrors([]uint8{1}, []uint8{1, 0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// awgnBER simulates transmission through AWGN at the given per-symbol
+// SNR and returns the measured bit error rate.
+func awgnBER(t *testing.T, m Modulation, snrLinear float64, nBits int, seed uint64) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 1))
+	bits := randomBits(rng, nBits-nBits%m.BitsPerSymbol())
+	syms, err := Modulate(m, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := math.Sqrt(1 / snrLinear / 2)
+	rx := make([]complex128, len(syms))
+	for i, s := range syms {
+		rx[i] = s + complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	back, err := Demodulate(m, rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs, _ := CountBitErrors(bits, back)
+	return float64(errs) / float64(len(bits))
+}
+
+func TestBPSKBERMatchesTheory(t *testing.T) {
+	// BPSK over AWGN: BER = Q(√(2·SNR)). At SNR 4 (6 dB): Q(2.83) ≈ 2.3e-3.
+	ber := awgnBER(t, BPSK, 4, 400000, 7)
+	if ber < 5e-4 || ber > 8e-3 {
+		t.Errorf("BPSK BER at 6 dB = %v, theory ≈2.3e-3", ber)
+	}
+}
+
+func TestBERDecreasesWithSNR(t *testing.T) {
+	for _, m := range []Modulation{BPSK, QPSK, QAM16} {
+		low := awgnBER(t, m, 2, 60000, 11)
+		high := awgnBER(t, m, 20, 60000, 12)
+		if high >= low {
+			t.Errorf("%v: BER did not fall with SNR: %v → %v", m, low, high)
+		}
+	}
+}
+
+func TestDenserConstellationsNeedMoreSNR(t *testing.T) {
+	// At a fixed 12 dB SNR, BER orders by constellation density.
+	snr := math.Pow(10, 1.2)
+	bpsk := awgnBER(t, BPSK, snr, 120000, 21)
+	qam16 := awgnBER(t, QAM16, snr, 120000, 22)
+	qam64 := awgnBER(t, QAM64, snr, 120000, 23)
+	if !(bpsk < qam16 && qam16 < qam64) {
+		t.Errorf("BER ordering violated: BPSK %v, 16-QAM %v, 64-QAM %v", bpsk, qam16, qam64)
+	}
+}
+
+func TestGrayMappingSingleBitNeighbours(t *testing.T) {
+	// Gray mapping: adjacent constellation points along one axis differ
+	// in exactly one bit — the property that keeps BER ≈ SER/bits.
+	for _, m := range []Modulation{QAM16, QAM64} {
+		k := m.axisBits()
+		levels := pamLevels(k)
+		// Invert: position j (sorted amplitude) → gray value.
+		type lv struct {
+			amp float64
+			g   int
+		}
+		sorted := make([]lv, len(levels))
+		for g, amp := range levels {
+			sorted[int(amp+float64(len(levels)-1))/2] = lv{amp, g}
+		}
+		for j := 1; j < len(sorted); j++ {
+			diff := sorted[j].g ^ sorted[j-1].g
+			if diff&(diff-1) != 0 {
+				t.Errorf("%v: neighbours %v and %v differ in >1 bit", m, sorted[j-1], sorted[j])
+			}
+		}
+	}
+}
+
+func TestModulationStrings(t *testing.T) {
+	if QAM64.String() != "64-QAM" || Modulation(9).String() != "modulation(9)" {
+		t.Error("modulation names wrong")
+	}
+	if QAM64.BitsPerSymbol() != 6 || Modulation(9).BitsPerSymbol() != 0 {
+		t.Error("bits per symbol wrong")
+	}
+}

@@ -1,0 +1,52 @@
+package ofdm
+
+import (
+	"fmt"
+
+	"press/internal/rfphys"
+)
+
+// SINRdB computes the per-subcarrier signal-to-interference-plus-noise
+// ratio of a desired link in the presence of concurrent interfering
+// transmissions — the quantity behind the paper's Figure 2: network
+// harmonization wants communication channels strong and interference
+// channels weak on each half of the band.
+//
+// signal is the CSI of the desired TX→RX link; each interferer is the
+// CSI of an interfering TX measured at the *same* receiver (so its SNR
+// entries already express received interference power over the noise
+// floor). All CSIs must share the subcarrier count; interferers are
+// assumed noise-like (no cancellation), the standard worst case.
+func SINRdB(signal *CSI, interferers []*CSI) ([]float64, error) {
+	n := len(signal.SNRdB)
+	for idx, it := range interferers {
+		if len(it.SNRdB) != n {
+			return nil, fmt.Errorf("ofdm: interferer %d has %d subcarriers, want %d", idx, len(it.SNRdB), n)
+		}
+	}
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		s := rfphys.DBToLinear(signal.SNRdB[k])
+		denom := 1.0 // the noise itself, in noise units
+		for _, it := range interferers {
+			denom += rfphys.DBToLinear(it.SNRdB[k])
+		}
+		out[k] = rfphys.LinearToDB(s / denom)
+	}
+	return out, nil
+}
+
+// SubbandThroughputMbps estimates the throughput of a link restricted to
+// the subcarrier range [lo, hi) of grid g, at the given per-subcarrier
+// SINR — the per-network rate after a harmonized frequency split.
+func SubbandThroughputMbps(g Grid, sinrDB []float64, lo, hi int) (float64, error) {
+	if lo < 0 || hi > len(sinrDB) || lo >= hi {
+		return 0, fmt.Errorf("ofdm: subband [%d,%d) invalid for %d subcarriers", lo, hi, len(sinrDB))
+	}
+	m, ok := SelectMCS(EffectiveSNRdB(sinrDB[lo:hi]))
+	if !ok {
+		return 0, nil
+	}
+	symbolRate := g.SpacingHz / 1.25
+	return m.BitsPerSubcarrier * symbolRate * float64(hi-lo) / 1e6, nil
+}

@@ -1,0 +1,135 @@
+package ofdm
+
+import (
+	"math"
+	"testing"
+)
+
+func csiFlat(n int, snrDB float64) *CSI {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = snrDB
+	}
+	return &CSI{Grid: WiFi20(), SNRdB: s}
+}
+
+func TestSINRNoInterference(t *testing.T) {
+	sig := csiFlat(52, 30)
+	sinr, err := SINRdB(sig, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range sinr {
+		if math.Abs(v-30) > 1e-9 {
+			t.Fatalf("subcarrier %d: SINR %v without interference, want 30", k, v)
+		}
+	}
+}
+
+func TestSINREqualPowerInterferer(t *testing.T) {
+	// Signal 30 dB, one interferer also 30 dB: SINR ≈ 0 dB
+	// (interference dominates noise a thousandfold).
+	sig := csiFlat(52, 30)
+	sinr, err := SINRdB(sig, []*CSI{csiFlat(52, 30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sinr[0]-0) > 0.01 {
+		t.Errorf("SINR = %v, want ≈0 dB", sinr[0])
+	}
+}
+
+func TestSINRWeakInterferer(t *testing.T) {
+	// Interference 20 dB below the noise floor changes nothing visible.
+	sig := csiFlat(52, 30)
+	sinr, err := SINRdB(sig, []*CSI{csiFlat(52, -20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sinr[0]-30) > 0.05 {
+		t.Errorf("SINR = %v, want ≈30 dB", sinr[0])
+	}
+}
+
+func TestSINRMultipleInterferers(t *testing.T) {
+	// Two equal interferers add 3 dB over one.
+	sig := csiFlat(52, 40)
+	one, err := SINRdB(sig, []*CSI{csiFlat(52, 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := SINRdB(sig, []*CSI{csiFlat(52, 20), csiFlat(52, 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := one[0] - two[0]; math.Abs(d-3) > 0.1 {
+		t.Errorf("second interferer cost %v dB, want ≈3", d)
+	}
+}
+
+func TestSINRShapeMismatch(t *testing.T) {
+	if _, err := SINRdB(csiFlat(52, 30), []*CSI{csiFlat(10, 30)}); err == nil {
+		t.Error("mismatched interferer accepted")
+	}
+}
+
+func TestSINRHarmonizationPayoff(t *testing.T) {
+	// The Figure 2 story in numbers: network A strong in the lower half,
+	// the interferer strong in the upper half → A's lower-half SINR stays
+	// high even while the whole-band SINR collapses.
+	n := 52
+	sig := make([]float64, n)
+	intf := make([]float64, n)
+	for k := 0; k < n; k++ {
+		if k < n/2 {
+			sig[k], intf[k] = 35, 5 // A's half: strong signal, weak interference
+		} else {
+			sig[k], intf[k] = 15, 35 // B's half
+		}
+	}
+	sinr, err := SINRdB(&CSI{SNRdB: sig}, []*CSI{{SNRdB: intf}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := EffectiveSNRdB(sinr[:n/2])
+	whole := EffectiveSNRdB(sinr)
+	if lower < 25 {
+		t.Errorf("harmonized half SINR = %v, want ≥25", lower)
+	}
+	if whole > lower-10 {
+		t.Errorf("whole-band SINR %v should collapse relative to the clean half %v", whole, lower)
+	}
+}
+
+func TestSubbandThroughput(t *testing.T) {
+	g := WiFi20()
+	sinr := make([]float64, 52)
+	for i := range sinr {
+		sinr[i] = 28
+	}
+	full, err := SubbandThroughputMbps(g, sinr, 0, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := SubbandThroughputMbps(g, sinr, 0, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full-2*half) > 1e-9 {
+		t.Errorf("half band (%v) should carry half of full band (%v)", half, full)
+	}
+	if _, err := SubbandThroughputMbps(g, sinr, 30, 10); err == nil {
+		t.Error("inverted subband accepted")
+	}
+	if _, err := SubbandThroughputMbps(g, sinr, 0, 99); err == nil {
+		t.Error("out-of-range subband accepted")
+	}
+	// Unusable SINR → zero rate, no error.
+	bad := make([]float64, 52)
+	for i := range bad {
+		bad[i] = -3
+	}
+	if r, err := SubbandThroughputMbps(g, bad, 0, 52); err != nil || r != 0 {
+		t.Errorf("unusable band → (%v,%v), want (0,nil)", r, err)
+	}
+}

@@ -1,0 +1,86 @@
+package ofdm
+
+import "fmt"
+
+// Waveform parameterizes the time-domain OFDM symbol: an NFFT-point
+// transform with a cyclic prefix. The 802.11a/g numbers are NFFT 64,
+// CP 16 (the paper's "Wi-Fi-like OFDM signals comprised of 64
+// subcarriers").
+type Waveform struct {
+	NFFT int
+	CP   int
+}
+
+// WiFiWaveform is the 802.11a/g symbol shape.
+var WiFiWaveform = Waveform{NFFT: 64, CP: 16}
+
+// SymbolLength returns the time-domain samples per OFDM symbol.
+func (w Waveform) SymbolLength() int { return w.NFFT + w.CP }
+
+// validate checks waveform sanity against a grid.
+func (w Waveform) validate(g Grid) error {
+	if w.NFFT <= 0 || w.NFFT&(w.NFFT-1) != 0 {
+		return fmt.Errorf("ofdm: NFFT %d not a power of two", w.NFFT)
+	}
+	if w.CP < 0 || w.CP >= w.NFFT {
+		return fmt.Errorf("ofdm: CP %d outside [0,%d)", w.CP, w.NFFT)
+	}
+	for _, k := range g.Used {
+		if k <= -w.NFFT/2 || k >= w.NFFT/2 {
+			return fmt.Errorf("ofdm: subcarrier offset %d outside ±%d", k, w.NFFT/2)
+		}
+	}
+	return nil
+}
+
+// Synthesize builds one time-domain OFDM symbol (cyclic prefix included)
+// from the frequency-domain symbols on the grid's used subcarriers.
+// Unused bins are zero. The result has SymbolLength samples.
+func (w Waveform) Synthesize(g Grid, symbols []complex128) ([]complex128, error) {
+	if err := w.validate(g); err != nil {
+		return nil, err
+	}
+	if len(symbols) != g.NumUsed() {
+		return nil, fmt.Errorf("ofdm: %d symbols for %d used subcarriers", len(symbols), g.NumUsed())
+	}
+	bins := make([]complex128, w.NFFT)
+	for i, k := range g.Used {
+		idx := k
+		if idx < 0 {
+			idx += w.NFFT
+		}
+		bins[idx] = symbols[i]
+	}
+	if err := IFFT(bins); err != nil {
+		return nil, err
+	}
+	out := make([]complex128, 0, w.SymbolLength())
+	out = append(out, bins[w.NFFT-w.CP:]...) // cyclic prefix
+	out = append(out, bins...)
+	return out, nil
+}
+
+// Analyze recovers the used-subcarrier symbols from one time-domain OFDM
+// symbol produced by Synthesize (or received over a channel shorter than
+// the cyclic prefix).
+func (w Waveform) Analyze(g Grid, samples []complex128) ([]complex128, error) {
+	if err := w.validate(g); err != nil {
+		return nil, err
+	}
+	if len(samples) != w.SymbolLength() {
+		return nil, fmt.Errorf("ofdm: %d samples, want %d", len(samples), w.SymbolLength())
+	}
+	bins := append([]complex128(nil), samples[w.CP:]...)
+	if err := FFT(bins); err != nil {
+		return nil, err
+	}
+	out := make([]complex128, g.NumUsed())
+	for i, k := range g.Used {
+		idx := k
+		if idx < 0 {
+			idx += w.NFFT
+		}
+		out[i] = bins[idx]
+	}
+	return out, nil
+}

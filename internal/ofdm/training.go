@@ -1,0 +1,55 @@
+package ofdm
+
+// TrainingSequence returns the known BPSK symbols (+1/−1) the transmitter
+// sends on each used subcarrier of the grid for channel estimation — the
+// role of the long training sequence in an 802.11 preamble. The pattern
+// is a fixed pseudo-random ±1 sequence (a small LFSR), identical at
+// transmitter and receiver, so frames are self-describing without any
+// shared RNG state.
+func TrainingSequence(g Grid) []complex128 {
+	seq := make([]complex128, g.NumUsed())
+	// 7-bit LFSR (x^7 + x^3 + 1), the scrambler polynomial 802.11 uses,
+	// seeded non-zero.
+	state := uint8(0x5D)
+	for i := range seq {
+		bit := ((state >> 6) ^ (state >> 2)) & 1
+		state = (state << 1) | bit
+		if bit == 1 {
+			seq[i] = 1
+		} else {
+			seq[i] = -1
+		}
+	}
+	return seq
+}
+
+// Frame is one OFDM frame in the frequency domain: a handful of known
+// training symbols followed by payload symbols. The exploratory study
+// only needs training (the receiver estimates CSI from it, §3.2), but
+// payload symbols let throughput examples modulate real data.
+type Frame struct {
+	Grid Grid
+	// Training holds NumTraining repetitions of the training sequence
+	// (one slice per OFDM symbol, one entry per used subcarrier).
+	Training [][]complex128
+	// Payload holds the data symbols, same shape.
+	Payload [][]complex128
+}
+
+// NewFrame assembles a frame with nTraining training symbols and the
+// given payload symbols (may be nil for a sounding-only frame, which is
+// all the paper's experiments transmit).
+func NewFrame(g Grid, nTraining int, payload [][]complex128) *Frame {
+	if nTraining < 1 {
+		nTraining = 1
+	}
+	seq := TrainingSequence(g)
+	tr := make([][]complex128, nTraining)
+	for i := range tr {
+		tr[i] = append([]complex128(nil), seq...)
+	}
+	return &Frame{Grid: g, Training: tr, Payload: payload}
+}
+
+// NumSymbols returns the total OFDM symbol count of the frame.
+func (f *Frame) NumSymbols() int { return len(f.Training) + len(f.Payload) }

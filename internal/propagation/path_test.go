@@ -1,0 +1,143 @@
+package propagation
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestResponseAtSinglePath(t *testing.T) {
+	p := Path{Gain: 0.5, Delay: 10e-9}
+	f := 2.462e9
+	h := ResponseAt([]Path{p}, f, 0)
+	if math.Abs(cmplx.Abs(h)-0.5) > 1e-12 {
+		t.Errorf("|H| = %v, want 0.5", cmplx.Abs(h))
+	}
+	// Phase = -2πfτ (mod 2π).
+	wantPhase := math.Mod(-2*math.Pi*f*10e-9, 2*math.Pi)
+	gotPhase := cmplx.Phase(h)
+	diff := math.Mod(gotPhase-wantPhase+3*2*math.Pi, 2*math.Pi)
+	if diff > 1e-6 && diff < 2*math.Pi-1e-6 {
+		t.Errorf("phase = %v, want %v (mod 2π)", gotPhase, wantPhase)
+	}
+}
+
+func TestResponseTwoPathCancellation(t *testing.T) {
+	// Two equal-gain paths whose delays differ by half a period cancel.
+	f := 2.462e9
+	dtau := 1 / (2 * f) // half a carrier period
+	paths := []Path{
+		{Gain: 1, Delay: 10e-9},
+		{Gain: 1, Delay: 10e-9 + dtau},
+	}
+	h := ResponseAt(paths, f, 0)
+	if cmplx.Abs(h) > 1e-9 {
+		t.Errorf("|H| = %v, want ≈0 (destructive)", cmplx.Abs(h))
+	}
+	// And reinforce at a frequency where the delay difference is a full
+	// period.
+	f2 := 1 / dtau
+	h2 := ResponseAt(paths, f2, 0)
+	if math.Abs(cmplx.Abs(h2)-2) > 1e-9 {
+		t.Errorf("|H| = %v, want 2 (constructive)", cmplx.Abs(h2))
+	}
+}
+
+func TestResponseNullSpacing(t *testing.T) {
+	// Two-path channel: frequency nulls every 1/Δτ. Δτ = 50 ns → 20 MHz.
+	paths := []Path{
+		{Gain: 1, Delay: 0},
+		{Gain: 1, Delay: 50e-9},
+	}
+	fNull := 1 / (2 * 50e-9) // first null at 10 MHz
+	if a := cmplx.Abs(ResponseAt(paths, fNull, 0)); a > 1e-9 {
+		t.Errorf("first null |H| = %v", a)
+	}
+	if a := cmplx.Abs(ResponseAt(paths, fNull+20e6, 0)); a > 1e-9 {
+		t.Errorf("second null |H| = %v", a)
+	}
+	if a := cmplx.Abs(ResponseAt(paths, 20e6, 0)); math.Abs(a-2) > 1e-9 {
+		t.Errorf("peak |H| = %v, want 2", a)
+	}
+}
+
+func TestResponseDopplerEvolution(t *testing.T) {
+	p := Path{Gain: 1, Delay: 0, DopplerHz: 10}
+	h0 := ResponseAt([]Path{p}, 2.4e9, 0)
+	// After half a Doppler period the phase flips.
+	hHalf := ResponseAt([]Path{p}, 2.4e9, 0.05)
+	if cmplx.Abs(h0+hHalf) > 1e-9 {
+		t.Errorf("Doppler phase flip violated: %v vs %v", h0, hHalf)
+	}
+	// After a full period it returns.
+	hFull := ResponseAt([]Path{p}, 2.4e9, 0.1)
+	if cmplx.Abs(h0-hFull) > 1e-9 {
+		t.Errorf("Doppler periodicity violated")
+	}
+}
+
+func TestResponseGridMatchesPointwise(t *testing.T) {
+	paths := []Path{{Gain: 1 + 1i, Delay: 30e-9}, {Gain: 0.3, Delay: 80e-9}}
+	freqs := []float64{2.45e9, 2.46e9, 2.47e9}
+	grid := Response(paths, freqs, 1.5)
+	for i, f := range freqs {
+		if cmplx.Abs(grid[i]-ResponseAt(paths, f, 1.5)) > 1e-12 {
+			t.Fatalf("grid[%d] disagrees with pointwise evaluation", i)
+		}
+	}
+}
+
+func TestDelaySpreadStats(t *testing.T) {
+	// Equal-power two-path channel: mean delay is the midpoint, RMS
+	// spread is half the separation.
+	paths := []Path{
+		{Gain: 1, Delay: 0},
+		{Gain: 1, Delay: 100e-9},
+	}
+	if m := MeanDelay(paths); math.Abs(m-50e-9) > 1e-15 {
+		t.Errorf("mean delay = %v", m)
+	}
+	if s := RMSDelaySpread(paths); math.Abs(s-50e-9) > 1e-15 {
+		t.Errorf("rms spread = %v", s)
+	}
+	// Coherence bandwidth 1/(5τrms) = 4 MHz.
+	if b := CoherenceBandwidth(paths); math.Abs(b-4e6) > 1 {
+		t.Errorf("coherence bw = %v", b)
+	}
+	// Single path: zero spread, infinite coherence bandwidth.
+	single := []Path{{Gain: 1, Delay: 42e-9}}
+	if RMSDelaySpread(single) != 0 || !math.IsInf(CoherenceBandwidth(single), 1) {
+		t.Error("single-path spread should be 0 with infinite coherence bw")
+	}
+	if MeanDelay(nil) != 0 || RMSDelaySpread(nil) != 0 {
+		t.Error("empty path set should have zero delay stats")
+	}
+}
+
+func TestMaxDoppler(t *testing.T) {
+	paths := []Path{
+		{DopplerHz: 3}, {DopplerHz: -7}, {DopplerHz: 5},
+	}
+	if fd := MaxDoppler(paths); fd != 7 {
+		t.Errorf("MaxDoppler = %v, want 7", fd)
+	}
+	if MaxDoppler(nil) != 0 {
+		t.Error("MaxDoppler(nil) should be 0")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindDirect.String() != "direct" || KindElement.String() != "element" {
+		t.Error("kind names wrong")
+	}
+	if Kind(42).String() != "kind(42)" {
+		t.Error("unknown kind name wrong")
+	}
+}
+
+func TestPowerDB(t *testing.T) {
+	p := Path{Gain: complex(0.1, 0)}
+	if got := p.PowerDB(); math.Abs(got+20) > 1e-9 {
+		t.Errorf("PowerDB = %v, want -20", got)
+	}
+}

@@ -1,0 +1,87 @@
+package radio
+
+import (
+	"testing"
+
+	"press/internal/element"
+	"press/internal/ofdm"
+)
+
+func TestMeasureBERCleanChannel(t *testing.T) {
+	// The testbed's SNR sits well above 20 dB on most subcarriers: BPSK
+	// and QPSK payloads should come through essentially error-free.
+	link := testbed(t, 41)
+	for _, m := range []ofdm.Modulation{ofdm.BPSK, ofdm.QPSK} {
+		rep, err := link.MeasureBER(element.Config{0, 0, 0}, m, 20000, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.BER > 1e-3 {
+			t.Errorf("%v BER = %v on a strong channel", m, rep.BER)
+		}
+		if rep.BitsSent < 20000 {
+			t.Errorf("%v sent only %d bits", m, rep.BitsSent)
+		}
+	}
+}
+
+func TestMeasureBERDenseConstellationWorse(t *testing.T) {
+	link := testbed(t, 42)
+	cfg := element.Config{1, 2, 0}
+	qpsk, err := link.MeasureBER(cfg, ofdm.QPSK, 50000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qam64, err := link.MeasureBER(cfg, ofdm.QAM64, 50000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qam64.BER < qpsk.BER {
+		t.Errorf("64-QAM BER (%v) below QPSK (%v) on the same channel", qam64.BER, qpsk.BER)
+	}
+}
+
+func TestMeasureBERConfigMatters(t *testing.T) {
+	// Find the best and worst configs by min-SNR and confirm the BER of a
+	// dense constellation orders the same way — the end-to-end payoff of
+	// null shifting.
+	link := testbed(t, 43)
+	ms, err := link.Sweep(Timing{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestI, worstI := 0, 0
+	for i, m := range ms {
+		if m.CSI.MinSNRdB() > ms[bestI].CSI.MinSNRdB() {
+			bestI = i
+		}
+		if m.CSI.MinSNRdB() < ms[worstI].CSI.MinSNRdB() {
+			worstI = i
+		}
+	}
+	// Only meaningful when the configs actually separate.
+	if ms[bestI].CSI.MinSNRdB()-ms[worstI].CSI.MinSNRdB() < 6 {
+		t.Skip("configs do not separate enough at this seed")
+	}
+	best, err := link.MeasureBER(ms[bestI].Config, ofdm.QAM64, 100000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := link.MeasureBER(ms[worstI].Config, ofdm.QAM64, 100000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.BER > worst.BER {
+		t.Errorf("best config BER %v above worst config BER %v", best.BER, worst.BER)
+	}
+}
+
+func TestMeasureBERValidation(t *testing.T) {
+	link := testbed(t, 44)
+	if _, err := link.MeasureBER(element.Config{0, 0, 0}, ofdm.BPSK, 0, 0); err == nil {
+		t.Error("zero bits accepted")
+	}
+	if _, err := link.MeasureBER(element.Config{0, 0, 0}, ofdm.Modulation(9), 100, 0); err == nil {
+		t.Error("unknown modulation accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"press/internal/element"
+)
+
+func TestMeasureCSIContinuousMatchesDiscrete(t *testing.T) {
+	link := testbed(t, 31)
+	// Discrete config {0,1,2} corresponds to phases {0, π/2, π}.
+	disc, err := link.MeasureCSI(element.Config{0, 1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link2 := testbed(t, 31) // same seed → same noise stream
+	cont, err := link2.MeasureCSIContinuous(element.ContinuousConfig{0, math.Pi / 2, math.Pi}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range disc.SNRdB {
+		if math.Abs(disc.SNRdB[k]-cont.SNRdB[k]) > 1e-9 {
+			t.Fatalf("subcarrier %d: discrete %v vs continuous %v", k, disc.SNRdB[k], cont.SNRdB[k])
+		}
+	}
+}
+
+func TestMeasureCSIContinuousOffEqualsTerminated(t *testing.T) {
+	link := testbed(t, 32)
+	term, _ := link.Array.AllTerminated()
+	disc, err := link.MeasureCSI(term, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link2 := testbed(t, 32)
+	cont, err := link2.MeasureCSIContinuous(
+		element.ContinuousConfig{element.Off, element.Off, element.Off}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range disc.SNRdB {
+		if math.Abs(disc.SNRdB[k]-cont.SNRdB[k]) > 1e-9 {
+			t.Fatalf("subcarrier %d differs between Off and terminated", k)
+		}
+	}
+}
+
+func TestMeasureCSIContinuousIntermediatePhaseInterpolates(t *testing.T) {
+	// A phase between two bank states produces a channel between (or at
+	// least different from) the two — continuity of the forward model.
+	link := testbed(t, 33)
+	h0 := link.TrueResponse(element.Config{0, 3, 3}, 0)
+
+	link2 := testbed(t, 33)
+	phases := element.ContinuousConfig{math.Pi / 4, element.Off, element.Off}
+	csi, err := link2.MeasureCSIContinuous(phases, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hPi2 := link.TrueResponse(element.Config{1, 3, 3}, 0)
+	var differs bool
+	for k := range h0 {
+		if h0[k] != hPi2[k] && csi.H[k] != 0 {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("intermediate phase indistinguishable from bank states")
+	}
+}

@@ -1,0 +1,129 @@
+package rfphys
+
+import (
+	"fmt"
+	"math"
+
+	"press/internal/geom"
+)
+
+// Pattern is a transmit/receive antenna gain pattern. Gain returns the
+// linear field-amplitude gain toward the given direction (a vector in the
+// room frame pointing away from the antenna). Reciprocity holds: the same
+// pattern applies on transmit and on receive.
+//
+// Patterns return amplitude (not power) gain so path products compose by
+// plain multiplication; use AmplitudeToDB for display.
+type Pattern interface {
+	Gain(dir geom.Vec) float64
+}
+
+// Isotropic radiates equally in all directions with 0 dBi gain. The
+// zero value is ready to use.
+type Isotropic struct{}
+
+// Gain implements Pattern.
+func (Isotropic) Gain(geom.Vec) float64 { return 1 }
+
+// Omni models the 2 dBi omni-directional "rubber duck" antennas the paper
+// uses at the endpoints (PulseLarsen W1030): uniform in azimuth with a
+// doughnut-shaped elevation rolloff.
+type Omni struct {
+	// PeakGainDBi is the boresight (horizontal) gain; the W1030 is 2 dBi.
+	PeakGainDBi float64
+}
+
+// Gain implements Pattern. The elevation rolloff follows the ideal
+// half-wave dipole shape cos(el)^1.?: we use cos(el), a good fit for
+// low-gain whips, floored at -20 dB so zenith nulls stay finite.
+func (o Omni) Gain(dir geom.Vec) float64 {
+	peak := DBToAmplitude(o.PeakGainDBi)
+	el := dir.Elevation()
+	shape := math.Cos(el)
+	if shape < 0.1 {
+		shape = 0.1 // -20 dB floor toward zenith/nadir
+	}
+	return peak * shape
+}
+
+// Parabolic models the 14 dBi, 21° azimuthal-beamwidth grid parabolic
+// (Laird GD24BP) used for the prototype PRESS elements. The pattern is a
+// Gaussian main lobe around the boresight with a uniform sidelobe floor.
+type Parabolic struct {
+	// Boresight is the antenna pointing direction (need not be unit).
+	Boresight geom.Vec
+	// PeakGainDBi is the boresight gain; the GD24BP is 14 dBi.
+	PeakGainDBi float64
+	// BeamwidthDeg is the full -3 dB beamwidth in degrees (21° for the
+	// GD24BP azimuth cut; we apply it as a cone).
+	BeamwidthDeg float64
+	// SidelobeDB is the sidelobe level relative to peak (negative);
+	// defaults to -20 dB when zero.
+	SidelobeDB float64
+}
+
+// Gain implements Pattern.
+func (p Parabolic) Gain(dir geom.Vec) float64 {
+	peak := DBToAmplitude(p.PeakGainDBi)
+	side := p.SidelobeDB
+	if side == 0 {
+		side = -20
+	}
+	floor := peak * DBToAmplitude(side)
+
+	theta := geom.AngleBetween(p.Boresight, dir)
+	bw := p.BeamwidthDeg * math.Pi / 180
+	if bw <= 0 {
+		// Degenerate beamwidth: everything off-boresight is sidelobe.
+		if theta == 0 {
+			return peak
+		}
+		return floor
+	}
+	// Gaussian main lobe: -3 dB (amplitude factor 10^(-3/20)) at θ = bw/2.
+	// amplitude(θ) = peak · exp(-k·θ²) with k chosen for the -3 dB point.
+	k := (3.0 / 20.0) * math.Ln10 / ((bw / 2) * (bw / 2))
+	g := peak * math.Exp(-k*theta*theta)
+	if g < floor {
+		return floor
+	}
+	return g
+}
+
+// LogPeriodic models a moderate-gain printed directional antenna — the
+// kind §4.1 suggests could be embedded in walls in place of parabolics.
+// It is a wider-beam, lower-gain variant of the same main-lobe model.
+type LogPeriodic struct {
+	Boresight    geom.Vec
+	PeakGainDBi  float64 // typically 6–8 dBi
+	BeamwidthDeg float64 // typically 60–70°
+}
+
+// Gain implements Pattern.
+func (l LogPeriodic) Gain(dir geom.Vec) float64 {
+	return Parabolic{
+		Boresight:    l.Boresight,
+		PeakGainDBi:  l.PeakGainDBi,
+		BeamwidthDeg: l.BeamwidthDeg,
+		SidelobeDB:   -15,
+	}.Gain(dir)
+}
+
+// PatternByName constructs one of the built-in patterns from a short name,
+// for CLI flags: "isotropic", "omni", "parabolic", "logperiodic".
+// Directional patterns are returned pointing along +x; callers reorient
+// by constructing the concrete type directly when they care.
+func PatternByName(name string) (Pattern, error) {
+	switch name {
+	case "isotropic":
+		return Isotropic{}, nil
+	case "omni":
+		return Omni{PeakGainDBi: 2}, nil
+	case "parabolic":
+		return Parabolic{Boresight: geom.V(1, 0, 0), PeakGainDBi: 14, BeamwidthDeg: 21}, nil
+	case "logperiodic":
+		return LogPeriodic{Boresight: geom.V(1, 0, 0), PeakGainDBi: 7, BeamwidthDeg: 65}, nil
+	default:
+		return nil, fmt.Errorf("rfphys: unknown antenna pattern %q", name)
+	}
+}

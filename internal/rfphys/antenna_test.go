@@ -1,0 +1,113 @@
+package rfphys
+
+import (
+	"math"
+	"testing"
+
+	"press/internal/geom"
+)
+
+func TestIsotropic(t *testing.T) {
+	var iso Isotropic
+	for _, d := range []geom.Vec{geom.V(1, 0, 0), geom.V(0, -1, 2), geom.V(3, 3, 3)} {
+		if iso.Gain(d) != 1 {
+			t.Errorf("isotropic gain toward %v = %v, want 1", d, iso.Gain(d))
+		}
+	}
+}
+
+func TestOmniAzimuthUniform(t *testing.T) {
+	o := Omni{PeakGainDBi: 2}
+	ref := o.Gain(geom.V(1, 0, 0))
+	for deg := 0; deg < 360; deg += 15 {
+		th := float64(deg) * math.Pi / 180
+		g := o.Gain(geom.V(math.Cos(th), math.Sin(th), 0))
+		if !near(g, ref, 1e-12) {
+			t.Fatalf("omni gain varies with azimuth: %v vs %v at %d°", g, ref, deg)
+		}
+	}
+	// Horizontal gain equals the rated peak (2 dBi → amplitude 10^(2/20)).
+	if !near(AmplitudeToDB(ref), 2, 1e-9) {
+		t.Errorf("omni horizontal gain = %v dB, want 2", AmplitudeToDB(ref))
+	}
+}
+
+func TestOmniElevationRolloff(t *testing.T) {
+	o := Omni{PeakGainDBi: 2}
+	gH := o.Gain(geom.V(1, 0, 0))
+	g45 := o.Gain(geom.V(1, 0, 1))
+	gUp := o.Gain(geom.V(0, 0, 1))
+	if !(gH > g45 && g45 > gUp) {
+		t.Errorf("elevation rolloff violated: %v, %v, %v", gH, g45, gUp)
+	}
+	// Zenith floor: no deeper than -20 dB below peak.
+	if AmplitudeToDB(gH/gUp) > 20+1e-9 {
+		t.Errorf("zenith floor exceeded: %v dB", AmplitudeToDB(gH/gUp))
+	}
+}
+
+func TestParabolicBoresightAndBeamwidth(t *testing.T) {
+	p := Parabolic{Boresight: geom.V(1, 0, 0), PeakGainDBi: 14, BeamwidthDeg: 21}
+	peak := p.Gain(geom.V(1, 0, 0))
+	if !near(AmplitudeToDB(peak), 14, 1e-9) {
+		t.Errorf("boresight gain = %v dB, want 14", AmplitudeToDB(peak))
+	}
+	// At half the beamwidth (10.5°) the gain is 3 dB down.
+	th := 10.5 * math.Pi / 180
+	gEdge := p.Gain(geom.V(math.Cos(th), math.Sin(th), 0))
+	if !near(AmplitudeToDB(peak/gEdge), 3, 1e-6) {
+		t.Errorf("-3 dB point off: %v dB down", AmplitudeToDB(peak/gEdge))
+	}
+	// Far off boresight the sidelobe floor (default -20 dB) holds.
+	gBack := p.Gain(geom.V(-1, 0, 0))
+	if !near(AmplitudeToDB(peak/gBack), 20, 1e-6) {
+		t.Errorf("backlobe = %v dB down, want 20", AmplitudeToDB(peak/gBack))
+	}
+}
+
+func TestParabolicMonotoneOffBoresight(t *testing.T) {
+	p := Parabolic{Boresight: geom.V(1, 0, 0), PeakGainDBi: 14, BeamwidthDeg: 21}
+	prev := math.Inf(1)
+	for deg := 0; deg <= 180; deg += 5 {
+		th := float64(deg) * math.Pi / 180
+		g := p.Gain(geom.V(math.Cos(th), math.Sin(th), 0))
+		if g > prev+1e-12 {
+			t.Fatalf("gain increased off boresight at %d°", deg)
+		}
+		prev = g
+	}
+}
+
+func TestParabolicDegenerateBeamwidth(t *testing.T) {
+	p := Parabolic{Boresight: geom.V(1, 0, 0), PeakGainDBi: 10}
+	if g := p.Gain(geom.V(1, 0, 0)); !near(AmplitudeToDB(g), 10, 1e-9) {
+		t.Error("boresight gain wrong for zero beamwidth")
+	}
+	if g := p.Gain(geom.V(0, 1, 0)); !near(AmplitudeToDB(g), -10, 1e-9) {
+		t.Error("off-boresight should be at sidelobe floor for zero beamwidth")
+	}
+}
+
+func TestLogPeriodicWiderThanParabolic(t *testing.T) {
+	para := Parabolic{Boresight: geom.V(1, 0, 0), PeakGainDBi: 14, BeamwidthDeg: 21}
+	lp := LogPeriodic{Boresight: geom.V(1, 0, 0), PeakGainDBi: 7, BeamwidthDeg: 65}
+	th := 30.0 * math.Pi / 180
+	dir := geom.V(math.Cos(th), math.Sin(th), 0)
+	dropPara := AmplitudeToDB(para.Gain(geom.V(1, 0, 0)) / para.Gain(dir))
+	dropLP := AmplitudeToDB(lp.Gain(geom.V(1, 0, 0)) / lp.Gain(dir))
+	if dropLP >= dropPara {
+		t.Errorf("log-periodic should roll off slower: %v vs %v dB at 30°", dropLP, dropPara)
+	}
+}
+
+func TestPatternByName(t *testing.T) {
+	for _, name := range []string{"isotropic", "omni", "parabolic", "logperiodic"} {
+		p, err := PatternByName(name)
+		if err != nil || p == nil {
+			t.Errorf("PatternByName(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := PatternByName("yagi"); err == nil {
+		t.Error("unknown pattern should error")
+	}
+}

@@ -1,0 +1,122 @@
+package rfphys
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestFriisAmplitude(t *testing.T) {
+	lambda := 0.125
+	// Doubling distance halves amplitude (6 dB per octave in power).
+	a1 := FriisAmplitude(2, lambda)
+	a2 := FriisAmplitude(4, lambda)
+	if !near(a1/a2, 2, 1e-12) {
+		t.Errorf("amplitude ratio = %v, want 2", a1/a2)
+	}
+	// Known value: λ/(4πd).
+	if want := lambda / (4 * math.Pi * 3); !near(FriisAmplitude(3, lambda), want, 1e-15) {
+		t.Error("Friis formula wrong")
+	}
+	// Near-field clamp: no free gain.
+	if FriisAmplitude(1e-9, lambda) != 1 || FriisAmplitude(0, lambda) != 1 {
+		t.Error("near-field amplitude should clamp to 1")
+	}
+}
+
+func TestFriisPathLossDB(t *testing.T) {
+	// Classic check: 2.4 GHz at 1 m ≈ 40 dB.
+	l := FriisPathLossDB(1, Wavelength(2.4e9))
+	if !near(l, 40.05, 0.1) {
+		t.Errorf("path loss at 1 m = %v dB, want ≈40", l)
+	}
+	// +6 dB per distance doubling.
+	d1 := FriisPathLossDB(5, 0.125)
+	d2 := FriisPathLossDB(10, 0.125)
+	if !near(d2-d1, 6.02, 0.01) {
+		t.Errorf("doubling distance added %v dB, want ≈6.02", d2-d1)
+	}
+}
+
+func TestPathPhasor(t *testing.T) {
+	lambda := 0.125
+	// A full wavelength of extra path returns to phase 0.
+	p := PathPhasor(lambda, lambda)
+	if cmplx.Abs(p-1) > 1e-12 {
+		t.Errorf("full-wavelength phasor = %v, want 1", p)
+	}
+	// Half a wavelength flips sign.
+	p = PathPhasor(lambda/2, lambda)
+	if cmplx.Abs(p+1) > 1e-12 {
+		t.Errorf("half-wavelength phasor = %v, want -1", p)
+	}
+	// Quarter wavelength gives -90°.
+	p = PathPhasor(lambda/4, lambda)
+	if cmplx.Abs(p-complex(0, -1)) > 1e-12 {
+		t.Errorf("quarter-wavelength phasor = %v, want -i", p)
+	}
+	// Magnitude is always 1.
+	if !near(cmplx.Abs(PathPhasor(17.3, lambda)), 1, 1e-12) {
+		t.Error("phasor magnitude drifted from 1")
+	}
+}
+
+func TestFresnelReflection(t *testing.T) {
+	// Normal incidence on drywall (εr≈2.5): |Γ| = (√εr-1)/(√εr+1).
+	eps := 2.5
+	want := (math.Sqrt(eps) - 1) / (math.Sqrt(eps) + 1)
+	got := math.Abs(FresnelReflection(eps, 0))
+	if !near(got, want, 1e-9) {
+		t.Errorf("normal incidence |Γ| = %v, want %v", got, want)
+	}
+	// Magnitude grows toward grazing incidence.
+	g30 := math.Abs(FresnelReflection(eps, 30*math.Pi/180))
+	g80 := math.Abs(FresnelReflection(eps, 80*math.Pi/180))
+	if g80 <= g30 {
+		t.Errorf("grazing |Γ| (%v) should exceed 30° |Γ| (%v)", g80, g30)
+	}
+	// Bounded by 1 everywhere.
+	for deg := 0; deg < 90; deg++ {
+		g := math.Abs(FresnelReflection(eps, float64(deg)*math.Pi/180))
+		if g > 1 {
+			t.Fatalf("|Γ| = %v > 1 at %d°", g, deg)
+		}
+	}
+	// Higher permittivity reflects more.
+	if math.Abs(FresnelReflection(4, 0)) <= math.Abs(FresnelReflection(2, 0)) {
+		t.Error("higher εr should reflect more at normal incidence")
+	}
+}
+
+func TestThermalNoise(t *testing.T) {
+	// kTB for 20 MHz ≈ -101 dBm; +6 dB noise figure ≈ -95 dBm.
+	n := WattsToDBm(ThermalNoiseWatts(20e6, 0))
+	if !near(n, -100.98, 0.1) {
+		t.Errorf("20 MHz noise floor = %v dBm, want ≈-101", n)
+	}
+	nf := WattsToDBm(ThermalNoiseWatts(20e6, 6))
+	if !near(nf-n, 6, 1e-9) {
+		t.Errorf("noise figure added %v dB, want 6", nf-n)
+	}
+}
+
+func TestDopplerAndCoherence(t *testing.T) {
+	lambda := Wavelength(2.462e9)
+	// Paper §2: ca. 80 ms while almost stationary (0.5 mph), ca. 6 ms at
+	// running speed (6 mph). Our model should land in the same regime.
+	slow := CoherenceTime(DopplerShiftHz(MphToMps(0.5), lambda))
+	fast := CoherenceTime(DopplerShiftHz(MphToMps(6), lambda))
+	if slow < 0.05 || slow > 0.15 {
+		t.Errorf("coherence @0.5 mph = %v s, want ≈0.08–0.1", slow)
+	}
+	if fast < 0.004 || fast > 0.012 {
+		t.Errorf("coherence @6 mph = %v s, want ≈0.006–0.008", fast)
+	}
+	// 12x speed → 12x shorter coherence.
+	if !near(slow/fast, 12, 1e-6) {
+		t.Errorf("coherence ratio = %v, want 12", slow/fast)
+	}
+	if !math.IsInf(CoherenceTime(0), 1) {
+		t.Error("zero Doppler should give infinite coherence time")
+	}
+}

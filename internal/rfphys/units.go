@@ -1,0 +1,65 @@
+// Package rfphys collects the radio-physics primitives the PRESS
+// simulation is built on: unit conversions, free-space propagation
+// (Friis), dielectric wall reflection (Fresnel), thermal noise, Doppler,
+// and parametric antenna gain patterns.
+//
+// Internally every power-like quantity is linear; dB/dBm enter and leave
+// only through the conversion helpers here, which keeps sign conventions
+// in one place.
+package rfphys
+
+import "math"
+
+// SpeedOfLight is c in metres per second.
+const SpeedOfLight = 299_792_458.0
+
+// BoltzmannK is the Boltzmann constant in J/K.
+const BoltzmannK = 1.380649e-23
+
+// Wavelength returns the free-space wavelength in metres of a carrier at
+// freqHz.
+func Wavelength(freqHz float64) float64 {
+	return SpeedOfLight / freqHz
+}
+
+// DBToLinear converts a power ratio in dB to a linear ratio.
+func DBToLinear(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// LinearToDB converts a linear power ratio to dB. Zero or negative input
+// maps to -Inf, matching the convention that "no power" plots at the
+// bottom of a dB axis.
+func LinearToDB(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}
+
+// AmplitudeToDB converts a linear field-amplitude ratio to dB
+// (20·log10, since power goes as amplitude squared).
+func AmplitudeToDB(amp float64) float64 {
+	if amp <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(amp)
+}
+
+// DBToAmplitude converts dB to a linear amplitude ratio.
+func DBToAmplitude(db float64) float64 {
+	return math.Pow(10, db/20)
+}
+
+// DBmToWatts converts dBm to watts.
+func DBmToWatts(dbm float64) float64 {
+	return math.Pow(10, (dbm-30)/10)
+}
+
+// WattsToDBm converts watts to dBm. Non-positive power maps to -Inf.
+func WattsToDBm(w float64) float64 {
+	if w <= 0 {
+		return math.Inf(-1)
+	}
+	return 10*math.Log10(w) + 30
+}

@@ -1,0 +1,78 @@
+package rfphys
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWavelength(t *testing.T) {
+	// Channel 11 of the 2.4 GHz ISM band, the paper's operating channel.
+	l := Wavelength(2.462e9)
+	if !near(l, 0.1218, 1e-3) {
+		t.Errorf("Wavelength(2.462 GHz) = %v, want ≈0.1218 m", l)
+	}
+}
+
+func TestDBConversions(t *testing.T) {
+	cases := []struct{ db, lin float64 }{
+		{0, 1}, {10, 10}, {20, 100}, {-10, 0.1}, {3, 1.9952623149688795},
+	}
+	for _, c := range cases {
+		if got := DBToLinear(c.db); !near(got, c.lin, 1e-12*c.lin) {
+			t.Errorf("DBToLinear(%v) = %v, want %v", c.db, got, c.lin)
+		}
+		if got := LinearToDB(c.lin); !near(got, c.db, 1e-9) {
+			t.Errorf("LinearToDB(%v) = %v, want %v", c.lin, got, c.db)
+		}
+	}
+	if !math.IsInf(LinearToDB(0), -1) || !math.IsInf(LinearToDB(-1), -1) {
+		t.Error("LinearToDB of non-positive should be -Inf")
+	}
+}
+
+func TestAmplitudeConversions(t *testing.T) {
+	if got := AmplitudeToDB(10); !near(got, 20, 1e-12) {
+		t.Errorf("AmplitudeToDB(10) = %v", got)
+	}
+	if got := DBToAmplitude(20); !near(got, 10, 1e-12) {
+		t.Errorf("DBToAmplitude(20) = %v", got)
+	}
+	if !math.IsInf(AmplitudeToDB(0), -1) {
+		t.Error("AmplitudeToDB(0) should be -Inf")
+	}
+}
+
+func TestDBmWatts(t *testing.T) {
+	if got := DBmToWatts(0); !near(got, 1e-3, 1e-18) {
+		t.Errorf("0 dBm = %v W, want 1 mW", got)
+	}
+	if got := DBmToWatts(30); !near(got, 1, 1e-12) {
+		t.Errorf("30 dBm = %v W, want 1 W", got)
+	}
+	if got := WattsToDBm(1e-3); !near(got, 0, 1e-9) {
+		t.Errorf("1 mW = %v dBm, want 0", got)
+	}
+	if !math.IsInf(WattsToDBm(0), -1) {
+		t.Error("WattsToDBm(0) should be -Inf")
+	}
+}
+
+func TestConversionRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 500; trial++ {
+		db := rng.Float64()*200 - 100
+		if got := LinearToDB(DBToLinear(db)); !near(got, db, 1e-9) {
+			t.Fatalf("dB round trip %v -> %v", db, got)
+		}
+		if got := AmplitudeToDB(DBToAmplitude(db)); !near(got, db, 1e-9) {
+			t.Fatalf("amplitude round trip %v -> %v", db, got)
+		}
+		dbm := rng.Float64()*100 - 70
+		if got := WattsToDBm(DBmToWatts(dbm)); !near(got, dbm, 1e-9) {
+			t.Fatalf("dBm round trip %v -> %v", dbm, got)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function built from a
+// sample. The zero value is not useful; construct with NewECDF.
+//
+// ECDF backs every CDF/CCDF curve in the paper's figures (Figs 5, 6, 8):
+// the experiment harnesses collect raw samples and render them through
+// this type so that all curves share one definition of the empirical
+// distribution (right-continuous step function, P(X ≤ x)).
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from the sample xs. The input is copied, so the
+// caller may reuse its slice. NaN values are dropped: they carry no order
+// information and would poison the sort.
+func NewECDF(xs []float64) *ECDF {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}
+}
+
+// N returns the number of (non-NaN) samples behind the distribution.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// CDF returns P(X ≤ x), the fraction of samples that are ≤ x.
+// It returns NaN when the distribution is empty.
+func (e *ECDF) CDF(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	// Index of the first sample > x; everything before it is ≤ x.
+	n := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(e.sorted))
+}
+
+// CCDF returns P(X > x), the complementary CDF. The paper's Figures 5 and 6
+// plot this quantity on a log axis. It returns NaN when the distribution is
+// empty.
+func (e *ECDF) CCDF(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	return 1 - e.CDF(x)
+}
+
+// Quantile returns the smallest sample value v such that CDF(v) ≥ p,
+// for p in (0, 1]. Quantile(0) returns the smallest sample. It returns
+// NaN when the distribution is empty.
+func (e *ECDF) Quantile(p float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	if p >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(e.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return e.sorted[idx]
+}
+
+// Point is one (x, y) pair of a rendered distribution curve.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Points renders the full ECDF as a step curve: one point per distinct
+// sample value, y = P(X ≤ x). The result is suitable for direct plotting
+// or for the row printers in internal/experiments.
+func (e *ECDF) Points() []Point {
+	return e.curve(e.CDF)
+}
+
+// CCDFPoints renders the complementary CDF the same way Points renders the
+// CDF. This is the exact series the paper's Figures 5 and 6 display.
+func (e *ECDF) CCDFPoints() []Point {
+	return e.curve(e.CCDF)
+}
+
+func (e *ECDF) curve(f func(float64) float64) []Point {
+	pts := make([]Point, 0, len(e.sorted))
+	for i, x := range e.sorted {
+		if i > 0 && x == e.sorted[i-1] {
+			continue // collapse duplicate sample values into one step
+		}
+		pts = append(pts, Point{X: x, Y: f(x)})
+	}
+	return pts
+}
+
+// Histogram counts samples into nbins equal-width bins spanning [lo, hi].
+// Samples outside the range are clamped into the first or last bin, which
+// is the convention the sweep harnesses want for dB-valued data with a
+// known plotting range. It panics if nbins < 1 or hi ≤ lo.
+func Histogram(xs []float64, lo, hi float64, nbins int) []int {
+	if nbins < 1 {
+		panic("stats: Histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: Histogram range must satisfy lo < hi")
+	}
+	counts := make([]int, nbins)
+	width := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		bin := int((x - lo) / width)
+		if bin < 0 {
+			bin = 0
+		}
+		if bin >= nbins {
+			bin = nbins - 1
+		}
+		counts[bin]++
+	}
+	return counts
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasic(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.CDF(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+		if got := e.CCDF(c.x); !almostEqual(got, 1-c.want, 1e-12) {
+			t.Errorf("CCDF(%v) = %v, want %v", c.x, got, 1-c.want)
+		}
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.N() != 0 {
+		t.Errorf("N = %d, want 0", e.N())
+	}
+	if !math.IsNaN(e.CDF(1)) || !math.IsNaN(e.CCDF(1)) || !math.IsNaN(e.Quantile(0.5)) {
+		t.Error("empty ECDF should return NaN everywhere")
+	}
+}
+
+func TestECDFDropsNaN(t *testing.T) {
+	e := NewECDF([]float64{1, math.NaN(), 3})
+	if e.N() != 2 {
+		t.Errorf("N = %d, want 2 after dropping NaN", e.N())
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40})
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {0.25, 10}, {0.26, 20}, {0.5, 20}, {0.75, 30}, {1, 40},
+	}
+	for _, c := range cases {
+		if got := e.Quantile(c.p); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestECDFPointsCollapseDuplicates(t *testing.T) {
+	e := NewECDF([]float64{5, 5, 5, 7})
+	pts := e.Points()
+	if len(pts) != 2 {
+		t.Fatalf("Points len = %d, want 2", len(pts))
+	}
+	if pts[0].X != 5 || !almostEqual(pts[0].Y, 0.75, 1e-12) {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	if pts[1].X != 7 || pts[1].Y != 1 {
+		t.Errorf("second point = %+v", pts[1])
+	}
+}
+
+func TestCCDFPointsComplementPoints(t *testing.T) {
+	e := NewECDF([]float64{1, 4, 9, 16, 25})
+	cdf, ccdf := e.Points(), e.CCDFPoints()
+	if len(cdf) != len(ccdf) {
+		t.Fatalf("length mismatch %d vs %d", len(cdf), len(ccdf))
+	}
+	for i := range cdf {
+		if cdf[i].X != ccdf[i].X || !almostEqual(cdf[i].Y+ccdf[i].Y, 1, 1e-12) {
+			t.Errorf("point %d: CDF %+v vs CCDF %+v", i, cdf[i], ccdf[i])
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts := Histogram([]float64{0, 0.5, 1, 1.5, 2.5, -4, 99}, 0, 3, 3)
+	// bins: [0,1): {0, 0.5, -4 clamped} = 3; [1,2): {1, 1.5} = 2;
+	// [2,3]: {2.5, 99 clamped} = 2.
+	want := []int{3, 2, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bin %d = %d, want %d (all %v)", i, counts[i], want[i], counts)
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, bad := range []func(){
+		func() { Histogram(nil, 0, 1, 0) },
+		func() { Histogram(nil, 1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// Property: CDF is monotone non-decreasing and bounded in [0,1].
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		e := NewECDF(raw)
+		if e.N() == 0 {
+			return true
+		}
+		probe := append([]float64(nil), e.sorted...)
+		probe = append(probe, e.sorted[0]-1, e.sorted[len(e.sorted)-1]+1)
+		sort.Float64s(probe)
+		prev := -1.0
+		for _, x := range probe {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			y := e.CDF(x)
+			if y < prev-1e-12 || y < 0 || y > 1 {
+				return false
+			}
+			prev = y
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile and CDF are near-inverse: CDF(Quantile(p)) ≥ p.
+func TestECDFQuantileInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		e := NewECDF(xs)
+		p := rng.Float64()
+		if got := e.CDF(e.Quantile(p)); got < p-1e-12 {
+			t.Fatalf("CDF(Quantile(%v)) = %v < p (trial %d)", p, got, trial)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package stats
+
+import "math"
+
+// KSDistance returns the two-sample Kolmogorov–Smirnov statistic between
+// two empirical distributions: the largest vertical gap between their
+// CDFs. The experiment harnesses use it to quantify how similar the
+// per-trial distribution curves are (the paper's Figures 5, 6 and 8 all
+// overlay such families) and the tests use it to assert reproducibility
+// across trials. It returns NaN when either distribution is empty.
+func KSDistance(a, b *ECDF) float64 {
+	if a.N() == 0 || b.N() == 0 {
+		return math.NaN()
+	}
+	var worst float64
+	// The supremum is attained at a sample point of either distribution.
+	for _, x := range a.sorted {
+		if d := math.Abs(a.CDF(x) - b.CDF(x)); d > worst {
+			worst = d
+		}
+		// Also check just below the step.
+		below := math.Nextafter(x, math.Inf(-1))
+		if d := math.Abs(a.CDF(below) - b.CDF(below)); d > worst {
+			worst = d
+		}
+	}
+	for _, x := range b.sorted {
+		if d := math.Abs(a.CDF(x) - b.CDF(x)); d > worst {
+			worst = d
+		}
+		below := math.Nextafter(x, math.Inf(-1))
+		if d := math.Abs(a.CDF(below) - b.CDF(below)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestKSIdenticalIsZero(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	a, b := NewECDF(xs), NewECDF(xs)
+	if d := KSDistance(a, b); d != 0 {
+		t.Errorf("KS of identical samples = %v", d)
+	}
+}
+
+func TestKSDisjointIsOne(t *testing.T) {
+	a := NewECDF([]float64{1, 2, 3})
+	b := NewECDF([]float64{10, 11, 12})
+	if d := KSDistance(a, b); math.Abs(d-1) > 1e-12 {
+		t.Errorf("KS of disjoint supports = %v, want 1", d)
+	}
+}
+
+func TestKSKnownValue(t *testing.T) {
+	// a = {0, 1}, b = {0.5}: at x slightly below 0.5, CDF_a = 0.5 and
+	// CDF_b = 0; at 0.5 they are 0.5 and 1. Max gap = 0.5.
+	a := NewECDF([]float64{0, 1})
+	b := NewECDF([]float64{0.5})
+	if d := KSDistance(a, b); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("KS = %v, want 0.5", d)
+	}
+}
+
+func TestKSSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 100; trial++ {
+		xs := make([]float64, 1+rng.IntN(30))
+		ys := make([]float64, 1+rng.IntN(30))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		for i := range ys {
+			ys[i] = rng.NormFloat64() + 0.3
+		}
+		a, b := NewECDF(xs), NewECDF(ys)
+		d1, d2 := KSDistance(a, b), KSDistance(b, a)
+		if math.Abs(d1-d2) > 1e-12 {
+			t.Fatalf("asymmetric KS: %v vs %v", d1, d2)
+		}
+		if d1 < 0 || d1 > 1 {
+			t.Fatalf("KS out of [0,1]: %v", d1)
+		}
+	}
+}
+
+func TestKSSameDistributionSmall(t *testing.T) {
+	// Two large samples from the same distribution: KS should be small.
+	rng := rand.New(rand.NewPCG(3, 4))
+	xs := make([]float64, 2000)
+	ys := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	if d := KSDistance(NewECDF(xs), NewECDF(ys)); d > 0.08 {
+		t.Errorf("KS of same-distribution samples = %v", d)
+	}
+}
+
+func TestKSEmptyIsNaN(t *testing.T) {
+	if d := KSDistance(NewECDF(nil), NewECDF([]float64{1})); !math.IsNaN(d) {
+		t.Errorf("KS with empty sample = %v, want NaN", d)
+	}
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// flatWithNull builds a flat SNR curve at base dB with one dip of the given
+// depth at subcarrier idx.
+func flatWithNull(n int, base float64, idx int, depth float64) []float64 {
+	snr := make([]float64, n)
+	for i := range snr {
+		snr[i] = base
+	}
+	snr[idx] = base - depth
+	return snr
+}
+
+func TestMostSignificantNull(t *testing.T) {
+	snr := flatWithNull(52, 40, 17, 12)
+	null, ok := MostSignificantNull(snr, DefaultNullDepthDB)
+	if !ok {
+		t.Fatal("expected a qualifying null")
+	}
+	if null.Subcarrier != 17 || null.SNRdB != 28 || !almostEqual(null.DepthDB, 12, 1e-12) {
+		t.Errorf("null = %+v", null)
+	}
+}
+
+func TestMostSignificantNullRejectsShallow(t *testing.T) {
+	snr := flatWithNull(52, 40, 5, 3) // only 3 dB below median
+	if _, ok := MostSignificantNull(snr, DefaultNullDepthDB); ok {
+		t.Error("3 dB dip should not qualify with a 5 dB threshold")
+	}
+}
+
+func TestMostSignificantNullEmpty(t *testing.T) {
+	if _, ok := MostSignificantNull(nil, DefaultNullDepthDB); ok {
+		t.Error("empty curve should not have a null")
+	}
+}
+
+func TestNullMovement(t *testing.T) {
+	a := flatWithNull(52, 40, 10, 10)
+	b := flatWithNull(52, 40, 19, 10)
+	m, ok := NullMovement(a, b, DefaultNullDepthDB)
+	if !ok || m != 9 {
+		t.Errorf("NullMovement = (%d,%v), want (9,true)", m, ok)
+	}
+	// Symmetric.
+	m2, _ := NullMovement(b, a, DefaultNullDepthDB)
+	if m2 != m {
+		t.Errorf("NullMovement not symmetric: %d vs %d", m, m2)
+	}
+}
+
+func TestNullMovementRequiresBothNulls(t *testing.T) {
+	a := flatWithNull(52, 40, 10, 10)
+	flat := flatWithNull(52, 40, 0, 0)
+	if _, ok := NullMovement(a, flat, DefaultNullDepthDB); ok {
+		t.Error("pair with one flat curve should not qualify")
+	}
+}
+
+func TestPairwiseNullMovements(t *testing.T) {
+	curves := [][]float64{
+		flatWithNull(52, 40, 10, 10),
+		flatWithNull(52, 40, 13, 10),
+		flatWithNull(52, 40, 10, 1), // no qualifying null
+	}
+	moves := PairwiseNullMovements(curves, DefaultNullDepthDB)
+	// Qualifying pairs: (0,0)=0 (0,1)=3 (1,0)=3 (1,1)=0.
+	if len(moves) != 4 {
+		t.Fatalf("got %d samples, want 4: %v", len(moves), moves)
+	}
+	sum := 0.0
+	for _, m := range moves {
+		sum += m
+	}
+	if sum != 6 {
+		t.Errorf("sum of movements = %v, want 6", sum)
+	}
+}
+
+func TestPairwiseMinSNRChanges(t *testing.T) {
+	curves := [][]float64{
+		{30, 40}, {20, 40},
+	}
+	changes := PairwiseMinSNRChanges(curves)
+	if len(changes) != 4 {
+		t.Fatalf("got %d samples, want 4", len(changes))
+	}
+	// |30-30|, |30-20|, |20-30|, |20-20| => two zeros and two tens.
+	var zeros, tens int
+	for _, c := range changes {
+		switch c {
+		case 0:
+			zeros++
+		case 10:
+			tens++
+		}
+	}
+	if zeros != 2 || tens != 2 {
+		t.Errorf("changes = %v", changes)
+	}
+}
+
+func TestMinPerCurve(t *testing.T) {
+	mins := MinPerCurve([][]float64{{3, 1, 2}, {}, {5}})
+	if mins[0] != 1 || !math.IsNaN(mins[1]) || mins[2] != 5 {
+		t.Errorf("mins = %v", mins)
+	}
+}
+
+func TestLargestPairDifference(t *testing.T) {
+	curves := [][]float64{
+		{40, 40, 40},
+		{40, 15, 40}, // 25 dB dip at subcarrier 1
+		{40, 38, 40},
+	}
+	i, j, d, ok := LargestPairDifference(curves)
+	if !ok {
+		t.Fatal("expected a pair")
+	}
+	if !(i == 0 && j == 1) || !almostEqual(d, 25, 1e-12) {
+		t.Errorf("pair = (%d,%d,%v)", i, j, d)
+	}
+}
+
+func TestLargestPairDifferenceNotEnoughCurves(t *testing.T) {
+	if _, _, _, ok := LargestPairDifference([][]float64{{1, 2}}); ok {
+		t.Error("single curve should not produce a pair")
+	}
+	if _, _, _, ok := LargestPairDifference([][]float64{{1, 2}, {1}}); ok {
+		t.Error("mismatched lengths should not produce a pair")
+	}
+}
+
+// Property: null movement is bounded by the curve length and symmetric for
+// random curves.
+func TestNullMovementBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	const n = 52
+	for trial := 0; trial < 300; trial++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = 30 + rng.NormFloat64()*8
+			b[i] = 30 + rng.NormFloat64()*8
+		}
+		ma, oka := NullMovement(a, b, DefaultNullDepthDB)
+		mb, okb := NullMovement(b, a, DefaultNullDepthDB)
+		if oka != okb || ma != mb {
+			t.Fatalf("asymmetric null movement (trial %d)", trial)
+		}
+		if oka && (ma < 0 || ma >= n) {
+			t.Fatalf("movement %d out of bounds (trial %d)", ma, trial)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package press_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"press"
+)
+
+// demoSpace builds a small PRESS-instrumented room entirely through the
+// public API — the same code path the examples use.
+func demoSpace(t *testing.T, seed uint64) (*press.Space, *press.Radio, *press.Radio) {
+	t.Helper()
+	env := press.NewEnvironment(12, 9, 3)
+	env.AddScatterers(rand.New(rand.NewPCG(seed, 1)), 10, 35)
+	env.Blockers = append(env.Blockers,
+		press.NewBlocker(press.V(5.6, 4.2, 0), press.V(5.9, 5.0, 2.2), 35))
+
+	rxPos := press.V(7.25, 4.7, 1.3)
+	arr := press.NewArray(
+		press.NewParabolicElement(press.V(6.0, 3.2, 1.5), rxPos),
+		press.NewParabolicElement(press.V(6.5, 3.2, 1.5), rxPos),
+		press.NewParabolicElement(press.V(5.6, 3.4, 1.5), rxPos),
+	)
+	space, err := press.NewSpace(env, arr, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := &press.Radio{
+		Node:       press.Node{Pos: press.V(4.75, 4.5, 1.5), Pattern: press.Omni{PeakGainDBi: 2}},
+		TxPowerDBm: 15, NoiseFigureDB: 6,
+	}
+	rx := &press.Radio{
+		Node:          press.Node{Pos: rxPos, Pattern: press.Omni{PeakGainDBi: 2}},
+		NoiseFigureDB: 6,
+	}
+	return space, tx, rx
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	space, tx, rx := demoSpace(t, 11)
+	if _, err := space.AddLink("ap-client", tx, rx, press.WiFi20()); err != nil {
+		t.Fatal(err)
+	}
+	before, err := space.Measure("ap-client", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := space.Optimize(
+		[]press.Goal{{Link: "ap-client", Objective: press.MaxMinSNR{}}},
+		press.OptimizeOptions{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PerLink["ap-client"] < before.MinSNRdB()-1 {
+		t.Errorf("optimization made the link worse: %v vs %v",
+			out.PerLink["ap-client"], before.MinSNRdB())
+	}
+}
+
+func TestPublicAPIStatesAndNotation(t *testing.T) {
+	states := press.SP4TStates()
+	if len(states) != 4 {
+		t.Fatalf("SP4T bank size %d", len(states))
+	}
+	st, err := press.ParseState("0.5π")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.String() != "0.5π" {
+		t.Errorf("round trip gave %q", st.String())
+	}
+	if len(press.NPhaseStates(8, true)) != 9 {
+		t.Error("NPhaseStates wrong size")
+	}
+	if len(press.FourPhaseStates()) != 4 {
+		t.Error("FourPhaseStates wrong size")
+	}
+}
+
+func TestPublicAPIGrids(t *testing.T) {
+	if g := press.WiFi20(); g.NumUsed() != 52 || g.CenterHz != 2.462e9 {
+		t.Errorf("WiFi20 = %+v", g)
+	}
+	if g := press.USRP102(); g.NumUsed() != 102 {
+		t.Errorf("USRP102 used = %d", g.NumUsed())
+	}
+	if w := press.Wavelength(2.462e9); w < 0.12 || w > 0.125 {
+		t.Errorf("wavelength = %v", w)
+	}
+}
+
+func TestPublicAPICoherenceBudget(t *testing.T) {
+	if b := press.CoherenceBudgetAtSpeed(0.5, 2.462e9, press.PrototypeTiming); b != 1 {
+		t.Errorf("prototype walking budget = %d, want 1", b)
+	}
+}
+
+func TestPublicAPISearchers(t *testing.T) {
+	_, tx, rx := demoSpace(t, 13)
+	space, _, _ := demoSpace(t, 13)
+	if _, err := space.AddLink("l", tx, rx, press.WiFi20()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := space.Optimize(
+		[]press.Goal{{Link: "l", Objective: press.MaxMeanSNR{}}},
+		press.OptimizeOptions{
+			Searcher: press.Greedy{Rng: rand.New(rand.NewPCG(1, 2))},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Evaluations == 0 || len(out.Best) != 3 {
+		t.Errorf("outcome = %+v", out)
+	}
+}
+
+func TestPublicAPIFaultsAndBER(t *testing.T) {
+	space, tx, rx := demoSpace(t, 17)
+	link, err := space.AddLink("link", tx, rx, press.WiFi20())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Healthy BER at a robust constellation.
+	rep, err := link.MeasureBER(press.Config{0, 0, 0}, press.QPSK, 10000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BER > 0.01 {
+		t.Errorf("QPSK BER %v on a healthy strong link", rep.BER)
+	}
+	// Injecting faults through the public API changes the channel.
+	before, err := space.Measure("link", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.Faults = press.Faults{0: {Kind: press.StuckAt, State: 2}}
+	after, err := space.Measure("link", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diff float64
+	for k := range before.SNRdB {
+		d := before.SNRdB[k] - after.SNRdB[k]
+		if d < 0 {
+			d = -d
+		}
+		diff += d
+	}
+	if diff == 0 {
+		t.Error("fault injection had no effect on the measured channel")
+	}
+}
+
+func TestPublicAPISINR(t *testing.T) {
+	space, tx, rx := demoSpace(t, 19)
+	if _, err := space.AddLink("sig", tx, rx, press.WiFi20()); err != nil {
+		t.Fatal(err)
+	}
+	intfTx := &press.Radio{
+		Node:       press.Node{Pos: press.V(4.75, 6.2, 1.5), Pattern: press.Omni{PeakGainDBi: 2}},
+		TxPowerDBm: 15, NoiseFigureDB: 6,
+	}
+	if _, err := space.AddLink("intf", intfTx, rx, press.WiFi20()); err != nil {
+		t.Fatal(err)
+	}
+	sig, err := space.Measure("sig", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intf, err := space.Measure("intf", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinr, err := press.SINRdB(sig, []*press.CSI{intf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range sinr {
+		if sinr[k] > sig.SNRdB[k]+1e-9 {
+			t.Fatalf("SINR above SNR at subcarrier %d", k)
+		}
+	}
+}
+
+func TestPublicAPIWrapperSurface(t *testing.T) {
+	// Exercise the thin re-export wrappers so facade regressions
+	// (signature drift, missed renames) fail loudly.
+	env := press.NewEnvironment(8, 6, 3)
+	tx := press.Node{Pos: press.V(2, 3, 1.5), Pattern: press.Isotropic{}}
+	rx := press.Node{Pos: press.V(6, 3, 1.5), Pattern: press.Omni{PeakGainDBi: 2}}
+	paths := press.TracePaths(env, tx, rx, press.Wavelength(2.462e9))
+	if len(paths) == 0 {
+		t.Fatal("no paths traced")
+	}
+	radioTX := &press.Radio{Node: tx, TxPowerDBm: 15, NoiseFigureDB: 6}
+	radioRX := &press.Radio{Node: rx, NoiseFigureDB: 6}
+	arr := press.NewArray(press.NewActiveElement(press.V(4, 2, 1.5), 10))
+	link, err := press.NewLink(env, radioTX, radioRX, press.WiFi20(), arr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csi, err := link.MeasureCSI(press.Config{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp := press.ThroughputMbps(link.Grid, csi.SNRdB); tp <= 0 {
+		t.Errorf("throughput = %v", tp)
+	}
+
+	ml, err := press.NewMIMOLink(env, []press.Node{tx}, []press.Node{rx}, press.WiFi20(), nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := ml.TrueChannel(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ch.Matrices[0]
+	if c := press.CondNumberDB(m); c != 0 { // 1×1 matrix: always 0 dB
+		t.Errorf("1x1 cond = %v", c)
+	}
+	if press.CapacityBpsHz(m, 10) <= 0 || press.ZFSumRateBpsHz(m, 10) <= 0 {
+		t.Error("capacities not positive")
+	}
+
+	// Unit helpers.
+	if press.DBToLinear(press.LinearToDB(42)) < 41.9 {
+		t.Error("dB round trip broken")
+	}
+	if press.DBmToWatts(0) != 0.001 {
+		t.Error("dBm conversion broken")
+	}
+	if press.ThermalNoiseWatts(20e6, 0) <= 0 {
+		t.Error("noise floor broken")
+	}
+	if press.CoherenceTime(10) <= 0 {
+		t.Error("coherence time broken")
+	}
+	if press.CoherenceBudget(80_000_000, press.Timing{PerMeasurement: 1_000_000}) != 80 {
+		t.Error("coherence budget broken")
+	}
+	if press.DefaultPlacement.MinDist != 1 || press.DefaultPlacement.MaxDist != 2 {
+		t.Error("default placement drifted")
+	}
+	if press.Off == press.Off { // NaN: must NOT be equal to itself
+		t.Error("Off sentinel is not NaN")
+	}
+}
