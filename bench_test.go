@@ -9,9 +9,57 @@ package press_test
 
 import (
 	"testing"
+	"time"
 
 	"press/internal/experiments"
+	"press/internal/obs"
 )
+
+// BenchmarkCounterInc measures one telemetry counter increment on the
+// hot path as instrumented code writes it — lookup plus increment — for
+// a live registry and for the nil (disabled) default. The disabled case
+// must report 0 allocs/op: telemetry off cannot tax the simulator.
+func BenchmarkCounterInc(b *testing.B) {
+	b.Run("enabled", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reg.Counter("bench_events_total").Inc()
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		var reg *obs.Registry
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reg.Counter("bench_events_total").Inc()
+		}
+	})
+}
+
+// BenchmarkHistogramObserve is BenchmarkCounterInc for histogram
+// observations (the per-measurement latency recording).
+func BenchmarkHistogramObserve(b *testing.B) {
+	b.Run("enabled", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reg.Histogram("bench_seconds", obs.LatencyBuckets).
+				ObserveDuration(time.Duration(i) * time.Microsecond)
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		var reg *obs.Registry
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reg.Histogram("bench_seconds", obs.LatencyBuckets).
+				ObserveDuration(time.Duration(i) * time.Microsecond)
+		}
+	})
+}
 
 // BenchmarkExpLoS regenerates the §3 line-of-sight preliminary check:
 // passive elements move a LoS channel by < 2 dB.

@@ -87,7 +87,12 @@ func runDemo(args []string) error {
 	seed := fs.Uint64("seed", 42, "scenario seed")
 	speed := fs.Float64("speed", 0, "endpoint speed in mph (0 = static, unlimited budget)")
 	perMeas := fs.Duration("per-measurement", 2*time.Millisecond, "cost of one CSI measurement")
+	var tele press.TelemetryCLI
+	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := tele.Start(os.Stderr); err != nil {
 		return err
 	}
 
@@ -96,6 +101,7 @@ func runDemo(args []string) error {
 		return err
 	}
 	link := space.Link("ap-client")
+	link.Obs = tele.Registry()
 
 	// Element-side agent on a TCP loopback listener.
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -103,6 +109,7 @@ func runDemo(args []string) error {
 		return err
 	}
 	agent := press.NewAgent(1, space.Array)
+	agent.Obs = tele.Registry()
 	var mu sync.Mutex
 	applied := space.Applied()
 	agent.OnApply = func(cfg press.Config) {
@@ -121,12 +128,16 @@ func runDemo(args []string) error {
 	}
 	defer nc.Close()
 	ctrl := press.NewController(press.NewStreamConn(nc))
+	ctrl.Obs = tele.Registry()
+	ctrl.Log = tele.Logger()
 	hctx, hcancel := context.WithTimeout(ctx, 5*time.Second)
 	defer hcancel()
+	hsp := press.StartSpan(tele.Registry(), "demo/handshake")
 	if err := ctrl.Handshake(hctx); err != nil {
 		return err
 	}
 	rtt, err := ctrl.Ping(hctx)
+	hsp.End()
 	if err != nil {
 		return err
 	}
@@ -169,7 +180,9 @@ func runDemo(args []string) error {
 		return objective.Score(csi), nil
 	}
 
-	searcher := press.Greedy{Rng: rand.New(rand.NewPCG(*seed, 2)), Restarts: 2}
+	searcher := press.InstrumentSearcher(
+		press.Greedy{Rng: rand.New(rand.NewPCG(*seed, 2)), Restarts: 2},
+		tele.Registry(), tele.Logger())
 	res, err := searcher.Search(space.Array, eval, budget)
 	if err != nil && !errors.Is(err, press.ErrBudgetExhausted) {
 		return err
@@ -179,11 +192,13 @@ func runDemo(args []string) error {
 	}
 
 	// Actuate the winner and report.
+	asp := press.StartSpan(tele.Registry(), "demo/actuate")
 	actx, acancel := context.WithTimeout(ctx, 2*time.Second)
 	defer acancel()
 	if err := ctrl.SetConfig(actx, res.Best); err != nil {
 		return err
 	}
+	asp.End()
 	after, err := link.MeasureCSI(res.Best, now.Seconds())
 	if err != nil {
 		return err
@@ -193,7 +208,7 @@ func runDemo(args []string) error {
 		press.ThroughputMbps(link.Grid, after.SNRdB), res.Evaluations)
 	fmt.Printf("control plane: %d sent, %d acked, %d retries\n",
 		ctrl.Stats.Sent.Load(), ctrl.Stats.Acked.Load(), ctrl.Stats.Retries.Load())
-	return nil
+	return tele.Finish(os.Stdout)
 }
 
 func runAgent(args []string) error {
@@ -201,7 +216,12 @@ func runAgent(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7010", "TCP listen address")
 	elements := fs.Int("elements", 3, "array size")
 	id := fs.Uint64("id", 1, "agent id")
+	var tele press.TelemetryCLI
+	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := tele.Start(os.Stderr); err != nil {
 		return err
 	}
 	elems := make([]*press.Element, *elements)
@@ -209,6 +229,8 @@ func runAgent(args []string) error {
 		elems[i] = press.NewOmniElement(press.V(float64(i), 1, 1.5))
 	}
 	agent := press.NewAgent(uint32(*id), press.NewArray(elems...))
+	agent.Obs = tele.Registry()
+	agent.Log = tele.Logger()
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -218,7 +240,7 @@ func runAgent(args []string) error {
 	defer stop()
 	err = agent.ListenAndServe(ctx, l)
 	if errors.Is(err, context.Canceled) {
-		return nil
+		return tele.Finish(os.Stdout)
 	}
 	return err
 }
@@ -227,7 +249,12 @@ func runPing(args []string) error {
 	fs := flag.NewFlagSet("ping", flag.ContinueOnError)
 	connect := fs.String("connect", "127.0.0.1:7010", "agent address")
 	count := fs.Int("count", 5, "pings to send")
+	var tele press.TelemetryCLI
+	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := tele.Start(os.Stderr); err != nil {
 		return err
 	}
 	nc, err := net.Dial("tcp", *connect)
@@ -236,6 +263,8 @@ func runPing(args []string) error {
 	}
 	defer nc.Close()
 	ctrl := press.NewController(press.NewStreamConn(nc))
+	ctrl.Obs = tele.Registry()
+	ctrl.Log = tele.Logger()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := ctrl.Handshake(ctx); err != nil {
@@ -249,5 +278,5 @@ func runPing(args []string) error {
 		}
 		fmt.Printf("rtt %v\n", rtt)
 	}
-	return nil
+	return tele.Finish(os.Stdout)
 }

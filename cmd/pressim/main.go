@@ -20,6 +20,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"press/internal/experiments"
+	"press/internal/obs"
 )
 
 func main() {
@@ -39,6 +42,7 @@ type options struct {
 	budget     int
 	csvDir     string
 	recordPath string
+	tele       obs.CLI
 }
 
 func run(args []string, out io.Writer) error {
@@ -53,6 +57,7 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&opt.budget, "budget", 200, "measurement budget for the search ablation")
 	fs.StringVar(&opt.csvDir, "csv", "", "directory to write raw CSV series into (created if missing)")
 	fs.StringVar(&opt.recordPath, "record", "", "JSON sweep-record path for the record/replay experiments")
+	opt.tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +66,17 @@ func run(args []string, out io.Writer) error {
 		if err := os.MkdirAll(opt.csvDir, 0o755); err != nil {
 			return err
 		}
+	}
+	if err := opt.tele.Start(os.Stderr); err != nil {
+		return err
+	}
+	experiments.SetObserver(opt.tele.Registry(), opt.tele.Logger())
+	defer experiments.SetObserver(nil, nil)
+	if reg := opt.tele.Registry(); reg != nil {
+		// Pre-register the headline series so the snapshot always carries
+		// them, even for experiments that never search or solve a channel.
+		reg.Counter("search_evaluations_total")
+		reg.Histogram("radio_channel_solve_seconds", obs.LatencyBuckets)
 	}
 
 	exps := strings.Split(opt.exp, ",")
@@ -71,11 +87,15 @@ func run(args []string, out io.Writer) error {
 		if i > 0 {
 			fmt.Fprintln(out, "\n"+strings.Repeat("=", 72)+"\n")
 		}
-		if err := runOne(strings.TrimSpace(e), opt, out); err != nil {
+		name := strings.TrimSpace(e)
+		sp := obs.StartSpan(opt.tele.Registry(), "exp/"+name)
+		err := runOne(name, opt, out)
+		sp.End()
+		if err != nil {
 			return fmt.Errorf("%s: %w", e, err)
 		}
 	}
-	return nil
+	return opt.tele.Finish(out)
 }
 
 // writeCSV saves a figure's raw series when -csv was given.

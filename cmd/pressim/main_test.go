@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -116,5 +117,56 @@ func TestRecordNeedsPath(t *testing.T) {
 	}
 	if err := run([]string{"-exp", "replay"}, &buf); err == nil {
 		t.Error("replay without -record accepted")
+	}
+}
+
+// TestTelemetrySnapshot: -telemetry - must append a valid JSON snapshot
+// carrying the headline series (search evaluations, channel-solve
+// histogram) and per-experiment spans after the experiment output.
+func TestTelemetrySnapshot(t *testing.T) {
+	out := runQuick(t, "-exp", "los", "-telemetry", "-")
+	i := strings.Index(out, "{")
+	if i < 0 {
+		t.Fatalf("no JSON snapshot in output:\n%s", out)
+	}
+	var snap struct {
+		Counters   map[string]int64          `json:"counters"`
+		Histograms map[string]map[string]any `json:"histograms"`
+		Spans      map[string]map[string]any `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(out[i:]), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, out[i:])
+	}
+	if _, ok := snap.Counters["search_evaluations_total"]; !ok {
+		t.Errorf("snapshot missing search_evaluations_total: %v", snap.Counters)
+	}
+	if _, ok := snap.Histograms["radio_channel_solve_seconds"]; !ok {
+		t.Errorf("snapshot missing radio_channel_solve_seconds: %v", snap.Histograms)
+	}
+	if _, ok := snap.Spans["exp/los"]; !ok {
+		t.Errorf("snapshot missing exp/los span: %v", snap.Spans)
+	}
+	if snap.Counters["radio_csi_measurements_total"] == 0 {
+		t.Error("los ran measurements but the counter is zero")
+	}
+}
+
+// TestTelemetryFileProm: a file destination in Prometheus format.
+func TestTelemetryFileProm(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	runQuick(t, "-exp", "los", "-telemetry", path, "-telemetry-format", "prom")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"# TYPE radio_csi_measurements_total counter",
+		"radio_channel_solve_seconds_bucket{le=\"+Inf\"}",
+		"exp_los_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prom output missing %q:\n%s", want, text)
+		}
 	}
 }

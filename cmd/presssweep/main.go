@@ -20,6 +20,7 @@ import (
 
 	"press/internal/control"
 	"press/internal/experiments"
+	"press/internal/obs"
 	"press/internal/radio"
 )
 
@@ -46,6 +47,20 @@ func run(args []string) error {
 	}
 }
 
+// startTelemetry brings up the parsed telemetry flags and installs the
+// experiments observer. The returned finish func tears both down and
+// emits the snapshot ("-" goes to stdout, after the CSV).
+func startTelemetry(tele *obs.CLI) (finish func() error, err error) {
+	if err := tele.Start(os.Stderr); err != nil {
+		return nil, err
+	}
+	experiments.SetObserver(tele.Registry(), tele.Logger())
+	return func() error {
+		experiments.SetObserver(nil, nil)
+		return tele.Finish(os.Stdout)
+	}, nil
+}
+
 // buildLink constructs the calibrated NLoS scenario with n elements.
 func buildLink(seed uint64, n int) (*radio.Link, error) {
 	scen := experiments.DefaultSISO(seed)
@@ -58,9 +73,16 @@ func runConvergence(args []string) error {
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	elements := fs.Int("elements", 8, "array size (space 4^n)")
 	budget := fs.Int("budget", 300, "measurement budget per searcher")
+	var tele obs.CLI
+	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	finish, err := startTelemetry(&tele)
+	if err != nil {
+		return err
+	}
+	sp := obs.StartSpan(tele.Registry(), "sweep/convergence")
 
 	searchers := []control.Searcher{
 		control.Random{Rng: rand.New(rand.NewPCG(*seed, 1)), Samples: *budget},
@@ -80,7 +102,8 @@ func runConvergence(args []string) error {
 			return err
 		}
 		ev := &control.LinkEvaluator{Link: link, Objective: control.MaxMinSNR{}}
-		res, err := s.Search(link.Array, ev.Eval, *budget)
+		res, err := control.Instrument(s, tele.Registry(), tele.Logger()).
+			Search(link.Array, ev.Eval, *budget)
 		if err != nil && !errors.Is(err, control.ErrBudgetExhausted) {
 			return err
 		}
@@ -91,16 +114,28 @@ func runConvergence(args []string) error {
 			}
 		}
 	}
-	return w.Error()
+	sp.End()
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return finish()
 }
 
 func runBudget(args []string) error {
 	fs := flag.NewFlagSet("budget", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	perMeas := fs.Duration("per-measurement", 2*time.Millisecond, "measurement cost")
+	var tele obs.CLI
+	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	finish, err := startTelemetry(&tele)
+	if err != nil {
+		return err
+	}
+	sp := obs.StartSpan(tele.Registry(), "sweep/budget")
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 	if err := w.Write([]string{"speed_mph", "budget", "baseline_db", "best_db", "gain_db"}); err != nil {
@@ -122,7 +157,9 @@ func runBudget(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := (control.Greedy{Rng: rand.New(rand.NewPCG(*seed, 9)), Restarts: 4}).
+		res, err := control.Instrument(
+			control.Greedy{Rng: rand.New(rand.NewPCG(*seed, 9)), Restarts: 4},
+			tele.Registry(), tele.Logger()).
 			Search(link.Array, ev.Eval, budget)
 		if err != nil && !errors.Is(err, control.ErrBudgetExhausted) {
 			return err
@@ -137,16 +174,28 @@ func runBudget(args []string) error {
 			return err
 		}
 	}
-	return w.Error()
+	sp.End()
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return finish()
 }
 
 func runDensity(args []string) error {
 	fs := flag.NewFlagSet("density", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	maxN := fs.Int("max-elements", 6, "largest array size")
+	var tele obs.CLI
+	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	finish, err := startTelemetry(&tele)
+	if err != nil {
+		return err
+	}
+	sp := obs.StartSpan(tele.Registry(), "sweep/density")
 	res, err := experiments.RunElementAblation(*seed, countsUpTo(*maxN))
 	if err != nil {
 		return err
@@ -166,7 +215,12 @@ func runDensity(args []string) error {
 			return err
 		}
 	}
-	return w.Error()
+	sp.End()
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return finish()
 }
 
 func countsUpTo(n int) []int {

@@ -1,0 +1,79 @@
+package control
+
+import (
+	"errors"
+	"math"
+
+	"press/internal/element"
+	"press/internal/obs"
+)
+
+// Instrumented wraps any Searcher with telemetry: a per-strategy span
+// ("search/<name>") for wall-time, the evaluations-consumed counter and
+// budget gauge, the best-objective gauge, and best-so-far trajectory
+// events on the structured log — the measure→search loop visibility the
+// controller needs to stay inside its coherence budget. With both Obs
+// and Log nil the wrapper degrades to bare pass-through bookkeeping.
+type Instrumented struct {
+	Searcher Searcher
+	Obs      *obs.Registry
+	Log      *obs.Logger
+}
+
+// Instrument wraps s unless telemetry is fully disabled, in which case
+// s itself is returned and no overhead is added.
+func Instrument(s Searcher, reg *obs.Registry, log *obs.Logger) Searcher {
+	if reg == nil && log == nil {
+		return s
+	}
+	return Instrumented{Searcher: s, Obs: reg, Log: log}
+}
+
+// Name implements Searcher.
+func (in Instrumented) Name() string { return in.Searcher.Name() }
+
+// Search implements Searcher: it runs the wrapped strategy with an
+// observed EvalFunc, mirroring exactly what tracker.measure sees (every
+// successful evaluation, in order), and records the run's wall time.
+func (in Instrumented) Search(arr *element.Array, eval EvalFunc, budget int) (*Result, error) {
+	name := in.Searcher.Name()
+	in.Obs.Counter("search_runs_total").Inc()
+	in.Obs.Gauge("search_budget").Set(float64(budget))
+	evals := in.Obs.Counter("search_evaluations_total")
+	bestGauge := in.Obs.Gauge("search_best_objective")
+	trajectory := in.Log.Enabled(obs.LevelDebug)
+
+	best := math.Inf(-1)
+	n := 0
+	wrapped := func(cfg element.Config) (float64, error) {
+		score, err := eval(cfg)
+		if err != nil {
+			return score, err
+		}
+		evals.Inc()
+		n++
+		if score > best {
+			best = score
+			bestGauge.Set(score)
+			if trajectory {
+				in.Log.Debug("search: best improved",
+					"searcher", name, "evaluation", n, "score", score)
+			}
+		}
+		return score, nil
+	}
+
+	sp := obs.StartSpan(in.Obs, "search/"+name)
+	res, err := in.Searcher.Search(arr, wrapped, budget)
+	wall := sp.End()
+
+	if res != nil {
+		in.Log.Info("search: finished",
+			"searcher", name, "evaluations", res.Evaluations, "budget", budget,
+			"best", res.BestScore, "exhausted", errors.Is(err, ErrBudgetExhausted),
+			"wall", wall)
+	} else if err != nil {
+		in.Log.Error("search: failed", "searcher", name, "evaluations", n, "err", err)
+	}
+	return res, err
+}

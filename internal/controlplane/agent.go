@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"press/internal/element"
+	"press/internal/obs"
 )
 
 // Agent is the element-side endpoint: it owns a PRESS array, applies
@@ -24,6 +25,10 @@ type Agent struct {
 	OnApply func(cfg element.Config)
 	// ActuationDelay models RF-switch settling time before the Ack.
 	ActuationDelay time.Duration
+	// Obs, when set, counts handled frames by type (agent_* counters).
+	Obs *obs.Registry
+	// Log, when set, receives a Debug record per applied configuration.
+	Log *obs.Logger
 
 	mu      sync.Mutex
 	current element.Config
@@ -73,13 +78,16 @@ func (a *Agent) Serve(ctx context.Context, conn Conn) error {
 
 // handle dispatches one request.
 func (a *Agent) handle(conn Conn, seq uint32, msg Message) error {
+	a.Obs.Counter("agent_frames_total").Inc()
 	switch m := msg.(type) {
 	case *SetConfig:
+		a.Obs.Counter("agent_setconfig_total").Inc()
 		cfg := make(element.Config, len(m.States))
 		for i, s := range m.States {
 			cfg[i] = int(s)
 		}
 		if err := a.Array.Validate(cfg); err != nil {
+			a.Obs.Counter("agent_rejects_total").Inc()
 			return conn.Send(seq, &Ack{AckSeq: seq, Status: StatusBadConfig})
 		}
 		if a.ActuationDelay > 0 {
@@ -91,8 +99,12 @@ func (a *Agent) handle(conn Conn, seq uint32, msg Message) error {
 		if a.OnApply != nil {
 			a.OnApply(cfg.Clone())
 		}
+		if a.Log.Enabled(obs.LevelDebug) {
+			a.Log.Debug("agent: applied configuration", "seq", seq, "elements", len(cfg))
+		}
 		return conn.Send(seq, &Ack{AckSeq: seq, Status: StatusOK})
 	case *Query:
+		a.Obs.Counter("agent_queries_total").Inc()
 		cur := a.Current()
 		states := make([]uint8, len(cur))
 		for i, s := range cur {
@@ -100,10 +112,12 @@ func (a *Agent) handle(conn Conn, seq uint32, msg Message) error {
 		}
 		return conn.Send(seq, &Report{States: states})
 	case *Ping:
+		a.Obs.Counter("agent_pings_total").Inc()
 		return conn.Send(seq, &Pong{T: m.T})
 	case *Hello:
 		// A Hello *request* is a discovery probe (datagram controllers
 		// have no stream handshake); answer with our identity.
+		a.Obs.Counter("agent_hellos_total").Inc()
 		return conn.Send(seq, &Hello{AgentID: a.ID, NumElements: uint16(a.Array.N())})
 	default:
 		// Unknown or unexpected messages are ignored: a controller

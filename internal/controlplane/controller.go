@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"press/internal/element"
+	"press/internal/obs"
 )
 
 // Stats counts controller-side protocol events, for the latency/loss
@@ -34,6 +35,14 @@ type Controller struct {
 	Retries int
 	// Stats accumulates protocol counters.
 	Stats Stats
+	// Obs, when set, mirrors Stats into a telemetry registry and adds the
+	// latency histograms (ack latency, ping RTT) that the atomic counters
+	// cannot carry. Nil disables telemetry at the cost of one pointer
+	// check per event.
+	Obs *obs.Registry
+	// Log, when set, receives protocol events (retries, give-ups) as
+	// structured records.
+	Log *obs.Logger
 
 	seq atomic.Uint32
 	// agentID and numElements are learned from the agent's Hello.
@@ -88,6 +97,7 @@ func (c *Controller) Probe(ctx context.Context) error {
 		if err := c.conn.Send(seq, &Hello{}); err != nil {
 			return err
 		}
+		c.Obs.Counter("controlplane_frames_sent_total").Inc()
 		deadline := time.Now().Add(c.Timeout)
 		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 			deadline = d
@@ -140,22 +150,42 @@ func (c *Controller) SetConfig(ctx context.Context, cfg element.Config) error {
 		}
 		if attempt > 0 {
 			c.Stats.Retries.Add(1)
+			c.Obs.Counter("controlplane_retries_total").Inc()
+			if c.Log.Enabled(obs.LevelDebug) {
+				c.Log.Debug("controlplane: retrying set-config",
+					"seq", seq, "attempt", attempt, "err", lastErr)
+			}
+		}
+		var attemptStart time.Time
+		if c.Obs != nil {
+			attemptStart = time.Now()
 		}
 		if err := c.conn.Send(seq, msg); err != nil {
 			return err
 		}
 		c.Stats.Sent.Add(1)
+		c.Obs.Counter("controlplane_frames_sent_total").Inc()
 
 		status, err := c.awaitAck(ctx, seq)
 		if err == nil {
+			if c.Obs != nil {
+				c.Obs.Histogram("controlplane_ack_latency_seconds", obs.LatencyBuckets).
+					ObserveDuration(time.Since(attemptStart))
+			}
 			if status != StatusOK {
 				c.Stats.Rejected.Add(1)
+				c.Obs.Counter("controlplane_rejected_total").Inc()
 				return fmt.Errorf("%w (status %d)", ErrRejected, status)
 			}
 			c.Stats.Acked.Add(1)
+			c.Obs.Counter("controlplane_acks_total").Inc()
 			return nil
 		}
 		lastErr = err
+	}
+	if c.Log.Enabled(obs.LevelWarn) {
+		c.Log.Warn("controlplane: set-config unacknowledged",
+			"seq", seq, "attempts", c.Retries+1, "err", lastErr)
 	}
 	return fmt.Errorf("controlplane: set-config seq %d unacknowledged after %d attempts: %w",
 		seq, c.Retries+1, lastErr)
@@ -174,14 +204,17 @@ func (c *Controller) awaitAck(ctx context.Context, seq uint32) (uint8, error) {
 		if err != nil {
 			if errors.Is(err, ErrBadCRC) {
 				c.Stats.CRCErrors.Add(1)
+				c.Obs.Counter("controlplane_crc_errors_total").Inc()
 				continue
 			}
 			var to interface{ Timeout() bool }
 			if errors.As(err, &to) && to.Timeout() {
 				c.Stats.Timeouts.Add(1)
+				c.Obs.Counter("controlplane_timeouts_total").Inc()
 			}
 			return 0, err
 		}
+		c.Obs.Counter("controlplane_frames_received_total").Inc()
 		if ack, ok := msg.(*Ack); ok && ack.AckSeq == seq {
 			return ack.Status, nil
 		}
@@ -200,6 +233,7 @@ func (c *Controller) QueryConfig(ctx context.Context) (element.Config, error) {
 		if err := c.conn.Send(seq, &Query{}); err != nil {
 			return nil, err
 		}
+		c.Obs.Counter("controlplane_frames_sent_total").Inc()
 		deadline := time.Now().Add(c.Timeout)
 		_ = c.conn.SetRecvDeadline(deadline)
 		for {
@@ -231,6 +265,7 @@ func (c *Controller) Ping(ctx context.Context) (time.Duration, error) {
 	if err := c.conn.Send(seq, &Ping{T: start.UnixNano()}); err != nil {
 		return 0, err
 	}
+	c.Obs.Counter("controlplane_frames_sent_total").Inc()
 	deadline := start.Add(c.Timeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
@@ -242,7 +277,12 @@ func (c *Controller) Ping(ctx context.Context) (time.Duration, error) {
 			return 0, err
 		}
 		if pong, ok := msg.(*Pong); ok && pong.T == start.UnixNano() {
-			return time.Since(start), nil
+			rtt := time.Since(start)
+			if c.Obs != nil {
+				c.Obs.Histogram("controlplane_ping_rtt_seconds", obs.LatencyBuckets).
+					ObserveDuration(rtt)
+			}
+			return rtt, nil
 		}
 	}
 }

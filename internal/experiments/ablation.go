@@ -23,7 +23,7 @@ func baselineAndBest(link *radio.Link) (baseline, best float64, evals int, err e
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	res, err := (control.Exhaustive{}).Search(link.Array, ev.Eval, 0)
+	res, err := instrument(control.Exhaustive{}).Search(link.Array, ev.Eval, 0)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -196,7 +196,7 @@ func RunSearchAblation(seed uint64, budget int) (*SearchAblationResult, error) {
 	span := exhaustive - base
 	for _, s := range searchers {
 		ev := &control.LinkEvaluator{Link: link, Objective: control.MaxMinSNR{}}
-		r, err := s.Search(link.Array, ev.Eval, budget)
+		r, err := instrument(s).Search(link.Array, ev.Eval, budget)
 		if err != nil && !errors.Is(err, control.ErrBudgetExhausted) {
 			return nil, fmt.Errorf("experiments: %s: %w", s.Name(), err)
 		}

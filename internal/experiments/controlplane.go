@@ -73,7 +73,7 @@ func RunControlPlaneComparison(seed uint64) (*ControlPlaneResult, error) {
 			return nil, err
 		}
 		rng := newSeededRand(seed, uint64(len(res.Rows)+1))
-		r, err := (control.Greedy{Rng: rng, Restarts: 2}).Search(link.Array, ev.Eval, walk)
+		r, err := instrument(control.Greedy{Rng: rng, Restarts: 2}).Search(link.Array, ev.Eval, walk)
 		if err != nil && r == nil {
 			return nil, err
 		}

@@ -38,7 +38,7 @@ func faultGains(seed uint64, faults element.Faults) (measured, model float64, er
 	if err != nil {
 		return 0, 0, err
 	}
-	r, err := (control.Greedy{Rng: newSeededRand(seed, 0xfa01), Restarts: 2}).
+	r, err := instrument(control.Greedy{Rng: newSeededRand(seed, 0xfa01), Restarts: 2}).
 		Search(lb.link.Array, lb.ev.Eval, 300)
 	if err != nil && !errors.Is(err, control.ErrBudgetExhausted) {
 		return 0, 0, err
@@ -58,7 +58,7 @@ func faultGains(seed uint64, faults element.Faults) (measured, model float64, er
 		Grid:  lb2.link.Grid,
 	}
 	mg := control.ModelGuided{Problem: prob, RefinePasses: 1}
-	r2, err := mg.Search(lb2.link.Array, lb2.ev.Eval, 300)
+	r2, err := instrument(mg).Search(lb2.link.Array, lb2.ev.Eval, 300)
 	if err != nil && !errors.Is(err, control.ErrBudgetExhausted) {
 		return 0, 0, err
 	}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"press/internal/control"
+	"press/internal/obs"
+)
+
+// observerState carries the telemetry sinks an embedding CLI installs.
+type observerState struct {
+	reg *obs.Registry
+	log *obs.Logger
+}
+
+var currentObserver atomic.Pointer[observerState]
+
+// SetObserver installs a process-wide telemetry registry and logger for
+// every harness in this package: scenario Builds attach the registry to
+// the links and environments they create, and search call sites wrap
+// their searchers with control.Instrument. Pass nil, nil to clear.
+//
+// A package-level observer (rather than per-harness parameters) keeps
+// the dozens of Run* signatures stable; the harnesses run one at a time
+// from the CLIs, so a single process-wide sink is the right granularity.
+func SetObserver(reg *obs.Registry, log *obs.Logger) {
+	if reg == nil && log == nil {
+		currentObserver.Store(nil)
+		return
+	}
+	currentObserver.Store(&observerState{reg: reg, log: log})
+}
+
+// obsRegistry returns the installed registry, or nil when telemetry is
+// off — safe to assign to Link.Obs / Environment.Obs either way.
+func obsRegistry() *obs.Registry {
+	if o := currentObserver.Load(); o != nil {
+		return o.reg
+	}
+	return nil
+}
+
+// obsLogger returns the installed logger, or nil.
+func obsLogger() *obs.Logger {
+	if o := currentObserver.Load(); o != nil {
+		return o.log
+	}
+	return nil
+}
+
+// instrument wraps s with the installed observer; with no observer it
+// returns s unchanged.
+func instrument(s control.Searcher) control.Searcher {
+	return control.Instrument(s, obsRegistry(), obsLogger())
+}

@@ -71,6 +71,7 @@ func (s SISOScenario) Build() (*radio.Link, error) {
 		ry2 = 9
 	}
 	env := propagation.NewEnvironment(rx2, ry2, 3)
+	env.Obs = obsRegistry()
 	env.AddScatterers(rand.New(rand.NewPCG(s.Seed, 0xa11ce)), s.NumScatterers, s.ScattererAmp)
 
 	cx, cy := rx2/2, ry2/2
@@ -112,7 +113,12 @@ func (s SISOScenario) Build() (*radio.Link, error) {
 			elems[i].States = s.ElementStates
 		}
 	}
-	return radio.NewLink(env, tx, rx, ofdm.WiFi20(), element.NewArray(elems...), s.Seed)
+	link, err := radio.NewLink(env, tx, rx, ofdm.WiFi20(), element.NewArray(elems...), s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	link.Obs = obsRegistry()
+	return link, nil
 }
 
 // MIMOScenario parameterizes the §3.2.3 testbed: a 2×2 NLoS transceiver
@@ -140,6 +146,7 @@ func DefaultMIMO(seed uint64) MIMOScenario {
 // Build assembles the Dim×Dim link.
 func (s MIMOScenario) Build() (*radio.MIMOLink, error) {
 	env := propagation.NewEnvironment(14, 10, 3)
+	env.Obs = obsRegistry()
 	env.AddScatterers(rand.New(rand.NewPCG(s.Seed, 0xa11ce)), 16, 40)
 	env.Blockers = append(env.Blockers,
 		geom.NewBlocker(geom.V(6.6, 4.7, 0), geom.V(6.9, 5.5, 2.2), 35))
@@ -172,6 +179,7 @@ func (s MIMOScenario) Build() (*radio.MIMOLink, error) {
 		return nil, err
 	}
 	ml.NumTraining = 4
+	ml.Obs = obsRegistry()
 	return ml, nil
 }
 

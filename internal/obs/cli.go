@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CLI bundles the standard telemetry flags every binary in this
+// repository exposes (-telemetry, -telemetry-format, -log-level,
+// -cpuprofile, -memprofile) together with the registry, logger, and
+// profile lifecycle behind them. Usage:
+//
+//	var tele obs.CLI
+//	tele.Register(fs)
+//	// after fs.Parse:
+//	if err := tele.Start(os.Stderr); err != nil { ... }
+//	defer tele.Finish(os.Stdout)
+//	... pass tele.Registry() / tele.Logger() down ...
+//
+// With no flags set, Registry() and Logger() return nil and the whole
+// layer stays at its zero-cost disabled default.
+type CLI struct {
+	// Telemetry is the metrics snapshot destination: a file path, or
+	// "-" for the writer handed to Finish (conventionally stdout).
+	Telemetry string
+	// TelemetryFormat is "json" (indented Snapshot) or "prom"
+	// (Prometheus text format).
+	TelemetryFormat string
+	// LogLevel is the structured log threshold (debug|info|warn|error|off).
+	LogLevel string
+	// CPUProfile and MemProfile are pprof output paths.
+	CPUProfile, MemProfile string
+
+	reg     *Registry
+	logger  *Logger
+	cpuFile *os.File
+}
+
+// Register installs the telemetry flags on fs.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Telemetry, "telemetry", "",
+		`write a final metrics snapshot to this path ("-" = stdout)`)
+	fs.StringVar(&c.TelemetryFormat, "telemetry-format", "json",
+		"metrics snapshot format: json|prom")
+	fs.StringVar(&c.LogLevel, "log-level", "off",
+		"structured log threshold on stderr: debug|info|warn|error|off")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
+}
+
+// Start validates the flags and brings up the registry, logger, and CPU
+// profiler. Log records go to logw (conventionally os.Stderr).
+func (c *CLI) Start(logw io.Writer) error {
+	switch c.TelemetryFormat {
+	case "", "json", "prom":
+	default:
+		return fmt.Errorf("obs: unknown -telemetry-format %q (want json|prom)", c.TelemetryFormat)
+	}
+	level, err := ParseLevel(c.LogLevel)
+	if err != nil {
+		return err
+	}
+	if level < LevelOff {
+		c.logger = NewLogger(logw, level, Logfmt)
+	}
+	if c.Telemetry != "" {
+		c.reg = NewRegistry()
+	}
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		c.cpuFile = f
+	}
+	return nil
+}
+
+// Registry returns the live registry, or nil when -telemetry was not
+// given (the disabled default).
+func (c *CLI) Registry() *Registry { return c.reg }
+
+// Logger returns the structured logger, or nil when -log-level is off.
+func (c *CLI) Logger() *Logger { return c.logger }
+
+// Finish stops profiling, writes the requested profiles, logs a
+// per-phase span summary, and emits the final metrics snapshot.
+// stdout is the writer used when -telemetry is "-".
+func (c *CLI) Finish(stdout io.Writer) error {
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := c.cpuFile.Close(); err != nil {
+			return err
+		}
+		c.cpuFile = nil
+	}
+	if c.MemProfile != "" {
+		f, err := os.Create(c.MemProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // materialize up-to-date allocation stats
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if c.reg == nil || c.Telemetry == "" {
+		return nil
+	}
+	if c.logger.Enabled(LevelInfo) {
+		snap := c.reg.Snapshot()
+		for _, name := range sortedKeys(snap.Spans) {
+			s := snap.Spans[name]
+			c.logger.Info("span summary", "span", name, "count", s.Count,
+				"total_s", s.TotalSeconds, "mean_s", s.MeanSeconds, "max_s", s.MaxSeconds)
+		}
+	}
+	w := stdout
+	if c.Telemetry != "-" {
+		f, err := os.Create(c.Telemetry)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if c.TelemetryFormat == "prom" {
+		return c.reg.WriteText(w)
+	}
+	return c.reg.WriteJSON(w)
+}

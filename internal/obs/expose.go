@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// HistogramBucket is one cumulative bucket of a histogram snapshot:
+// Count observations were ≤ the LE upper bound ("+Inf" for the overflow
+// bucket), Prometheus-style.
+type HistogramBucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// HistogramSnapshot is a histogram frozen at snapshot time.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+// SpanSnapshot aggregates one span name's completed timings.
+type SpanSnapshot struct {
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MinSeconds   float64 `json:"min_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+	MeanSeconds  float64 `json:"mean_seconds"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. Maps
+// marshal with sorted keys, so serialized snapshots are deterministic up
+// to the recorded values.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Spans      map[string]SpanSnapshot      `json:"spans"`
+}
+
+// Snapshot freezes the registry. A nil registry yields an empty (but
+// fully allocated) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Spans:      map[string]SpanSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		var cum int64
+		for i := range h.buckets {
+			cum += h.buckets[i].Load()
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+			}
+			hs.Buckets = append(hs.Buckets, HistogramBucket{LE: le, Count: cum})
+		}
+		snap.Histograms[name] = hs
+	}
+	for name, s := range r.spans {
+		s.mu.Lock()
+		ss := SpanSnapshot{
+			Count:        s.count,
+			TotalSeconds: s.total.Seconds(),
+			MinSeconds:   s.min.Seconds(),
+			MaxSeconds:   s.max.Seconds(),
+		}
+		if s.count > 0 {
+			ss.MeanSeconds = ss.TotalSeconds / float64(s.count)
+		}
+		s.mu.Unlock()
+		snap.Spans[name] = ss
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON — the machine-readable
+// exposition the CLIs emit for -telemetry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText writes the snapshot in the Prometheus text exposition
+// format (text/plain; version 0.0.4): counters and gauges verbatim,
+// histograms with cumulative le-labelled buckets, and spans as
+// <name>_seconds summaries. Metric names are sanitized to the
+// Prometheus grammar.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, name := range sortedKeys(snap.Counters) {
+		n := SanitizeMetricName(name)
+		p("# TYPE %s counter\n%s %d\n", n, n, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		n := SanitizeMetricName(name)
+		p("# TYPE %s gauge\n%s %s\n", n, n, formatFloat(snap.Gauges[name]))
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		n := SanitizeMetricName(name)
+		h := snap.Histograms[name]
+		p("# TYPE %s histogram\n", n)
+		for _, b := range h.Buckets {
+			p("%s_bucket{le=%q} %d\n", n, b.LE, b.Count)
+		}
+		p("%s_sum %s\n%s_count %d\n", n, formatFloat(h.Sum), n, h.Count)
+	}
+	for _, name := range sortedKeys(snap.Spans) {
+		n := SanitizeMetricName(name) + "_seconds"
+		s := snap.Spans[name]
+		p("# TYPE %s summary\n%s_sum %s\n%s_count %d\n",
+			n, n, formatFloat(s.TotalSeconds), n, s.Count)
+	}
+	return err
+}
+
+// SanitizeMetricName maps an internal metric or span name onto the
+// Prometheus name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	out := []byte(name)
+	for i, c := range out {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+// Severities, lowest to highest. LevelOff disables every record.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	LevelOff
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	case LevelOff:
+		return "off"
+	default:
+		return "level(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// ParseLevel parses a level name ("debug", "info", "warn", "error",
+// "off"/"none").
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off", "none", "":
+		return LevelOff, nil
+	default:
+		return LevelOff, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error|off)", s)
+	}
+}
+
+// Format selects the logger's wire format.
+type Format int8
+
+// Logfmt emits `ts=... level=info msg="..." k=v`; JSONFormat emits one
+// JSON object per line.
+const (
+	Logfmt Format = iota
+	JSONFormat
+)
+
+// Logger is a leveled, structured event logger writing one record per
+// line. A nil *Logger discards everything, so library code logs
+// unconditionally; hot loops should gate expensive field construction on
+// Enabled. Records are serialized under a mutex so concurrent callers
+// never interleave bytes.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	level  Level
+	format Format
+	now    func() time.Time // test hook
+}
+
+// NewLogger builds a logger writing records at or above level to w.
+func NewLogger(w io.Writer, level Level, format Format) *Logger {
+	return &Logger{w: w, level: level, format: format, now: time.Now}
+}
+
+// Enabled reports whether records at lv would be written. A nil logger
+// is never enabled.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= l.level && lv < LevelOff
+}
+
+// Debug logs a fine-grained event with alternating key/value fields.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs a routine event.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs a recoverable anomaly.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs a failure.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var b strings.Builder
+	ts := l.now().Format(time.RFC3339Nano)
+	if l.format == JSONFormat {
+		b.WriteString(`{"ts":`)
+		b.WriteString(strconv.Quote(ts))
+		b.WriteString(`,"level":`)
+		b.WriteString(strconv.Quote(lv.String()))
+		b.WriteString(`,"msg":`)
+		b.WriteString(strconv.Quote(msg))
+		for i := 0; i+1 < len(kv); i += 2 {
+			b.WriteByte(',')
+			b.WriteString(strconv.Quote(fieldKey(kv[i])))
+			b.WriteByte(':')
+			b.Write(jsonValue(kv[i+1]))
+		}
+		if len(kv)%2 == 1 {
+			b.WriteString(`,"!BADKEY":`)
+			b.Write(jsonValue(kv[len(kv)-1]))
+		}
+		b.WriteString("}\n")
+	} else {
+		b.WriteString("ts=")
+		b.WriteString(ts)
+		b.WriteString(" level=")
+		b.WriteString(lv.String())
+		b.WriteString(" msg=")
+		b.WriteString(logfmtValue(msg))
+		for i := 0; i+1 < len(kv); i += 2 {
+			b.WriteByte(' ')
+			b.WriteString(fieldKey(kv[i]))
+			b.WriteByte('=')
+			b.WriteString(logfmtValue(fmt.Sprint(kv[i+1])))
+		}
+		if len(kv)%2 == 1 {
+			b.WriteString(" !BADKEY=")
+			b.WriteString(logfmtValue(fmt.Sprint(kv[len(kv)-1])))
+		}
+		b.WriteByte('\n')
+	}
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// fieldKey coerces a field key to a string.
+func fieldKey(k any) string {
+	if s, ok := k.(string); ok {
+		return s
+	}
+	return fmt.Sprint(k)
+}
+
+// jsonValue marshals one field value, degrading to a quoted string for
+// unmarshalable values (channels, NaN floats, ...).
+func jsonValue(v any) []byte {
+	if err, ok := v.(error); ok {
+		v = err.Error()
+	}
+	buf, err := json.Marshal(v)
+	if err != nil {
+		buf, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return buf
+}
+
+// logfmtValue quotes a value when it contains logfmt metacharacters.
+func logfmtValue(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, " =\"\n\t") {
+		return strconv.Quote(s)
+	}
+	return s
+}

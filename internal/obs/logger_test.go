@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedNow() time.Time {
+	return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+}
+
+func TestLogfmtOutput(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelDebug, Logfmt)
+	l.now = fixedNow
+	l.Info("search finished", "searcher", "greedy", "best", 41.5, "note", "two words")
+	got := sb.String()
+	want := `ts=2026-08-05T12:00:00Z level=info msg="search finished" searcher=greedy best=41.5 note="two words"` + "\n"
+	if got != want {
+		t.Errorf("logfmt record:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelDebug, JSONFormat)
+	l.now = fixedNow
+	l.Error("ack timeout", "seq", 7, "attempts", 3)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &rec); err != nil {
+		t.Fatalf("record is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if rec["level"] != "error" || rec["msg"] != "ack timeout" || rec["seq"] != float64(7) {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestLevelGate(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelWarn, Logfmt)
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("yes")
+	l.Error("yes")
+	if got := strings.Count(sb.String(), "\n"); got != 2 {
+		t.Errorf("records written = %d, want 2:\n%s", got, sb.String())
+	}
+	if l.Enabled(LevelDebug) || !l.Enabled(LevelError) {
+		t.Error("Enabled gate wrong")
+	}
+}
+
+func TestNilLoggerIsInert(t *testing.T) {
+	var l *Logger
+	l.Debug("x")
+	l.Info("x", "k", 1)
+	l.Warn("x")
+	l.Error("x", "odd")
+	if l.Enabled(LevelError) {
+		t.Error("nil logger claims to be enabled")
+	}
+}
+
+func TestOddKeyValueCount(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelDebug, Logfmt)
+	l.now = fixedNow
+	l.Info("m", "dangling")
+	if !strings.Contains(sb.String(), "!BADKEY=dangling") {
+		t.Errorf("odd kv not flagged: %s", sb.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "Info": LevelInfo, "WARN": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "off": LevelOff, "": LevelOff,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("bogus level accepted")
+	}
+}
+
+func TestLoggerConcurrentWriters(t *testing.T) {
+	var sb safeBuilder
+	l := NewLogger(&sb, LevelDebug, Logfmt)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Info("tick", "worker", id, "i", i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, line := range strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "ts=") || !strings.Contains(line, "msg=tick") {
+			t.Fatalf("interleaved record: %q", line)
+		}
+	}
+}
+
+// safeBuilder is a mutex-guarded strings.Builder: the logger serializes
+// its own writes, but the underlying writer must still be shared safely
+// with the final read.
+type safeBuilder struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (s *safeBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sb.Write(p)
+}
+
+func (s *safeBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sb.String()
+}

@@ -1,0 +1,315 @@
+// Package obs is the repository's dependency-free telemetry layer: a
+// concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms), lightweight span timing for nested phase measurement, and
+// a structured leveled logger — the visibility the PRESS controller
+// needs as an always-on service (evaluation budgets, search convergence,
+// channel-solve latency, control-plane round-trips).
+//
+// Everything is nil-safe: a nil *Registry hands out nil metric handles,
+// and every method on a nil handle is a no-op. Library code therefore
+// instruments unconditionally —
+//
+//	link.Obs.Counter("radio_csi_measurements_total").Inc()
+//
+// — and pays only a nil check when telemetry is disabled, which is the
+// default. Only the CLI entry points ever construct a live Registry.
+//
+// Exposition is pull-based: Snapshot/WriteJSON produce a JSON snapshot,
+// WriteText the Prometheus text format. See DESIGN.md for why the layer
+// snapshots on demand instead of pushing.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named metrics. All methods are safe for concurrent use;
+// a nil *Registry is a valid, permanently disabled registry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    map[string]*spanStat
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		spans:    make(map[string]*spanStat),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (nil buckets mean DefBuckets; the
+// bounds are sorted and deduplicated). Later calls return the existing
+// histogram regardless of the buckets argument. A nil registry returns a
+// nil (no-op) histogram.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(buckets)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing int64. The zero value is ready;
+// a nil *Counter discards every operation.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64. The zero value is ready; a nil
+// *Gauge discards every operation.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add shifts the value by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets (Prometheus-style
+// upper bounds plus an implicit +Inf overflow bucket) and tracks the sum
+// and count. A nil *Histogram discards every observation.
+type Histogram struct {
+	bounds  []float64 // sorted, strictly increasing upper bounds
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// DefBuckets suits generic positive magnitudes (scores, path counts).
+var DefBuckets = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
+
+// LatencyBuckets suits durations in seconds, from 100 µs to 2.5 s —
+// the range spanning channel solves, actuation RTTs, and full sweeps.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// LinearBuckets returns count bounds start, start+width, ...
+func LinearBuckets(start, width float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns count bounds start, start·factor, ...
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	// Deduplicate so each bound is strictly increasing.
+	uniq := bounds[:1]
+	for _, b := range bounds[1:] {
+		if b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	return &Histogram{bounds: uniq, buckets: make([]atomic.Int64, len(uniq)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound ≥ v; the last slot is +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// spanStat accumulates completed span durations for one span name.
+// Spans fire at phase granularity (not per-sample), so a mutex is fine.
+type spanStat struct {
+	mu       sync.Mutex
+	count    int64
+	total    time.Duration
+	min, max time.Duration
+}
+
+// observeSpan records one completed span.
+func (r *Registry) observeSpan(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	s := r.spans[name]
+	r.mu.RUnlock()
+	if s == nil {
+		r.mu.Lock()
+		if s = r.spans[name]; s == nil {
+			s = &spanStat{}
+			r.spans[name] = s
+		}
+		r.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.count++
+	s.total += d
+	if s.count == 1 || d < s.min {
+		s.min = d
+	}
+	if d > s.max {
+		s.max = d
+	}
+	s.mu.Unlock()
+}

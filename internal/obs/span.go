@@ -1,0 +1,53 @@
+package obs
+
+import "time"
+
+// Span times one phase of work against the monotonic clock. Spans are
+// plain values: StartSpan against a nil registry returns an inert span
+// whose End is free, so phase timing costs nothing when telemetry is
+// off. time.Now carries Go's monotonic reading, so wall-clock jumps
+// cannot corrupt a span.
+//
+//	sp := obs.StartSpan(reg, "search/greedy")
+//	defer sp.End()
+//
+// Nested phases chain names with '/' via Child:
+//
+//	inner := sp.Child("measure") // "search/greedy/measure"
+type Span struct {
+	reg   *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan begins timing the named phase. A nil registry yields an
+// inert span.
+func StartSpan(r *Registry, name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{reg: r, name: name, start: time.Now()}
+}
+
+// Child begins a nested span named parent/name, started now.
+func (s Span) Child(name string) Span {
+	if s.reg == nil {
+		return Span{}
+	}
+	return StartSpan(s.reg, s.name+"/"+name)
+}
+
+// Name returns the span's full name ("" for an inert span).
+func (s Span) Name() string { return s.name }
+
+// End stops the span, records its duration in the registry, and returns
+// it. Ending an inert span returns 0. A span may be ended once; spans
+// are cheap enough to start fresh per phase rather than reuse.
+func (s Span) End() time.Duration {
+	if s.reg == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.reg.observeSpan(s.name, d)
+	return d
+}

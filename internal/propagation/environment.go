@@ -7,6 +7,7 @@ import (
 	"math/rand/v2"
 
 	"press/internal/geom"
+	"press/internal/obs"
 	"press/internal/rfphys"
 )
 
@@ -71,6 +72,9 @@ type Environment struct {
 	// little power but quadratic path counts; 2 reproduces indoor
 	// frequency selectivity well.
 	MaxOrder int
+	// Obs, when set, receives the tracer's telemetry (traces run, paths
+	// produced). The nil default costs one pointer check per trace.
+	Obs *obs.Registry
 }
 
 // NewEnvironment returns an environment for a room of the given size with

@@ -43,6 +43,8 @@ func TracePaths(env *Environment, tx, rx Node, lambdaM float64) []Path {
 			paths = append(paths, p)
 		}
 	}
+	env.Obs.Counter("propagation_traces_total").Inc()
+	env.Obs.Counter("propagation_paths_traced_total").Add(int64(len(paths)))
 	return paths
 }
 
@@ -285,6 +287,7 @@ func BistaticPath(env *Environment, tx, rx Node, via geom.Vec, viaPattern rfphys
 	if tooWeak(cmplx.Abs(gain)) {
 		return Path{}, false
 	}
+	env.Obs.Counter("propagation_element_paths_total").Inc()
 	return Path{
 		Gain:      gain,
 		Delay:     (d1+d2)/rfphys.SpeedOfLight + extraDelayS,

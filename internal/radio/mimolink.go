@@ -9,6 +9,7 @@ import (
 	"press/internal/element"
 	"press/internal/geom"
 	"press/internal/mimo"
+	"press/internal/obs"
 	"press/internal/ofdm"
 	"press/internal/propagation"
 	"press/internal/rfphys"
@@ -30,6 +31,8 @@ type MIMOLink struct {
 	Array         *element.Array
 	// NumTraining is the per-snapshot training length (default 4).
 	NumTraining int
+	// Obs, when set, receives channel-solve telemetry like Link.Obs.
+	Obs *obs.Registry
 
 	rng      *rand.Rand
 	envPaths [][][]propagation.Path // [rx][tx] cached environment paths
@@ -69,6 +72,15 @@ func NewMIMOLink(env *propagation.Environment, txAnts, rxAnts []propagation.Node
 // TrueChannel returns the noiseless per-subcarrier channel matrices under
 // cfg at time t.
 func (m *MIMOLink) TrueChannel(cfg element.Config, t float64) (*mimo.Channel, error) {
+	var start time.Time
+	if m.Obs != nil {
+		start = time.Now()
+		defer func() {
+			m.Obs.Histogram("radio_channel_solve_seconds", obs.LatencyBuckets).
+				ObserveDuration(time.Since(start))
+			m.Obs.Counter("radio_mimo_solves_total").Inc()
+		}()
+	}
 	lambda := rfphys.Wavelength(m.Grid.CenterHz)
 	freqs := m.Grid.Frequencies()
 	resp := make([][][]complex128, len(m.RXAnts))

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"press/internal/element"
+	"press/internal/obs"
 	"press/internal/ofdm"
 	"press/internal/propagation"
 	"press/internal/rfphys"
@@ -67,6 +68,10 @@ type Link struct {
 	Faults element.Faults
 	// NumTraining is the training symbols per sounding frame (default 4).
 	NumTraining int
+	// Obs, when set, receives the measurement pipeline's telemetry:
+	// CSI-measurement counters, channel-solve latency histograms, and
+	// sweep spans. The nil default adds one pointer check per measurement.
+	Obs *obs.Registry
 
 	rng      *rand.Rand
 	envPaths []propagation.Path // cached: environment does not switch
@@ -140,19 +145,37 @@ func (l *Link) perSubcarrierNoiseW() float64 {
 // paper's "the receiver estimates the channel state information from the
 // training sequences in the frame".
 func (l *Link) MeasureCSI(cfg element.Config, t float64) (*ofdm.CSI, error) {
-	return l.measureResponse(l.TrueResponse(cfg, t))
+	if l.Obs == nil {
+		return l.measureResponse(l.TrueResponse(cfg, t))
+	}
+	start := time.Now()
+	h := l.TrueResponse(cfg, t)
+	l.Obs.Histogram("radio_channel_solve_seconds", obs.LatencyBuckets).
+		ObserveDuration(time.Since(start))
+	l.Obs.Counter("radio_csi_measurements_total").Inc()
+	return l.measureResponse(h)
 }
 
 // MeasureCSIContinuous is MeasureCSI for continuously-variable phase
 // hardware (§4.1): the array contributes paths at arbitrary reflection
 // phases instead of discrete stub states.
 func (l *Link) MeasureCSIContinuous(phases element.ContinuousConfig, t float64) (*ofdm.CSI, error) {
+	start := time.Time{}
+	if l.Obs != nil {
+		start = time.Now()
+	}
 	paths := l.envPaths
 	if l.Array != nil {
 		ep := l.Array.ContinuousPaths(l.Env, l.TX.Node, l.RX.Node, phases, l.Wavelength())
 		paths = append(append([]propagation.Path(nil), paths...), ep...)
 	}
-	return l.measureResponse(propagation.Response(paths, l.Grid.Frequencies(), t))
+	h := propagation.Response(paths, l.Grid.Frequencies(), t)
+	if l.Obs != nil {
+		l.Obs.Histogram("radio_channel_solve_seconds", obs.LatencyBuckets).
+			ObserveDuration(time.Since(start))
+		l.Obs.Counter("radio_csi_measurements_total").Inc()
+	}
+	return l.measureResponse(h)
 }
 
 // measureResponse simulates the sounding frame over a known true channel
@@ -206,6 +229,11 @@ func (l *Link) Sweep(timing Timing, start time.Duration) ([]Measurement, error) 
 	if l.Array == nil {
 		return nil, fmt.Errorf("radio: Sweep needs a PRESS array on the link")
 	}
+	sp := obs.StartSpan(l.Obs, "radio/sweep")
+	wall := time.Time{}
+	if l.Obs != nil {
+		wall = time.Now()
+	}
 	n := l.Array.NumConfigs()
 	out := make([]Measurement, 0, n)
 	at := start
@@ -220,8 +248,14 @@ func (l *Link) Sweep(timing Timing, start time.Duration) ([]Measurement, error) 
 		at += timing.PerMeasurement + timing.SwitchLatency
 		return true
 	})
+	sp.End()
 	if sweepErr != nil {
 		return nil, sweepErr
+	}
+	if l.Obs != nil {
+		l.Obs.Counter("radio_sweeps_total").Inc()
+		l.Obs.Histogram("radio_sweep_seconds", obs.LatencyBuckets).
+			ObserveDuration(time.Since(wall))
 	}
 	return out, nil
 }

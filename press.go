@@ -42,6 +42,7 @@
 package press
 
 import (
+	"io"
 	"net"
 	"time"
 
@@ -52,6 +53,7 @@ import (
 	"press/internal/element"
 	"press/internal/geom"
 	"press/internal/mimo"
+	"press/internal/obs"
 	"press/internal/ofdm"
 	"press/internal/propagation"
 	"press/internal/radio"
@@ -388,3 +390,59 @@ func NewLossyPipe(cfg LossyConfig) (Conn, Conn) { return controlplane.NewLossyPi
 // NewStreamConn adapts a net.Conn (TCP, unix socket, net.Pipe) into a
 // control-plane connection.
 func NewStreamConn(c net.Conn) Conn { return controlplane.NewStreamConn(c) }
+
+// Telemetry. Every instrumented type in the library (Link, MIMOLink,
+// Environment, Controller, Agent) carries an optional *Registry; a nil
+// registry is the zero-cost disabled default.
+type (
+	// Registry is a concurrency-safe registry of counters, gauges, and
+	// histograms with JSON and Prometheus-text exposition.
+	Registry = obs.Registry
+	// Logger is the structured leveled key-value logger.
+	Logger = obs.Logger
+	// LogLevel is a logger severity threshold.
+	LogLevel = obs.Level
+	// LogFormat selects the logger's wire format.
+	LogFormat = obs.Format
+	// Span times one named phase into a registry.
+	Span = obs.Span
+	// MetricsSnapshot is a point-in-time export of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// TelemetryCLI bundles the standard -telemetry/-log-level/-cpuprofile
+	// flags and their lifecycle for command-line binaries.
+	TelemetryCLI = obs.CLI
+)
+
+// Logger severity levels and formats.
+const (
+	LevelDebug = obs.LevelDebug
+	LevelInfo  = obs.LevelInfo
+	LevelWarn  = obs.LevelWarn
+	LevelError = obs.LevelError
+	LevelOff   = obs.LevelOff
+
+	Logfmt     = obs.Logfmt
+	JSONFormat = obs.JSONFormat
+)
+
+// LatencyBuckets are histogram bounds suited to sub-second latencies.
+var LatencyBuckets = obs.LatencyBuckets
+
+// NewRegistry returns an empty live metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewLogger returns a structured logger writing records at or above
+// level to w.
+func NewLogger(w io.Writer, level LogLevel, format LogFormat) *Logger {
+	return obs.NewLogger(w, level, format)
+}
+
+// StartSpan starts a named timing span; End() records its duration in
+// the registry. A nil registry yields an inert span.
+func StartSpan(r *Registry, name string) Span { return obs.StartSpan(r, name) }
+
+// InstrumentSearcher wraps a searcher so every run records evaluation
+// counts, best-objective trajectory, and wall-time into reg/log.
+func InstrumentSearcher(s Searcher, reg *Registry, log *Logger) Searcher {
+	return control.Instrument(s, reg, log)
+}
