@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestCountsUpTo(t *testing.T) {
 	got := countsUpTo(4)
@@ -37,5 +43,63 @@ func TestBuildLink(t *testing.T) {
 	}
 	if _, err := buildLink(442, 0); err == nil {
 		t.Error("zero elements accepted")
+	}
+}
+
+// TestSweepTraceExport runs a tiny real sweep with -trace and validates
+// the exported Chrome trace against the schema Perfetto requires: a JSON
+// array whose events all carry name/ph/ts/pid/tid.
+func TestSweepTraceExport(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "sweep.json")
+
+	// The sweep writes its CSV to os.Stdout; swallow it through a pipe so
+	// the test output stays clean.
+	savedStdout := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		_, _ = io.Copy(io.Discard, r)
+	}()
+	runErr := run([]string{"convergence",
+		"-elements", "3", "-budget", "20", "-trace", tracePath})
+	w.Close()
+	os.Stdout = savedStdout
+	<-drained
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+	sawComplete := false
+	for i, e := range events {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, e)
+			}
+		}
+		if e["ph"] == "X" {
+			sawComplete = true
+			if _, ok := e["dur"]; !ok {
+				t.Errorf("complete event %d missing dur", i)
+			}
+		}
+	}
+	if !sawComplete {
+		t.Error("no complete (ph=X) events in trace")
 	}
 }

@@ -49,7 +49,7 @@ func (a *Agent) Current() element.Config {
 // Serve handles one controller connection until the context is cancelled
 // or the connection fails. It sends a Hello first, then answers requests.
 func (a *Agent) Serve(ctx context.Context, conn Conn) error {
-	if err := conn.Send(0, &Hello{AgentID: a.ID, NumElements: uint16(a.Array.N())}); err != nil {
+	if err := conn.Send(0, 0, &Hello{AgentID: a.ID, NumElements: uint16(a.Array.N())}); err != nil {
 		return fmt.Errorf("controlplane: hello: %w", err)
 	}
 	for {
@@ -59,7 +59,7 @@ func (a *Agent) Serve(ctx context.Context, conn Conn) error {
 		// Poll with a short deadline so cancellation is honoured even on
 		// an idle connection.
 		_ = conn.SetRecvDeadline(time.Now().Add(50 * time.Millisecond))
-		seq, msg, err := conn.Recv()
+		seq, trace, msg, err := conn.Recv()
 		if err != nil {
 			var to interface{ Timeout() bool }
 			if errors.As(err, &to) && to.Timeout() {
@@ -70,15 +70,29 @@ func (a *Agent) Serve(ctx context.Context, conn Conn) error {
 			}
 			return err
 		}
-		if err := a.handle(conn, seq, msg); err != nil {
+		if err := a.handle(conn, seq, trace, msg); err != nil {
 			return err
 		}
 	}
 }
 
-// handle dispatches one request.
-func (a *Agent) handle(conn Conn, seq uint32, msg Message) error {
+// handle dispatches one request. The request's trace ID is echoed on
+// every reply and, when the registry carries a TraceLog, the handling
+// time is recorded as an "agent"-track span under the same ID — the
+// agent half of the controller's send→ack pair.
+func (a *Agent) handle(conn Conn, seq uint32, trace uint64, msg Message) error {
 	a.Obs.Counter("agent_frames_total").Inc()
+	var start time.Time
+	tl := a.Obs.TraceLog()
+	if tl != nil {
+		start = time.Now()
+	}
+	span := func(name string) {
+		if tl != nil {
+			tl.Record("agent", name, trace, start, time.Since(start),
+				map[string]any{"seq": seq, "agent_id": a.ID})
+		}
+	}
 	switch m := msg.(type) {
 	case *SetConfig:
 		a.Obs.Counter("agent_setconfig_total").Inc()
@@ -88,7 +102,9 @@ func (a *Agent) handle(conn Conn, seq uint32, msg Message) error {
 		}
 		if err := a.Array.Validate(cfg); err != nil {
 			a.Obs.Counter("agent_rejects_total").Inc()
-			return conn.Send(seq, &Ack{AckSeq: seq, Status: StatusBadConfig})
+			err := conn.Send(seq, trace, &Ack{AckSeq: seq, Status: StatusBadConfig})
+			span("controlplane/set-config")
+			return err
 		}
 		if a.ActuationDelay > 0 {
 			time.Sleep(a.ActuationDelay)
@@ -100,9 +116,11 @@ func (a *Agent) handle(conn Conn, seq uint32, msg Message) error {
 			a.OnApply(cfg.Clone())
 		}
 		if a.Log.Enabled(obs.LevelDebug) {
-			a.Log.Debug("agent: applied configuration", "seq", seq, "elements", len(cfg))
+			a.Log.Debug("agent: applied configuration", "seq", seq, "trace", trace, "elements", len(cfg))
 		}
-		return conn.Send(seq, &Ack{AckSeq: seq, Status: StatusOK})
+		err := conn.Send(seq, trace, &Ack{AckSeq: seq, Status: StatusOK})
+		span("controlplane/set-config")
+		return err
 	case *Query:
 		a.Obs.Counter("agent_queries_total").Inc()
 		cur := a.Current()
@@ -110,15 +128,21 @@ func (a *Agent) handle(conn Conn, seq uint32, msg Message) error {
 		for i, s := range cur {
 			states[i] = uint8(s)
 		}
-		return conn.Send(seq, &Report{States: states})
+		err := conn.Send(seq, trace, &Report{States: states})
+		span("controlplane/query")
+		return err
 	case *Ping:
 		a.Obs.Counter("agent_pings_total").Inc()
-		return conn.Send(seq, &Pong{T: m.T})
+		err := conn.Send(seq, trace, &Pong{T: m.T})
+		span("controlplane/ping")
+		return err
 	case *Hello:
 		// A Hello *request* is a discovery probe (datagram controllers
 		// have no stream handshake); answer with our identity.
 		a.Obs.Counter("agent_hellos_total").Inc()
-		return conn.Send(seq, &Hello{AgentID: a.ID, NumElements: uint16(a.Array.N())})
+		err := conn.Send(seq, trace, &Hello{AgentID: a.ID, NumElements: uint16(a.Array.N())})
+		span("controlplane/probe")
+		return err
 	default:
 		// Unknown or unexpected messages are ignored: a controller
 		// restart may replay, and robustness beats strictness here.

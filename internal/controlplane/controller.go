@@ -26,6 +26,11 @@ type Stats struct {
 // with at-least-once retransmission and matches acknowledgements by
 // sequence number, tolerating the loss and corruption the simulated
 // control channels inject.
+//
+// Every request is tagged with a fresh trace ID that rides the frame
+// header, is echoed back by the agent, and — when the registry carries a
+// TraceLog — becomes a matched pair of "controller" and "agent" timeline
+// spans, so a whole session renders as a distributed trace.
 type Controller struct {
 	conn Conn
 	// Timeout is the per-attempt ack deadline (default 100 ms).
@@ -37,8 +42,9 @@ type Controller struct {
 	Stats Stats
 	// Obs, when set, mirrors Stats into a telemetry registry and adds the
 	// latency histograms (ack latency, ping RTT) that the atomic counters
-	// cannot carry. Nil disables telemetry at the cost of one pointer
-	// check per event.
+	// cannot carry; a registry with an attached TraceLog additionally
+	// records one send→ack span per completed request. Nil disables
+	// telemetry at the cost of one pointer check per event.
 	Obs *obs.Registry
 	// Log, when set, receives protocol events (retries, give-ups) as
 	// structured records.
@@ -59,6 +65,16 @@ func NewController(conn Conn) *Controller {
 // ErrRejected means the agent refused the configuration.
 var ErrRejected = errors.New("controlplane: agent rejected configuration")
 
+// traceSpan records one completed controller-side round trip onto the
+// registry's trace log (no-op without one).
+func (c *Controller) traceSpan(name string, trace uint64, start time.Time, args map[string]any) {
+	tl := c.Obs.TraceLog()
+	if tl == nil {
+		return
+	}
+	tl.Record("controller", name, trace, start, time.Since(start), args)
+}
+
 // Handshake waits for the agent's Hello and records its array size.
 func (c *Controller) Handshake(ctx context.Context) error {
 	deadline := time.Now().Add(c.Timeout * time.Duration(c.Retries+1))
@@ -70,7 +86,7 @@ func (c *Controller) Handshake(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		_, msg, err := c.conn.Recv()
+		_, _, msg, err := c.conn.Recv()
 		if err != nil {
 			return fmt.Errorf("controlplane: handshake: %w", err)
 		}
@@ -89,12 +105,14 @@ func (c *Controller) Handshake(ctx context.Context) error {
 // retrying like SetConfig does. Stream controllers use Handshake instead.
 func (c *Controller) Probe(ctx context.Context) error {
 	seq := c.seq.Add(1)
+	trace := obs.NewTraceID()
+	start := time.Now()
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := c.conn.Send(seq, &Hello{}); err != nil {
+		if err := c.conn.Send(seq, trace, &Hello{}); err != nil {
 			return err
 		}
 		c.Obs.Counter("controlplane_frames_sent_total").Inc()
@@ -104,7 +122,7 @@ func (c *Controller) Probe(ctx context.Context) error {
 		}
 		_ = c.conn.SetRecvDeadline(deadline)
 		for {
-			_, msg, err := c.conn.Recv()
+			_, _, msg, err := c.conn.Recv()
 			if err != nil {
 				lastErr = err
 				break
@@ -113,6 +131,7 @@ func (c *Controller) Probe(ctx context.Context) error {
 				c.agentID = h.AgentID
 				c.numElements = int(h.NumElements)
 				c.helloSeen = true
+				c.traceSpan("controlplane/probe", trace, start, nil)
 				return nil
 			}
 		}
@@ -142,6 +161,8 @@ func (c *Controller) SetConfig(ctx context.Context, cfg element.Config) error {
 	}
 	msg := &SetConfig{States: states}
 	seq := c.seq.Add(1)
+	trace := obs.NewTraceID()
+	reqStart := time.Now()
 
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
@@ -153,14 +174,14 @@ func (c *Controller) SetConfig(ctx context.Context, cfg element.Config) error {
 			c.Obs.Counter("controlplane_retries_total").Inc()
 			if c.Log.Enabled(obs.LevelDebug) {
 				c.Log.Debug("controlplane: retrying set-config",
-					"seq", seq, "attempt", attempt, "err", lastErr)
+					"seq", seq, "trace", trace, "attempt", attempt, "err", lastErr)
 			}
 		}
 		var attemptStart time.Time
 		if c.Obs != nil {
 			attemptStart = time.Now()
 		}
-		if err := c.conn.Send(seq, msg); err != nil {
+		if err := c.conn.Send(seq, trace, msg); err != nil {
 			return err
 		}
 		c.Stats.Sent.Add(1)
@@ -172,6 +193,8 @@ func (c *Controller) SetConfig(ctx context.Context, cfg element.Config) error {
 				c.Obs.Histogram("controlplane_ack_latency_seconds", obs.LatencyBuckets).
 					ObserveDuration(time.Since(attemptStart))
 			}
+			c.traceSpan("controlplane/set-config", trace, reqStart,
+				map[string]any{"seq": seq, "attempts": attempt + 1, "status": status})
 			if status != StatusOK {
 				c.Stats.Rejected.Add(1)
 				c.Obs.Counter("controlplane_rejected_total").Inc()
@@ -185,7 +208,7 @@ func (c *Controller) SetConfig(ctx context.Context, cfg element.Config) error {
 	}
 	if c.Log.Enabled(obs.LevelWarn) {
 		c.Log.Warn("controlplane: set-config unacknowledged",
-			"seq", seq, "attempts", c.Retries+1, "err", lastErr)
+			"seq", seq, "trace", trace, "attempts", c.Retries+1, "err", lastErr)
 	}
 	return fmt.Errorf("controlplane: set-config seq %d unacknowledged after %d attempts: %w",
 		seq, c.Retries+1, lastErr)
@@ -200,7 +223,7 @@ func (c *Controller) awaitAck(ctx context.Context, seq uint32) (uint8, error) {
 	}
 	_ = c.conn.SetRecvDeadline(deadline)
 	for {
-		_, msg, err := c.conn.Recv()
+		_, _, msg, err := c.conn.Recv()
 		if err != nil {
 			if errors.Is(err, ErrBadCRC) {
 				c.Stats.CRCErrors.Add(1)
@@ -225,19 +248,21 @@ func (c *Controller) awaitAck(ctx context.Context, seq uint32) (uint8, error) {
 // QueryConfig fetches the agent's applied configuration.
 func (c *Controller) QueryConfig(ctx context.Context) (element.Config, error) {
 	seq := c.seq.Add(1)
+	trace := obs.NewTraceID()
+	start := time.Now()
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := c.conn.Send(seq, &Query{}); err != nil {
+		if err := c.conn.Send(seq, trace, &Query{}); err != nil {
 			return nil, err
 		}
 		c.Obs.Counter("controlplane_frames_sent_total").Inc()
 		deadline := time.Now().Add(c.Timeout)
 		_ = c.conn.SetRecvDeadline(deadline)
 		for {
-			_, msg, err := c.conn.Recv()
+			_, _, msg, err := c.conn.Recv()
 			if err != nil {
 				if errors.Is(err, ErrBadCRC) {
 					continue
@@ -250,6 +275,8 @@ func (c *Controller) QueryConfig(ctx context.Context) (element.Config, error) {
 				for i, s := range rep.States {
 					cfg[i] = int(s)
 				}
+				c.traceSpan("controlplane/query", trace, start,
+					map[string]any{"seq": seq, "attempts": attempt + 1})
 				return cfg, nil
 			}
 		}
@@ -261,8 +288,9 @@ func (c *Controller) QueryConfig(ctx context.Context) (element.Config, error) {
 // coherence-time budget divides by.
 func (c *Controller) Ping(ctx context.Context) (time.Duration, error) {
 	seq := c.seq.Add(1)
+	trace := obs.NewTraceID()
 	start := time.Now()
-	if err := c.conn.Send(seq, &Ping{T: start.UnixNano()}); err != nil {
+	if err := c.conn.Send(seq, trace, &Ping{T: start.UnixNano()}); err != nil {
 		return 0, err
 	}
 	c.Obs.Counter("controlplane_frames_sent_total").Inc()
@@ -272,7 +300,7 @@ func (c *Controller) Ping(ctx context.Context) (time.Duration, error) {
 	}
 	_ = c.conn.SetRecvDeadline(deadline)
 	for {
-		_, msg, err := c.conn.Recv()
+		_, _, msg, err := c.conn.Recv()
 		if err != nil {
 			return 0, err
 		}
@@ -282,6 +310,7 @@ func (c *Controller) Ping(ctx context.Context) (time.Duration, error) {
 				c.Obs.Histogram("controlplane_ping_rtt_seconds", obs.LatencyBuckets).
 					ObserveDuration(rtt)
 			}
+			c.traceSpan("controlplane/ping", trace, start, map[string]any{"seq": seq})
 			return rtt, nil
 		}
 	}

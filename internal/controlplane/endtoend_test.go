@@ -262,7 +262,7 @@ func TestControllerTimeoutWhenAgentDead(t *testing.T) {
 func TestLossyPipeDroppedCounter(t *testing.T) {
 	a, _ := NewLossyPipe(LossyConfig{Seed: 9, LossRate: 1.0})
 	for i := 0; i < 5; i++ {
-		if err := a.Send(uint32(i), &Query{}); err != nil {
+		if err := a.Send(uint32(i), 0, &Query{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -274,10 +274,10 @@ func TestLossyPipeDroppedCounter(t *testing.T) {
 func TestClosedPipe(t *testing.T) {
 	a, b := NewLossyPipe(LossyConfig{Seed: 10})
 	a.Close()
-	if err := a.Send(1, &Query{}); !errors.Is(err, ErrClosed) {
+	if err := a.Send(1, 0, &Query{}); !errors.Is(err, ErrClosed) {
 		t.Errorf("send on closed = %v", err)
 	}
-	if _, _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+	if _, _, _, err := b.Recv(); !errors.Is(err, ErrClosed) {
 		t.Errorf("recv on closed peer = %v", err)
 	}
 }

@@ -21,60 +21,108 @@ var (
 	ErrTooLarge = errors.New("controlplane: payload exceeds MaxPayload")
 )
 
-const headerLen = 10 // magic(2) + version(1) + type(1) + length(2) + seq(4)
+const (
+	// headerLenV1 is the legacy header: magic(2) + version(1) + type(1) +
+	// length(2) + seq(4).
+	headerLenV1 = 10
+	// headerLen is the current header: the v1 fields plus trace(8). The
+	// trace ID sits in the header, not the payload, so every message type
+	// carries it and the CRC (computed over header+payload) covers it.
+	headerLen = headerLenV1 + 8
+)
 
-// EncodeFrame serializes seq+msg into a self-contained frame.
-func EncodeFrame(seq uint32, msg Message) ([]byte, error) {
+// headerLenFor returns the header length of a protocol version.
+func headerLenFor(version uint8) (int, error) {
+	switch version {
+	case VersionLegacy:
+		return headerLenV1, nil
+	case Version:
+		return headerLen, nil
+	default:
+		return 0, ErrBadVersion
+	}
+}
+
+// EncodeFrame serializes seq+trace+msg into a self-contained current-
+// version frame. A zero trace means "no trace" and is what legacy peers
+// observe after decode.
+func EncodeFrame(seq uint32, trace uint64, msg Message) ([]byte, error) {
+	return encodeFrame(Version, seq, trace, msg)
+}
+
+// EncodeFrameLegacy serializes a version-1 frame (no trace field) — the
+// format pre-trace agents speak. Kept for compatibility tests and for
+// talking to un-upgraded peers.
+func EncodeFrameLegacy(seq uint32, msg Message) ([]byte, error) {
+	return encodeFrame(VersionLegacy, seq, 0, msg)
+}
+
+func encodeFrame(version uint8, seq uint32, trace uint64, msg Message) ([]byte, error) {
 	payload := msg.appendPayload(nil)
 	if len(payload) > MaxPayload {
 		return nil, ErrTooLarge
 	}
-	buf := make([]byte, 0, headerLen+len(payload)+4)
+	hlen, err := headerLenFor(version)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, hlen+len(payload)+4)
 	buf = binary.BigEndian.AppendUint16(buf, Magic)
-	buf = append(buf, Version, uint8(msg.MsgType()))
+	buf = append(buf, version, uint8(msg.MsgType()))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(payload)))
 	buf = binary.BigEndian.AppendUint32(buf, seq)
+	if version >= Version {
+		buf = binary.BigEndian.AppendUint64(buf, trace)
+	}
 	buf = append(buf, payload...)
 	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf)), nil
 }
 
 // DecodeFrame parses one complete frame, verifying magic, version, length
-// and CRC. It returns the sequence number and decoded body.
-func DecodeFrame(buf []byte) (seq uint32, msg Message, err error) {
-	if len(buf) < headerLen+4 {
-		return 0, nil, fmt.Errorf("controlplane: frame truncated (%d bytes)", len(buf))
+// and CRC. Both the current and the legacy (version-1) header are
+// accepted; legacy frames decode with trace 0.
+func DecodeFrame(buf []byte) (seq uint32, trace uint64, msg Message, err error) {
+	if len(buf) < headerLenV1+4 {
+		return 0, 0, nil, fmt.Errorf("controlplane: frame truncated (%d bytes)", len(buf))
 	}
 	if binary.BigEndian.Uint16(buf) != Magic {
-		return 0, nil, ErrBadMagic
+		return 0, 0, nil, ErrBadMagic
 	}
-	if buf[2] != Version {
-		return 0, nil, ErrBadVersion
+	hlen, err := headerLenFor(buf[2])
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if len(buf) < hlen+4 {
+		return 0, 0, nil, fmt.Errorf("controlplane: frame truncated (%d bytes)", len(buf))
 	}
 	plen := int(binary.BigEndian.Uint16(buf[4:]))
 	if plen > MaxPayload {
-		return 0, nil, ErrTooLarge
+		return 0, 0, nil, ErrTooLarge
 	}
-	if len(buf) != headerLen+plen+4 {
-		return 0, nil, fmt.Errorf("controlplane: frame length %d does not match declared payload %d", len(buf), plen)
+	if len(buf) != hlen+plen+4 {
+		return 0, 0, nil, fmt.Errorf("controlplane: frame length %d does not match declared payload %d", len(buf), plen)
 	}
-	body := buf[:headerLen+plen]
-	wantCRC := binary.BigEndian.Uint32(buf[headerLen+plen:])
+	body := buf[:hlen+plen]
+	wantCRC := binary.BigEndian.Uint32(buf[hlen+plen:])
 	if crc32.ChecksumIEEE(body) != wantCRC {
-		return 0, nil, ErrBadCRC
+		return 0, 0, nil, ErrBadCRC
 	}
 	m, err := newMessage(Type(buf[3]))
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	if err := m.decodePayload(buf[headerLen : headerLen+plen]); err != nil {
-		return 0, nil, err
+	if err := m.decodePayload(buf[hlen : hlen+plen]); err != nil {
+		return 0, 0, nil, err
 	}
-	return binary.BigEndian.Uint32(buf[6:]), m, nil
+	if hlen >= headerLen {
+		trace = binary.BigEndian.Uint64(buf[10:])
+	}
+	return binary.BigEndian.Uint32(buf[6:]), trace, m, nil
 }
 
-// WriteFrame writes one frame to a stream.
-func WriteFrame(w io.Writer, seq uint32, msg Message) error {
-	buf, err := EncodeFrame(seq, msg)
+// WriteFrame writes one current-version frame to a stream.
+func WriteFrame(w io.Writer, seq uint32, trace uint64, msg Message) error {
+	buf, err := EncodeFrame(seq, trace, msg)
 	if err != nil {
 		return err
 	}
@@ -85,25 +133,28 @@ func WriteFrame(w io.Writer, seq uint32, msg Message) error {
 // ReadFrame reads exactly one frame from a stream, resynchronization-free:
 // a framing error poisons the stream and the caller should drop the
 // connection (TCP guarantees ordering, and the in-memory transports are
-// datagram-like, so partial frames only occur on a broken peer).
-func ReadFrame(r io.Reader) (seq uint32, msg Message, err error) {
-	header := make([]byte, headerLen)
+// datagram-like, so partial frames only occur on a broken peer). Both
+// protocol versions are accepted, so a current controller can read a
+// legacy agent's stream.
+func ReadFrame(r io.Reader) (seq uint32, trace uint64, msg Message, err error) {
+	header := make([]byte, headerLenV1)
 	if _, err := io.ReadFull(r, header); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	if binary.BigEndian.Uint16(header) != Magic {
-		return 0, nil, ErrBadMagic
+		return 0, 0, nil, ErrBadMagic
 	}
-	if header[2] != Version {
-		return 0, nil, ErrBadVersion
+	hlen, err := headerLenFor(header[2])
+	if err != nil {
+		return 0, 0, nil, err
 	}
 	plen := int(binary.BigEndian.Uint16(header[4:]))
 	if plen > MaxPayload {
-		return 0, nil, ErrTooLarge
+		return 0, 0, nil, ErrTooLarge
 	}
-	rest := make([]byte, plen+4)
+	rest := make([]byte, (hlen-headerLenV1)+plen+4)
 	if _, err := io.ReadFull(r, rest); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	return DecodeFrame(append(header, rest...))
 }

@@ -22,27 +22,99 @@ func allMessages() []Message {
 	}
 }
 
+// sameMessage compares messages, normalizing nil vs empty state slices.
+func sameMessage(t *testing.T, want, got Message) bool {
+	t.Helper()
+	if reflect.DeepEqual(want, got) {
+		return true
+	}
+	if sc, ok := want.(*SetConfig); ok && len(sc.States) == 0 {
+		if gsc, ok := got.(*SetConfig); ok && len(gsc.States) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func TestFrameRoundTrip(t *testing.T) {
 	for _, msg := range allMessages() {
-		buf, err := EncodeFrame(99, msg)
+		buf, err := EncodeFrame(99, 0xdeadbeefcafe, msg)
 		if err != nil {
 			t.Fatalf("%v: %v", msg.MsgType(), err)
 		}
-		seq, got, err := DecodeFrame(buf)
+		seq, trace, got, err := DecodeFrame(buf)
 		if err != nil {
 			t.Fatalf("%v: decode: %v", msg.MsgType(), err)
 		}
 		if seq != 99 {
 			t.Errorf("%v: seq = %d", msg.MsgType(), seq)
 		}
-		if !reflect.DeepEqual(msg, got) {
-			// SetConfig{nil} decodes to empty non-nil slice; normalize.
-			if sc, ok := msg.(*SetConfig); ok && len(sc.States) == 0 {
-				if gsc := got.(*SetConfig); len(gsc.States) == 0 {
-					continue
-				}
-			}
+		if trace != 0xdeadbeefcafe {
+			t.Errorf("%v: trace = %#x", msg.MsgType(), trace)
+		}
+		if !sameMessage(t, msg, got) {
 			t.Errorf("%v: round trip %+v != %+v", msg.MsgType(), got, msg)
+		}
+	}
+}
+
+// TestFrameRoundTripLegacy covers the pre-trace version-1 header: a
+// legacy frame must still decode (with trace 0), so un-upgraded agents
+// keep interoperating across the version bump.
+func TestFrameRoundTripLegacy(t *testing.T) {
+	for _, msg := range allMessages() {
+		buf, err := EncodeFrameLegacy(42, msg)
+		if err != nil {
+			t.Fatalf("%v: %v", msg.MsgType(), err)
+		}
+		if buf[2] != VersionLegacy {
+			t.Fatalf("%v: legacy frame carries version %d", msg.MsgType(), buf[2])
+		}
+		seq, trace, got, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("%v: legacy decode: %v", msg.MsgType(), err)
+		}
+		if seq != 42 || trace != 0 {
+			t.Errorf("%v: seq = %d, trace = %#x; want 42, 0", msg.MsgType(), seq, trace)
+		}
+		if !sameMessage(t, msg, got) {
+			t.Errorf("%v: legacy round trip %+v != %+v", msg.MsgType(), got, msg)
+		}
+		// A legacy frame is exactly 8 bytes (the trace field) shorter.
+		cur, err := EncodeFrame(42, 0, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cur)-len(buf) != 8 {
+			t.Errorf("%v: v2 is %d bytes, v1 %d; want 8-byte delta", msg.MsgType(), len(cur), len(buf))
+		}
+	}
+}
+
+// TestFrameLegacyStream checks both versions interleaved on one stream —
+// the mixed-fleet case of upgraded and legacy peers behind a relay.
+func TestFrameLegacyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 1, 77, &Ping{T: 5}); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := EncodeFrameLegacy(2, &Pong{T: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(legacy)
+	if err := WriteFrame(&buf, 3, 78, &Query{}); err != nil {
+		t.Fatal(err)
+	}
+
+	wantTraces := []uint64{77, 0, 78}
+	for i, want := range wantTraces {
+		seq, trace, _, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if seq != uint32(i+1) || trace != want {
+			t.Errorf("frame %d: seq %d trace %#x, want %d %#x", i, seq, trace, i+1, want)
 		}
 	}
 }
@@ -50,17 +122,20 @@ func TestFrameRoundTrip(t *testing.T) {
 func TestStreamRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	for i, msg := range allMessages() {
-		if err := WriteFrame(&buf, uint32(i), msg); err != nil {
+		if err := WriteFrame(&buf, uint32(i), uint64(i)*7, msg); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i, want := range allMessages() {
-		seq, got, err := ReadFrame(&buf)
+		seq, trace, got, err := ReadFrame(&buf)
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
 		if seq != uint32(i) {
 			t.Errorf("frame %d: seq %d", i, seq)
+		}
+		if trace != uint64(i)*7 {
+			t.Errorf("frame %d: trace %d", i, trace)
 		}
 		if got.MsgType() != want.MsgType() {
 			t.Errorf("frame %d: type %v != %v", i, got.MsgType(), want.MsgType())
@@ -69,47 +144,78 @@ func TestStreamRoundTrip(t *testing.T) {
 }
 
 func TestDecodeRejectsBadMagic(t *testing.T) {
-	buf, _ := EncodeFrame(1, &Query{})
+	buf, _ := EncodeFrame(1, 0, &Query{})
 	buf[0] = 0xFF
-	if _, _, err := DecodeFrame(buf); !errors.Is(err, ErrBadMagic) {
+	if _, _, _, err := DecodeFrame(buf); !errors.Is(err, ErrBadMagic) {
 		t.Errorf("err = %v, want ErrBadMagic", err)
 	}
 }
 
 func TestDecodeRejectsBadVersion(t *testing.T) {
-	buf, _ := EncodeFrame(1, &Query{})
+	buf, _ := EncodeFrame(1, 0, &Query{})
 	buf[2] = 99
-	if _, _, err := DecodeFrame(buf); !errors.Is(err, ErrBadVersion) {
+	if _, _, _, err := DecodeFrame(buf); !errors.Is(err, ErrBadVersion) {
 		t.Errorf("err = %v, want ErrBadVersion", err)
 	}
 }
 
 func TestDecodeDetectsCorruption(t *testing.T) {
-	// Flip every single byte position in turn (except where the flip
-	// still yields the same decoded result is impossible for CRC32):
+	// Flip every single byte position in turn — including the eight new
+	// trace bytes, which the CRC must cover like the rest of the header:
 	// corruption must never decode silently.
-	orig, _ := EncodeFrame(7, &SetConfig{States: []uint8{1, 2, 3}})
-	for pos := range orig {
-		buf := append([]byte(nil), orig...)
-		buf[pos] ^= 0x01
-		_, _, err := DecodeFrame(buf)
-		if err == nil {
-			t.Fatalf("flip at byte %d decoded silently", pos)
+	for _, enc := range []struct {
+		name string
+		buf  []byte
+	}{
+		{"v2", mustEncode(t, 7, 0x1122334455667788, &SetConfig{States: []uint8{1, 2, 3}})},
+		{"v1", mustEncodeLegacy(t, 7, &SetConfig{States: []uint8{1, 2, 3}})},
+	} {
+		for pos := range enc.buf {
+			buf := append([]byte(nil), enc.buf...)
+			buf[pos] ^= 0x01
+			_, _, _, err := DecodeFrame(buf)
+			if err == nil {
+				t.Fatalf("%s: flip at byte %d decoded silently", enc.name, pos)
+			}
 		}
 	}
 }
 
+func mustEncode(t *testing.T, seq uint32, trace uint64, msg Message) []byte {
+	t.Helper()
+	buf, err := EncodeFrame(seq, trace, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func mustEncodeLegacy(t *testing.T, seq uint32, msg Message) []byte {
+	t.Helper()
+	buf, err := EncodeFrameLegacy(seq, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
 func TestDecodeTruncatedAndOversized(t *testing.T) {
-	buf, _ := EncodeFrame(1, &Ping{T: 1})
-	if _, _, err := DecodeFrame(buf[:5]); err == nil {
+	buf, _ := EncodeFrame(1, 0, &Ping{T: 1})
+	if _, _, _, err := DecodeFrame(buf[:5]); err == nil {
 		t.Error("truncated frame accepted")
 	}
-	if _, _, err := DecodeFrame(buf[:len(buf)-1]); err == nil {
+	if _, _, _, err := DecodeFrame(buf[:headerLenV1+2]); err == nil {
+		t.Error("v2 frame cut inside the trace field accepted")
+	}
+	if _, _, _, err := DecodeFrame(buf[:len(buf)-1]); err == nil {
 		t.Error("frame missing CRC byte accepted")
 	}
 	big := &SetConfig{States: make([]uint8, MaxPayload+1)}
-	if _, err := EncodeFrame(1, big); !errors.Is(err, ErrTooLarge) {
+	if _, err := EncodeFrame(1, 0, big); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("oversized encode err = %v", err)
+	}
+	if _, err := EncodeFrameLegacy(1, big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized legacy encode err = %v", err)
 	}
 }
 
@@ -123,7 +229,7 @@ func TestDecodeRandomGarbage(t *testing.T) {
 		for i := range buf {
 			buf[i] = uint8(rng.IntN(256))
 		}
-		if _, _, err := DecodeFrame(buf); err == nil {
+		if _, _, _, err := DecodeFrame(buf); err == nil {
 			t.Fatalf("garbage of %d bytes decoded", n)
 		}
 	}
@@ -132,9 +238,9 @@ func TestDecodeRandomGarbage(t *testing.T) {
 func TestReadFrameRejectsOversizedDeclaredLength(t *testing.T) {
 	// A hostile peer declaring a giant payload must be rejected before
 	// any allocation of that size.
-	buf, _ := EncodeFrame(1, &Query{})
+	buf, _ := EncodeFrame(1, 0, &Query{})
 	buf[4], buf[5] = 0xFF, 0xFF
-	if _, _, err := ReadFrame(bytes.NewReader(buf)); !errors.Is(err, ErrTooLarge) {
+	if _, _, _, err := ReadFrame(bytes.NewReader(buf)); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("err = %v, want ErrTooLarge", err)
 	}
 }

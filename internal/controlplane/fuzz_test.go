@@ -7,25 +7,41 @@ import (
 
 // FuzzDecodeFrame hammers the wire decoder with arbitrary bytes: it must
 // never panic, and anything it accepts must re-encode to the same frame
-// (decode∘encode is the identity on the accepted language).
+// (decode∘encode is the identity on the accepted language). Both header
+// versions are in the corpus; the re-encode picks the encoder matching
+// the input's declared version so the identity holds across the bump.
 func FuzzDecodeFrame(f *testing.F) {
 	for _, msg := range allMessages() {
-		buf, err := EncodeFrame(7, msg)
+		buf, err := EncodeFrame(7, 0x0102030405060708, msg)
 		if err != nil {
 			f.Fatal(err)
 		}
 		f.Add(buf)
+		legacy, err := EncodeFrameLegacy(7, msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(legacy)
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0x50, 0x52, 1, 1})
+	f.Add([]byte{0x50, 0x52, 2, 1})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		seq, msg, err := DecodeFrame(data)
+		seq, trace, msg, err := DecodeFrame(data)
 		if err != nil {
 			return // rejected input: fine, as long as we did not panic
 		}
-		re, err := EncodeFrame(seq, msg)
+		var re []byte
+		if data[2] == VersionLegacy {
+			if trace != 0 {
+				t.Fatalf("legacy frame decoded with trace %#x", trace)
+			}
+			re, err = EncodeFrameLegacy(seq, msg)
+		} else {
+			re, err = EncodeFrame(seq, trace, msg)
+		}
 		if err != nil {
 			t.Fatalf("accepted frame failed to re-encode: %v", err)
 		}
@@ -41,19 +57,25 @@ func FuzzDecodeFrame(f *testing.F) {
 func FuzzReadFrame(f *testing.F) {
 	var stream bytes.Buffer
 	for i, msg := range allMessages() {
-		_ = WriteFrame(&stream, uint32(i), msg)
+		_ = WriteFrame(&stream, uint32(i), uint64(i)+1, msg)
+	}
+	var legacyStream bytes.Buffer
+	for i, msg := range allMessages() {
+		buf, _ := EncodeFrameLegacy(uint32(i), msg)
+		legacyStream.Write(buf)
 	}
 	f.Add(stream.Bytes())
+	f.Add(legacyStream.Bytes())
 	f.Add([]byte{0x50})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
 		for {
-			seq, msg, err := ReadFrame(r)
+			seq, trace, msg, err := ReadFrame(r)
 			if err != nil {
 				return
 			}
-			if _, err := EncodeFrame(seq, msg); err != nil {
+			if _, err := EncodeFrame(seq, trace, msg); err != nil {
 				t.Fatalf("read frame failed to re-encode: %v", err)
 			}
 		}

@@ -9,12 +9,20 @@
 // Wire format, big endian:
 //
 //	magic   uint16  0x5052 ("PR")
-//	version uint8   1
+//	version uint8   2
 //	type    uint8   message type
 //	length  uint16  payload length
 //	seq     uint32  sender sequence number
+//	trace   uint64  trace ID (version ≥ 2; 0 = untraced)
 //	payload [length]byte
 //	crc32   uint32  IEEE CRC over header+payload
+//
+// Version 1 frames omit the trace field; the decoder accepts both, so a
+// current controller interoperates with un-upgraded agents (legacy
+// frames simply decode with trace 0). The trace ID rides in the header
+// rather than any payload so that every message type — including acks,
+// whose payload layout microcontroller agents have burned in — carries
+// it uniformly under the same CRC. See DESIGN.md.
 package controlplane
 
 import (
@@ -25,8 +33,12 @@ import (
 
 // Protocol constants.
 const (
-	Magic   uint16 = 0x5052
-	Version uint8  = 1
+	Magic uint16 = 0x5052
+	// VersionLegacy is the pre-trace protocol (10-byte header).
+	VersionLegacy uint8 = 1
+	// Version is the current protocol: the legacy header plus an 8-byte
+	// trace ID for end-to-end control-plane tracing.
+	Version uint8 = 2
 	// MaxPayload bounds a frame's payload; element arrays are small, so
 	// frames stay comfortably within one MTU.
 	MaxPayload = 1024

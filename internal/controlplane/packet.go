@@ -24,8 +24,8 @@ func NewPacketConn(pc net.PacketConn, peer net.Addr) *PacketConn {
 }
 
 // Send implements Conn.
-func (p *PacketConn) Send(seq uint32, msg Message) error {
-	buf, err := EncodeFrame(seq, msg)
+func (p *PacketConn) Send(seq uint32, trace uint64, msg Message) error {
+	buf, err := EncodeFrame(seq, trace, msg)
 	if err != nil {
 		return err
 	}
@@ -35,21 +35,21 @@ func (p *PacketConn) Send(seq uint32, msg Message) error {
 
 // Recv implements Conn. Datagrams that fail to decode, or that arrive
 // from an unexpected source, are dropped silently.
-func (p *PacketConn) Recv() (uint32, Message, error) {
+func (p *PacketConn) Recv() (uint32, uint64, Message, error) {
 	buf := make([]byte, headerLen+MaxPayload+4)
 	for {
 		n, from, err := p.pc.ReadFrom(buf)
 		if err != nil {
-			return 0, nil, err
+			return 0, 0, nil, err
 		}
 		if from.String() != p.peer.String() {
 			continue // not our agent: a stray datagram on the port
 		}
-		seq, msg, err := DecodeFrame(buf[:n])
+		seq, trace, msg, err := DecodeFrame(buf[:n])
 		if err != nil {
 			continue // corrupted datagram: drop, like a PHY would
 		}
-		return seq, msg, nil
+		return seq, trace, msg, nil
 	}
 }
 
@@ -90,12 +90,12 @@ func (a *Agent) ServePacket(ctx context.Context, pc net.PacketConn) error {
 			}
 			return err
 		}
-		seq, msg, derr := DecodeFrame(buf[:n])
+		seq, trace, msg, derr := DecodeFrame(buf[:n])
 		if derr != nil {
 			continue // corrupted datagram
 		}
 		reply := replyConn{pc: pc, to: from}
-		if err := a.handle(reply, seq, msg); err != nil {
+		if err := a.handle(reply, seq, trace, msg); err != nil {
 			return fmt.Errorf("controlplane: reply to %v: %w", from, err)
 		}
 	}
@@ -108,8 +108,8 @@ type replyConn struct {
 	to net.Addr
 }
 
-func (r replyConn) Send(seq uint32, msg Message) error {
-	buf, err := EncodeFrame(seq, msg)
+func (r replyConn) Send(seq uint32, trace uint64, msg Message) error {
+	buf, err := EncodeFrame(seq, trace, msg)
 	if err != nil {
 		return err
 	}
@@ -117,8 +117,8 @@ func (r replyConn) Send(seq uint32, msg Message) error {
 	return err
 }
 
-func (replyConn) Recv() (uint32, Message, error) {
-	return 0, nil, errors.New("controlplane: replyConn cannot receive")
+func (replyConn) Recv() (uint32, uint64, Message, error) {
+	return 0, 0, nil, errors.New("controlplane: replyConn cannot receive")
 }
 
 func (replyConn) SetRecvDeadline(time.Time) error { return nil }

@@ -125,7 +125,7 @@ func TestUDPIgnoresStraySources(t *testing.T) {
 	if _, err := stray.WriteTo([]byte("garbage"), addr); err != nil {
 		t.Fatal(err)
 	}
-	buf, _ := EncodeFrame(9, &SetConfig{States: []uint8{9, 9}})
+	buf, _ := EncodeFrame(9, 0, &SetConfig{States: []uint8{9, 9}})
 	if _, err := stray.WriteTo(buf, addr); err != nil {
 		t.Fatal(err)
 	}

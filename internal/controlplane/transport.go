@@ -11,11 +11,13 @@ import (
 // Conn is a message-oriented control-plane connection. Implementations
 // must be safe for one concurrent sender and one concurrent receiver.
 type Conn interface {
-	// Send transmits one message with the given sequence number.
-	Send(seq uint32, msg Message) error
+	// Send transmits one message with the given sequence number and
+	// trace ID (0 = untraced).
+	Send(seq uint32, trace uint64, msg Message) error
 	// Recv blocks for the next message until the deadline set by
-	// SetRecvDeadline (zero deadline blocks indefinitely).
-	Recv() (uint32, Message, error)
+	// SetRecvDeadline (zero deadline blocks indefinitely), returning the
+	// peer's sequence number and trace ID alongside the message.
+	Recv() (seq uint32, trace uint64, msg Message, err error)
 	// SetRecvDeadline bounds subsequent Recv calls.
 	SetRecvDeadline(t time.Time) error
 	// Close releases the connection; pending Recv calls fail.
@@ -37,14 +39,14 @@ type StreamConn struct {
 func NewStreamConn(c net.Conn) *StreamConn { return &StreamConn{c: c} }
 
 // Send implements Conn.
-func (s *StreamConn) Send(seq uint32, msg Message) error {
+func (s *StreamConn) Send(seq uint32, trace uint64, msg Message) error {
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
-	return WriteFrame(s.c, seq, msg)
+	return WriteFrame(s.c, seq, trace, msg)
 }
 
 // Recv implements Conn.
-func (s *StreamConn) Recv() (uint32, Message, error) {
+func (s *StreamConn) Recv() (uint32, uint64, Message, error) {
 	return ReadFrame(s.c)
 }
 
@@ -110,13 +112,13 @@ func NewLossyPipe(cfg LossyConfig) (Conn, Conn) {
 }
 
 // Send implements Conn.
-func (e *lossyEnd) Send(seq uint32, msg Message) error {
+func (e *lossyEnd) Send(seq uint32, trace uint64, msg Message) error {
 	select {
 	case <-e.done:
 		return ErrClosed
 	default:
 	}
-	buf, err := EncodeFrame(seq, msg)
+	buf, err := EncodeFrame(seq, trace, msg)
 	if err != nil {
 		return err
 	}
@@ -151,7 +153,7 @@ func (e *lossyEnd) Send(seq uint32, msg Message) error {
 // corruption) are dropped silently, like a PHY discarding a packet with a
 // bad checksum — the pipe is datagram-like, so corruption never poisons
 // subsequent frames.
-func (e *lossyEnd) Recv() (uint32, Message, error) {
+func (e *lossyEnd) Recv() (uint32, uint64, Message, error) {
 	for {
 		e.dlMu.Lock()
 		deadline := e.deadline
@@ -162,7 +164,7 @@ func (e *lossyEnd) Recv() (uint32, Message, error) {
 		if !deadline.IsZero() {
 			d := time.Until(deadline)
 			if d <= 0 {
-				return 0, nil, ErrTimeout
+				return 0, 0, nil, ErrTimeout
 			}
 			timer = time.NewTimer(d)
 			timeout = timer.C
@@ -176,18 +178,18 @@ func (e *lossyEnd) Recv() (uint32, Message, error) {
 			if wait := time.Until(f.at); wait > 0 {
 				time.Sleep(wait)
 			}
-			seq, msg, err := DecodeFrame(f.buf)
+			seq, trace, msg, err := DecodeFrame(f.buf)
 			if err != nil {
 				continue // corrupted in transit: drop
 			}
-			return seq, msg, nil
+			return seq, trace, msg, nil
 		case <-timeout:
-			return 0, nil, ErrTimeout
+			return 0, 0, nil, ErrTimeout
 		case <-e.done:
 			if timer != nil {
 				timer.Stop()
 			}
-			return 0, nil, ErrClosed
+			return 0, 0, nil, ErrClosed
 		}
 	}
 }

@@ -7,11 +7,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 )
 
 // CLI bundles the standard telemetry flags every binary in this
-// repository exposes (-telemetry, -telemetry-format, -log-level,
-// -cpuprofile, -memprofile) together with the registry, logger, and
+// repository exposes (-telemetry, -telemetry-format, -telemetry-addr,
+// -sample-interval, -trace, -log-level, -cpuprofile, -memprofile)
+// together with the registry, logger, server, recorder, trace log, and
 // profile lifecycle behind them. Usage:
 //
 //	var tele obs.CLI
@@ -30,14 +32,28 @@ type CLI struct {
 	// TelemetryFormat is "json" (indented Snapshot) or "prom"
 	// (Prometheus text format).
 	TelemetryFormat string
+	// TelemetryAddr, when non-empty, serves live telemetry over HTTP on
+	// this address (e.g. "localhost:9090"): /metrics, /metrics.json,
+	// /healthz, /events (SSE), and /debug/pprof/*.
+	TelemetryAddr string
+	// SampleInterval is the period at which the live recorder samples
+	// the registry for the /events stream. Zero means DefaultSampleInterval.
+	SampleInterval time.Duration
+	// Trace is the path for a Chrome trace-event JSON export of all
+	// completed spans, written by Finish. Load it at ui.perfetto.dev or
+	// chrome://tracing.
+	Trace string
 	// LogLevel is the structured log threshold (debug|info|warn|error|off).
 	LogLevel string
 	// CPUProfile and MemProfile are pprof output paths.
 	CPUProfile, MemProfile string
 
-	reg     *Registry
-	logger  *Logger
-	cpuFile *os.File
+	reg      *Registry
+	logger   *Logger
+	cpuFile  *os.File
+	tracelog *TraceLog
+	rec      *Recorder
+	srv      *Server
 }
 
 // Register installs the telemetry flags on fs.
@@ -46,19 +62,29 @@ func (c *CLI) Register(fs *flag.FlagSet) {
 		`write a final metrics snapshot to this path ("-" = stdout)`)
 	fs.StringVar(&c.TelemetryFormat, "telemetry-format", "json",
 		"metrics snapshot format: json|prom")
+	fs.StringVar(&c.TelemetryAddr, "telemetry-addr", "",
+		"serve live telemetry over HTTP on this address (/metrics, /events, /debug/pprof)")
+	fs.DurationVar(&c.SampleInterval, "sample-interval", DefaultSampleInterval,
+		"sampling period for the live /events stream")
+	fs.StringVar(&c.Trace, "trace", "",
+		"write a Chrome trace-event JSON of all spans to this file (view at ui.perfetto.dev)")
 	fs.StringVar(&c.LogLevel, "log-level", "off",
 		"structured log threshold on stderr: debug|info|warn|error|off")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
 }
 
-// Start validates the flags and brings up the registry, logger, and CPU
-// profiler. Log records go to logw (conventionally os.Stderr).
+// Start validates the flags and brings up the registry, logger, trace
+// log, live server, and CPU profiler. Log records go to logw
+// (conventionally os.Stderr).
 func (c *CLI) Start(logw io.Writer) error {
 	switch c.TelemetryFormat {
 	case "", "json", "prom":
 	default:
 		return fmt.Errorf("obs: unknown -telemetry-format %q (want json|prom)", c.TelemetryFormat)
+	}
+	if c.SampleInterval < 0 {
+		return fmt.Errorf("obs: negative -sample-interval %v", c.SampleInterval)
 	}
 	level, err := ParseLevel(c.LogLevel)
 	if err != nil {
@@ -67,8 +93,24 @@ func (c *CLI) Start(logw io.Writer) error {
 	if level < LevelOff {
 		c.logger = NewLogger(logw, level, Logfmt)
 	}
-	if c.Telemetry != "" {
+	if c.Telemetry != "" || c.TelemetryAddr != "" || c.Trace != "" {
 		c.reg = NewRegistry()
+	}
+	if c.Trace != "" {
+		c.tracelog = NewTraceLog()
+		c.reg.SetTraceLog(c.tracelog)
+	}
+	if c.TelemetryAddr != "" {
+		c.rec = NewRecorder(c.reg, c.SampleInterval, 0)
+		c.rec.Start()
+		c.srv = NewServer(c.reg, c.rec)
+		if err := c.srv.Start(c.TelemetryAddr); err != nil {
+			c.rec.Stop()
+			return err
+		}
+		if c.logger.Enabled(LevelInfo) {
+			c.logger.Info("telemetry server listening", "addr", c.srv.Addr())
+		}
 	}
 	if c.CPUProfile != "" {
 		f, err := os.Create(c.CPUProfile)
@@ -84,17 +126,43 @@ func (c *CLI) Start(logw io.Writer) error {
 	return nil
 }
 
-// Registry returns the live registry, or nil when -telemetry was not
+// Registry returns the live registry, or nil when no telemetry flag was
 // given (the disabled default).
 func (c *CLI) Registry() *Registry { return c.reg }
 
 // Logger returns the structured logger, or nil when -log-level is off.
 func (c *CLI) Logger() *Logger { return c.logger }
 
-// Finish stops profiling, writes the requested profiles, logs a
-// per-phase span summary, and emits the final metrics snapshot.
-// stdout is the writer used when -telemetry is "-".
+// TraceLog returns the span collector behind -trace, or nil.
+func (c *CLI) TraceLog() *TraceLog { return c.tracelog }
+
+// ServerAddr returns the bound address of the live telemetry server, or
+// "" when -telemetry-addr was not given. Useful with ":0" addresses.
+func (c *CLI) ServerAddr() string {
+	if c.srv == nil {
+		return ""
+	}
+	if a := c.srv.Addr(); a != nil {
+		return a.String()
+	}
+	return ""
+}
+
+// Finish stops the live server and recorder, stops profiling, writes the
+// requested profiles and trace, logs a per-phase span summary, and emits
+// the final metrics snapshot. stdout is the writer used when -telemetry
+// is "-".
 func (c *CLI) Finish(stdout io.Writer) error {
+	if c.srv != nil {
+		if err := c.srv.Close(); err != nil {
+			return err
+		}
+		c.srv = nil
+	}
+	if c.rec != nil {
+		c.rec.Stop()
+		c.rec = nil
+	}
 	if c.cpuFile != nil {
 		pprof.StopCPUProfile()
 		if err := c.cpuFile.Close(); err != nil {
@@ -109,6 +177,19 @@ func (c *CLI) Finish(stdout io.Writer) error {
 		}
 		runtime.GC() // materialize up-to-date allocation stats
 		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if c.Trace != "" && c.tracelog != nil {
+		f, err := os.Create(c.Trace)
+		if err != nil {
+			return err
+		}
+		if err := c.tracelog.WriteJSON(f); err != nil {
 			f.Close()
 			return err
 		}

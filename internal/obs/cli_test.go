@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func cliFlagSet(t *testing.T, c *CLI, args ...string) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	c.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+}
+
+func TestCLIRegistersAllFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var c CLI
+	c.Register(fs)
+	for _, name := range []string{
+		"telemetry", "telemetry-format", "telemetry-addr",
+		"sample-interval", "trace", "log-level", "cpuprofile", "memprofile",
+	} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+}
+
+func TestCLIDisabledByDefault(t *testing.T) {
+	var c CLI
+	cliFlagSet(t, &c)
+	if err := c.Start(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if c.Registry() != nil || c.Logger() != nil || c.TraceLog() != nil || c.ServerAddr() != "" {
+		t.Error("zero-flag CLI is not fully disabled")
+	}
+	if err := c.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLISnapshotEmission(t *testing.T) {
+	var c CLI
+	cliFlagSet(t, &c, "-telemetry", "-")
+	if err := c.Start(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	c.Registry().Counter("demo_total").Add(3)
+	var out bytes.Buffer
+	if err := c.Finish(&out); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not JSON: %v\n%s", err, out.String())
+	}
+	if snap.Counters["demo_total"] != 3 {
+		t.Errorf("demo_total = %d, want 3", snap.Counters["demo_total"])
+	}
+}
+
+func TestCLISnapshotToFileProm(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	var c CLI
+	cliFlagSet(t, &c, "-telemetry", path, "-telemetry-format", "prom")
+	if err := c.Start(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	c.Registry().Counter("demo_total").Add(9)
+	if err := c.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "demo_total 9") {
+		t.Errorf("prom snapshot missing counter:\n%s", data)
+	}
+}
+
+func TestCLIBadFormatRejected(t *testing.T) {
+	var c CLI
+	cliFlagSet(t, &c, "-telemetry", "-", "-telemetry-format", "xml")
+	if err := c.Start(io.Discard); err == nil {
+		t.Error("bad -telemetry-format accepted")
+	}
+}
+
+func TestCLINegativeSampleIntervalRejected(t *testing.T) {
+	var c CLI
+	c.SampleInterval = -time.Second
+	if err := c.Start(io.Discard); err == nil {
+		t.Error("negative -sample-interval accepted")
+	}
+}
+
+func TestCLIProfileFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var c CLI
+	cliFlagSet(t, &c, "-cpuprofile", cpu, "-memprofile", mem)
+	if err := c.Start(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile is not empty.
+	x := 0.0
+	for i := 0; i < 1e5; i++ {
+		x += float64(i) * 1.0001
+	}
+	_ = x
+	if err := c.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestCLITraceExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var c CLI
+	cliFlagSet(t, &c, "-trace", path)
+	if err := c.Start(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if c.Registry() == nil || c.TraceLog() == nil {
+		t.Fatal("-trace alone must enable registry and trace log")
+	}
+	sp := StartSpan(c.Registry(), "exp/run")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if err := c.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	var sawSpan bool
+	for _, e := range events {
+		if e["ph"] == "X" && e["name"] == "exp/run" {
+			sawSpan = true
+		}
+	}
+	if !sawSpan {
+		t.Errorf("trace missing exp/run span:\n%s", data)
+	}
+}
+
+func TestCLITelemetryAddrLifecycle(t *testing.T) {
+	var c CLI
+	cliFlagSet(t, &c,
+		"-telemetry-addr", "127.0.0.1:0",
+		"-sample-interval", "10ms")
+	if err := c.Start(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	addr := c.ServerAddr()
+	if addr == "" {
+		t.Fatal("no server address after Start")
+	}
+	c.Registry().Counter("live_total").Add(5)
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "live_total 5") {
+		t.Errorf("/metrics missing live_total:\n%s", body)
+	}
+
+	if err := c.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	// The port must be released after Finish.
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Error("server still answering after Finish")
+	}
+}

@@ -126,7 +126,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 		h := snap.Histograms[name]
 		p("# TYPE %s histogram\n", n)
 		for _, b := range h.Buckets {
-			p("%s_bucket{le=%q} %d\n", n, b.LE, b.Count)
+			p("%s_bucket{le=\"%s\"} %d\n", n, EscapeLabelValue(b.LE), b.Count)
 		}
 		p("%s_sum %s\n%s_count %d\n", n, formatFloat(h.Sum), n, h.Count)
 	}
@@ -152,6 +152,40 @@ func SanitizeMetricName(name string) string {
 			(c >= '0' && c <= '9' && i > 0)
 		if !ok {
 			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// EscapeLabelValue escapes a string for use inside double quotes as a
+// Prometheus text-format (version 0.0.4) label value: backslash,
+// double-quote, and line-feed get backslash escapes; everything else —
+// including raw multi-byte UTF-8 — passes through verbatim. (Go's %q is
+// NOT spec-compliant here: it escapes non-ASCII and other control
+// characters into Go syntax Prometheus parsers reject or misread.)
+func EscapeLabelValue(s string) string {
+	// Fast path: nothing to escape.
+	needs := false
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == '\\' || c == '"' || c == '\n' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return s
+	}
+	out := make([]byte, 0, len(s)+8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, c)
 		}
 	}
 	return string(out)

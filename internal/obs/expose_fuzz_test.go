@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// unescapeLabelValue inverts EscapeLabelValue, the way a text-format
+// parser would.
+func unescapeLabelValue(s string) (string, bool) {
+	var out strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			if c == '"' || c == '\n' {
+				return "", false // raw specials must never survive escaping
+			}
+			out.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", false // dangling backslash
+		}
+		switch s[i] {
+		case '\\':
+			out.WriteByte('\\')
+		case '"':
+			out.WriteByte('"')
+		case 'n':
+			out.WriteByte('\n')
+		default:
+			return "", false // invalid escape
+		}
+	}
+	return out.String(), true
+}
+
+// FuzzEscapeLabelValue checks the text-format escaping against the spec:
+// the escaped form must contain no raw quote/newline/stray backslash,
+// must round-trip back to the input, and must leave valid UTF-8 valid.
+func FuzzEscapeLabelValue(f *testing.F) {
+	f.Add("")
+	f.Add("plain")
+	f.Add(`back\slash`)
+	f.Add(`quote"quote`)
+	f.Add("line\nbreak")
+	f.Add("\\\"\n\\n")
+	f.Add("héllo wörld ☃")
+	f.Add(string([]byte{0xff, 0xfe})) // invalid UTF-8 must not panic
+	f.Fuzz(func(t *testing.T, s string) {
+		esc := EscapeLabelValue(s)
+		back, ok := unescapeLabelValue(esc)
+		if !ok {
+			t.Fatalf("escaped form %q is not parseable", esc)
+		}
+		if back != s {
+			t.Fatalf("round trip: %q -> %q -> %q", s, esc, back)
+		}
+		if utf8.ValidString(s) && !utf8.ValidString(esc) {
+			t.Fatalf("escaping broke UTF-8: %q -> %q", s, esc)
+		}
+	})
+}
+
+var promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// FuzzSanitizeMetricName checks that any input maps onto the Prometheus
+// metric-name grammar.
+func FuzzSanitizeMetricName(f *testing.F) {
+	f.Add("")
+	f.Add("good_name")
+	f.Add("9starts_with_digit")
+	f.Add("dash-dot.slash/space name")
+	f.Add("ünicode☃")
+	f.Fuzz(func(t *testing.T, s string) {
+		n := SanitizeMetricName(s)
+		if !promNameRe.MatchString(n) {
+			t.Fatalf("sanitized %q -> %q violates the name grammar", s, n)
+		}
+	})
+}
+
+// FuzzExposition registers metrics under an arbitrary name and checks
+// both expositions stay well-formed: the text format line-parses with
+// legal names and quoted le labels, and the JSON parses back.
+func FuzzExposition(f *testing.F) {
+	f.Add("normal_name", 1.5)
+	f.Add("name with\nnewline\"and quote\\", -3.0)
+	f.Add("ünicode", 0.25)
+	f.Fuzz(func(t *testing.T, name string, bound float64) {
+		r := NewRegistry()
+		r.Counter(name).Add(2)
+		r.Gauge(name + "_g").Set(bound)
+		h := r.Histogram(name+"_h", []float64{bound})
+		h.Observe(bound)
+
+		var text bytes.Buffer
+		if err := r.WriteText(&text); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(&text)
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" || strings.HasPrefix(line, "# ") {
+				continue
+			}
+			fields := strings.SplitN(line, " ", 2)
+			if len(fields) != 2 {
+				t.Fatalf("malformed sample line %q", line)
+			}
+			metric := fields[0]
+			if i := strings.IndexByte(metric, '{'); i >= 0 {
+				if !strings.HasSuffix(metric, "}") {
+					t.Fatalf("unterminated label set in %q", line)
+				}
+				labels := metric[i+1 : len(metric)-1]
+				if !strings.HasPrefix(labels, `le="`) || !strings.HasSuffix(labels, `"`) {
+					t.Fatalf("bad le label in %q", line)
+				}
+				if _, ok := unescapeLabelValue(labels[4 : len(labels)-1]); !ok {
+					t.Fatalf("unparseable label value in %q", line)
+				}
+				metric = metric[:i]
+			}
+			if !promNameRe.MatchString(metric) {
+				t.Fatalf("illegal metric name in %q", line)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			// A raw newline inside a label value would split a sample line;
+			// scanner errors only on absurd line lengths.
+			t.Fatal(err)
+		}
+
+		var js bytes.Buffer
+		if err := r.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(js.Bytes(), &snap); err != nil {
+			t.Fatalf("JSON exposition does not parse: %v", err)
+		}
+		// Go's JSON encoder rewrites invalid UTF-8 in keys to U+FFFD, so
+		// only valid names are expected to round-trip exactly.
+		if utf8.ValidString(name) && snap.Counters[name] != 2 {
+			t.Fatalf("counter %q lost in JSON round trip", name)
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Sample is one periodic reading of a registry's counters and gauges —
+// enough to reconstruct a search trajectory (best-objective gauge,
+// evaluation counters) or watch control-plane frame counters advance
+// while a session runs.
+type Sample struct {
+	// UnixMs is the sample's wall-clock timestamp in milliseconds.
+	UnixMs   int64              `json:"unix_ms"`
+	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+}
+
+// Recorder samples a registry into a bounded ring buffer at a fixed
+// interval and fans each new sample out to subscribers (the /events SSE
+// stream). It is the pull-snapshot layer's bridge to live observation:
+// the registry's hot path stays an atomic add; one background goroutine
+// turns it into a time series.
+type Recorder struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu    sync.Mutex
+	ring  []Sample // fixed capacity, oldest overwritten
+	next  int      // next write slot
+	count int      // filled slots, ≤ len(ring)
+	subs  map[int]chan Sample
+	subID int
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// DefaultSampleInterval is the recorder cadence when the CLI flag is
+// left at its default.
+const DefaultSampleInterval = time.Second
+
+// NewRecorder builds a recorder over reg keeping the most recent
+// capacity samples (≤ 0 means 512) every interval (≤ 0 means
+// DefaultSampleInterval). Call Start to begin sampling.
+func NewRecorder(reg *Registry, interval time.Duration, capacity int) *Recorder {
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &Recorder{
+		reg:      reg,
+		interval: interval,
+		ring:     make([]Sample, capacity),
+		subs:     map[int]chan Sample{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the sampling goroutine. The first sample is taken
+// immediately, so a scrape right after Start already sees one record.
+// Start is idempotent.
+func (r *Recorder) Start() {
+	r.startOnce.Do(func() {
+		r.sampleOnce()
+		go func() {
+			defer close(r.done)
+			t := time.NewTicker(r.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					r.sampleOnce()
+				case <-r.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts sampling and waits for the goroutine to exit. Subscribers
+// keep their channels (closed by their own cancel funcs). Stop is
+// idempotent and safe even if Start was never called.
+func (r *Recorder) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.startOnce.Do(func() { close(r.done) }) // never started: nothing to wait for
+	<-r.done
+}
+
+// Interval returns the sampling cadence.
+func (r *Recorder) Interval() time.Duration { return r.interval }
+
+// sampleOnce freezes the registry into one sample, appends it to the
+// ring, and fans it out. Slow subscribers lose samples rather than
+// stalling the recorder.
+func (r *Recorder) sampleOnce() {
+	snap := r.reg.Snapshot()
+	s := Sample{
+		UnixMs:   time.Now().UnixMilli(),
+		Counters: snap.Counters,
+		Gauges:   snap.Gauges,
+	}
+	r.mu.Lock()
+	r.ring[r.next] = s
+	r.next = (r.next + 1) % len(r.ring)
+	if r.count < len(r.ring) {
+		r.count++
+	}
+	for _, ch := range r.subs {
+		select {
+		case ch <- s:
+		default: // subscriber lagging: drop, never block sampling
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Samples returns the buffered samples, oldest first.
+func (r *Recorder) Samples() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.ring[(start+i)%len(r.ring)])
+	}
+	return out
+}
+
+// Subscribe registers a listener for future samples. The returned cancel
+// func unregisters it and closes the channel; it must be called exactly
+// once.
+func (r *Recorder) Subscribe(buf int) (<-chan Sample, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Sample, buf)
+	r.mu.Lock()
+	id := r.subID
+	r.subID++
+	r.subs[id] = ch
+	r.mu.Unlock()
+	return ch, func() {
+		r.mu.Lock()
+		if _, ok := r.subs[id]; ok {
+			delete(r.subs, id)
+			close(ch)
+		}
+		r.mu.Unlock()
+	}
+}

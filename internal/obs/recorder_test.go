@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecorderSamplesRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("frames_total").Add(3)
+	reg.Gauge("best").Set(1.5)
+	rec := NewRecorder(reg, time.Hour, 8) // manual sampling only
+	rec.sampleOnce()
+	reg.Counter("frames_total").Add(2)
+	rec.sampleOnce()
+	samples := rec.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(samples))
+	}
+	if samples[0].Counters["frames_total"] != 3 || samples[1].Counters["frames_total"] != 5 {
+		t.Errorf("counter series = %d, %d; want 3, 5",
+			samples[0].Counters["frames_total"], samples[1].Counters["frames_total"])
+	}
+	if samples[0].Gauges["best"] != 1.5 {
+		t.Errorf("gauge = %v", samples[0].Gauges["best"])
+	}
+	if samples[0].UnixMs == 0 {
+		t.Error("sample missing timestamp")
+	}
+}
+
+func TestRecorderRingBounded(t *testing.T) {
+	rec := NewRecorder(NewRegistry(), time.Hour, 4)
+	for i := 0; i < 10; i++ {
+		rec.sampleOnce()
+	}
+	samples := rec.Samples()
+	if len(samples) != 4 {
+		t.Fatalf("samples = %d, want ring cap 4", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].UnixMs < samples[i-1].UnixMs {
+			t.Error("samples out of order")
+		}
+	}
+}
+
+func TestRecorderSubscribe(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, time.Hour, 4)
+	ch, cancel := rec.Subscribe(4)
+	rec.sampleOnce()
+	select {
+	case s := <-ch:
+		if s.UnixMs == 0 {
+			t.Error("empty sample delivered")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no sample delivered")
+	}
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Error("channel not closed by cancel")
+	}
+	rec.sampleOnce() // must not panic after unsubscribe
+}
+
+func TestRecorderStartStop(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, time.Millisecond, 64)
+	rec.Start()
+	rec.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for len(rec.Samples()) < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := len(rec.Samples()); n < 3 {
+		t.Fatalf("only %d samples after waiting", n)
+	}
+	rec.Stop()
+	rec.Stop() // idempotent
+	n := len(rec.Samples())
+	time.Sleep(5 * time.Millisecond)
+	if len(rec.Samples()) != n {
+		t.Error("recorder still sampling after Stop")
+	}
+}
+
+func TestRecorderStopWithoutStart(t *testing.T) {
+	rec := NewRecorder(NewRegistry(), time.Millisecond, 4)
+	done := make(chan struct{})
+	go func() { rec.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop without Start hangs")
+	}
+}

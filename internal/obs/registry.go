@@ -35,6 +35,10 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    map[string]*spanStat
+
+	// trace, when set, additionally receives every completed span as a
+	// timeline event (see TraceLog).
+	trace atomic.Pointer[TraceLog]
 }
 
 // NewRegistry returns an empty, enabled registry.
@@ -286,10 +290,33 @@ type spanStat struct {
 	min, max time.Duration
 }
 
-// observeSpan records one completed span.
-func (r *Registry) observeSpan(name string, d time.Duration) {
+// SetTraceLog attaches (or, with nil, detaches) a trace log: every span
+// completed against this registry is additionally recorded as a timeline
+// event on the track named by the span's first path segment. Safe for
+// concurrent use. A nil registry ignores the call.
+func (r *Registry) SetTraceLog(t *TraceLog) {
 	if r == nil {
 		return
+	}
+	r.trace.Store(t)
+}
+
+// TraceLog returns the attached trace log, or nil (also for a nil
+// registry).
+func (r *Registry) TraceLog() *TraceLog {
+	if r == nil {
+		return nil
+	}
+	return r.trace.Load()
+}
+
+// observeSpan records one completed span.
+func (r *Registry) observeSpan(name string, start time.Time, d time.Duration) {
+	if r == nil {
+		return
+	}
+	if t := r.trace.Load(); t != nil {
+		t.Record(spanTrack(name), name, 0, start, d, nil)
 	}
 	r.mu.RLock()
 	s := r.spans[name]

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server exposes a live telemetry endpoint over HTTP (stdlib only):
+//
+//	GET /metrics       Prometheus text exposition of the registry
+//	GET /metrics.json  JSON snapshot (same shape as -telemetry)
+//	GET /healthz       liveness probe ("ok")
+//	GET /events        Server-Sent Events stream of recorder samples
+//	GET /debug/pprof/  the standard pprof handlers
+//
+// Where -telemetry writes one snapshot at exit, the server makes a
+// long-running sweep or controller session observable while it runs:
+// point Prometheus (or curl) at /metrics, or follow /events for the
+// sampled time series the Recorder maintains.
+type Server struct {
+	reg *Registry
+	rec *Recorder
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewServer builds a server over reg. rec may be nil, in which case
+// /events reports 404 (no sampler running).
+func NewServer(reg *Registry, rec *Recorder) *Server {
+	s := &Server{reg: reg, rec: rec}
+	s.srv = &http.Server{Handler: s.Handler()}
+	return s
+}
+
+// Handler returns the server's route table, usable standalone (tests,
+// embedding into an existing mux).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/events", s.serveEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveEvents streams recorder samples as Server-Sent Events: the most
+// recent buffered sample first (so a subscriber immediately sees state),
+// then every new sample until the client disconnects.
+func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		http.Error(w, "no recorder: start the binary with -telemetry-addr", http.StatusNotFound)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	write := func(sample Sample) bool {
+		buf, err := json.Marshal(sample)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", buf); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	ch, cancel := s.rec.Subscribe(16)
+	defer cancel()
+	if backlog := s.rec.Samples(); len(backlog) > 0 {
+		if !write(backlog[len(backlog)-1]) {
+			return
+		}
+	}
+	for {
+		select {
+		case sample, ok := <-ch:
+			if !ok {
+				return
+			}
+			if !write(sample) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:9090", ":0") and serves in a
+// background goroutine until Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	go func() { _ = s.srv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Start) — how tests
+// and log lines discover the port behind ":0".
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close shuts the server down, waiting briefly for in-flight requests;
+// open /events streams are cut by closing the underlying connections.
+func (s *Server) Close() error {
+	if s.ln == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, reg *Registry, rec *Recorder) *Server {
+	t.Helper()
+	s := NewServer(reg, rec)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestServerMetricsEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("controlplane_frames_sent_total").Add(7)
+	reg.Gauge("search_best_objective").Set(33.25)
+	s := newTestServer(t, reg, nil)
+	base := "http://" + s.Addr().String()
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(hdr.Get("Content-Type"), "text/plain") {
+		t.Errorf("content type %q", hdr.Get("Content-Type"))
+	}
+	if !strings.Contains(body, "controlplane_frames_sent_total 7") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body, hdr = get(t, base+"/metrics.json")
+	if code != http.StatusOK || !strings.Contains(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("/metrics.json status %d type %q", code, hdr.Get("Content-Type"))
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json unparsable: %v", err)
+	}
+	if snap.Counters["controlplane_frames_sent_total"] != 7 {
+		t.Errorf("snapshot counter = %d", snap.Counters["controlplane_frames_sent_total"])
+	}
+
+	code, body, _ = get(t, base+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d (%d bytes)", code, len(body))
+	}
+}
+
+func TestServerEventsStream(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("events_total").Inc()
+	rec := NewRecorder(reg, 5*time.Millisecond, 16)
+	rec.Start()
+	defer rec.Stop()
+	s := newTestServer(t, reg, rec)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+s.Addr().String()+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var sample Sample
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &sample); err != nil {
+			t.Fatalf("event not JSON: %v in %q", err, line)
+		}
+		break
+	}
+	if err := sc.Err(); err != nil && sample.UnixMs == 0 {
+		t.Fatal(err)
+	}
+	if sample.UnixMs == 0 || sample.Counters["events_total"] != 1 {
+		t.Fatalf("sample = %+v", sample)
+	}
+}
+
+func TestServerEventsWithoutRecorder(t *testing.T) {
+	s := newTestServer(t, NewRegistry(), nil)
+	code, _, _ := get(t, "http://"+s.Addr().String()+"/events")
+	if code != http.StatusNotFound {
+		t.Errorf("/events without recorder = %d, want 404", code)
+	}
+}
+
+func TestServerNilRegistry(t *testing.T) {
+	// A server over a nil registry serves empty-but-valid expositions.
+	s := newTestServer(t, nil, nil)
+	code, body, _ := get(t, "http://"+s.Addr().String()+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerAddrBeforeStart(t *testing.T) {
+	if addr := NewServer(NewRegistry(), nil).Addr(); addr != nil {
+		t.Errorf("Addr before Start = %v", addr)
+	}
+}
+
+// BenchmarkServerScrape measures end-to-end /metrics handler latency on
+// a populated registry — the cost one Prometheus scrape imposes.
+func BenchmarkServerScrape(b *testing.B) {
+	reg := NewRegistry()
+	for i := 0; i < 32; i++ {
+		reg.Counter(fmt.Sprintf("counter_%d_total", i)).Add(int64(i))
+		reg.Gauge(fmt.Sprintf("gauge_%d", i)).Set(float64(i))
+	}
+	for i := 0; i < 8; i++ {
+		h := reg.Histogram(fmt.Sprintf("hist_%d_seconds", i), LatencyBuckets)
+		for j := 0; j < 100; j++ {
+			h.Observe(float64(j) / 1000)
+		}
+	}
+	handler := NewServer(reg, nil).Handler()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rw := httptest.NewRecorder()
+		handler.ServeHTTP(rw, req)
+		if rw.Code != http.StatusOK {
+			b.Fatalf("status %d", rw.Code)
+		}
+	}
+}
+
+// BenchmarkRecorderSample measures one sampling tick — the steady-state
+// overhead -telemetry-addr adds per interval.
+func BenchmarkRecorderSample(b *testing.B) {
+	reg := NewRegistry()
+	for i := 0; i < 32; i++ {
+		reg.Counter(fmt.Sprintf("counter_%d_total", i)).Inc()
+		reg.Gauge(fmt.Sprintf("gauge_%d", i)).Set(float64(i))
+	}
+	rec := NewRecorder(reg, time.Hour, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.sampleOnce()
+	}
+}

@@ -1,6 +1,10 @@
 package obs
 
-import "time"
+import (
+	"strings"
+	"sync/atomic"
+	"time"
+)
 
 // Span times one phase of work against the monotonic clock. Spans are
 // plain values: StartSpan against a nil registry returns an inert span
@@ -18,6 +22,9 @@ type Span struct {
 	reg   *Registry
 	name  string
 	start time.Time
+	// ended is shared between copies of the span value so End is
+	// idempotent however the span is passed around.
+	ended *atomic.Bool
 }
 
 // StartSpan begins timing the named phase. A nil registry yields an
@@ -26,7 +33,7 @@ func StartSpan(r *Registry, name string) Span {
 	if r == nil {
 		return Span{}
 	}
-	return Span{reg: r, name: name, start: time.Now()}
+	return Span{reg: r, name: name, start: time.Now(), ended: new(atomic.Bool)}
 }
 
 // Child begins a nested span named parent/name, started now.
@@ -40,14 +47,25 @@ func (s Span) Child(name string) Span {
 // Name returns the span's full name ("" for an inert span).
 func (s Span) Name() string { return s.name }
 
-// End stops the span, records its duration in the registry, and returns
-// it. Ending an inert span returns 0. A span may be ended once; spans
-// are cheap enough to start fresh per phase rather than reuse.
+// End stops the span, records its duration in the registry (and on the
+// registry's trace log, when one is attached), and returns the duration.
+// End is idempotent: the first call records and returns the duration,
+// every later call returns 0 and records nothing. Ending an inert span
+// returns 0.
 func (s Span) End() time.Duration {
-	if s.reg == nil {
+	if s.reg == nil || !s.ended.CompareAndSwap(false, true) {
 		return 0
 	}
 	d := time.Since(s.start)
-	s.reg.observeSpan(s.name, d)
+	s.reg.observeSpan(s.name, s.start, d)
 	return d
+}
+
+// spanTrack maps a span name onto its timeline track: the first path
+// segment ("sweep/convergence" → "sweep"), or the whole name when flat.
+func spanTrack(name string) string {
+	if i := strings.IndexByte(name, '/'); i > 0 {
+		return name[:i]
+	}
+	return name
 }

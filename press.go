@@ -411,6 +411,19 @@ type (
 	// TelemetryCLI bundles the standard -telemetry/-log-level/-cpuprofile
 	// flags and their lifecycle for command-line binaries.
 	TelemetryCLI = obs.CLI
+	// TelemetryServer serves a registry live over HTTP: /metrics,
+	// /metrics.json, /healthz, /events (SSE), and /debug/pprof/*.
+	TelemetryServer = obs.Server
+	// TelemetryRecorder periodically samples a registry into a bounded
+	// ring for the live /events stream.
+	TelemetryRecorder = obs.Recorder
+	// TelemetrySample is one sampled snapshot of counters and gauges.
+	TelemetrySample = obs.Sample
+	// TraceLog collects completed spans for Chrome trace-event export
+	// (viewable at ui.perfetto.dev).
+	TraceLog = obs.TraceLog
+	// TraceSpan is one completed span in a TraceLog.
+	TraceSpan = obs.TraceSpan
 )
 
 // Logger severity levels and formats.
@@ -440,6 +453,26 @@ func NewLogger(w io.Writer, level LogLevel, format LogFormat) *Logger {
 // StartSpan starts a named timing span; End() records its duration in
 // the registry. A nil registry yields an inert span.
 func StartSpan(r *Registry, name string) Span { return obs.StartSpan(r, name) }
+
+// NewTelemetryServer builds a live telemetry server over reg; rec may be
+// nil to disable the /events stream. Call Start(addr), then Close.
+func NewTelemetryServer(reg *Registry, rec *TelemetryRecorder) *TelemetryServer {
+	return obs.NewServer(reg, rec)
+}
+
+// NewTelemetryRecorder samples reg every interval into a ring of the
+// given capacity (zero values pick sensible defaults).
+func NewTelemetryRecorder(reg *Registry, interval time.Duration, capacity int) *TelemetryRecorder {
+	return obs.NewRecorder(reg, interval, capacity)
+}
+
+// NewTraceLog returns an empty span collector; attach it with
+// Registry.SetTraceLog and export with WriteJSON.
+func NewTraceLog() *TraceLog { return obs.NewTraceLog() }
+
+// NewTraceID returns a process-unique nonzero trace ID for correlating
+// controller and agent spans.
+func NewTraceID() uint64 { return obs.NewTraceID() }
 
 // InstrumentSearcher wraps a searcher so every run records evaluation
 // counts, best-objective trajectory, and wall-time into reg/log.
