@@ -102,6 +102,9 @@ func runDemo(args []string) error {
 	}
 	link := space.Link("ap-client")
 	link.Obs = tele.Registry()
+	if h := tele.Health(); h != nil {
+		link.OnCSI = h.ObserveSNR
+	}
 
 	// Element-side agent on a TCP loopback listener.
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -110,6 +113,7 @@ func runDemo(args []string) error {
 	}
 	agent := press.NewAgent(1, space.Array)
 	agent.Obs = tele.Registry()
+	agent.Health = tele.Health()
 	var mu sync.Mutex
 	applied := space.Applied()
 	agent.OnApply = func(cfg press.Config) {
@@ -180,9 +184,9 @@ func runDemo(args []string) error {
 		return objective.Score(csi), nil
 	}
 
-	searcher := press.InstrumentSearcher(
+	searcher := press.InstrumentSearcherHealth(
 		press.Greedy{Rng: rand.New(rand.NewPCG(*seed, 2)), Restarts: 2},
-		tele.Registry(), tele.Logger())
+		tele.Registry(), tele.Logger(), tele.Health())
 	res, err := searcher.Search(space.Array, eval, budget)
 	if err != nil && !errors.Is(err, press.ErrBudgetExhausted) {
 		return err
@@ -231,6 +235,7 @@ func runAgent(args []string) error {
 	agent := press.NewAgent(uint32(*id), press.NewArray(elems...))
 	agent.Obs = tele.Registry()
 	agent.Log = tele.Logger()
+	agent.Health = tele.Health()
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err

@@ -191,15 +191,22 @@ func runOne(name string, opt options, out io.Writer) error {
 		if seed == 0 {
 			seed = 442
 		}
+		rec, err := experiments.RecordSweepRecord(seed, opt.trials)
+		if err != nil {
+			return err
+		}
 		f, err := os.Create(opt.recordPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := experiments.RecordSweep(seed, opt.trials, f); err != nil {
+		if err := rec.Save(f); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "recorded %d trials of the placement sweep to %s\n", opt.trials, opt.recordPath)
+		if err := writeCSV(opt, "record", rec.WriteCSV); err != nil {
+			return err
+		}
 		return f.Close()
 
 	case "replay":

@@ -23,6 +23,7 @@ import (
 
 	"press/internal/experiments"
 	"press/internal/obs"
+	"press/internal/obs/health"
 )
 
 func main() {
@@ -42,7 +43,7 @@ type options struct {
 	budget     int
 	csvDir     string
 	recordPath string
-	tele       obs.CLI
+	tele       health.CLI
 }
 
 func run(args []string, out io.Writer) error {
@@ -72,6 +73,8 @@ func run(args []string, out io.Writer) error {
 	}
 	experiments.SetObserver(opt.tele.Registry(), opt.tele.Logger())
 	defer experiments.SetObserver(nil, nil)
+	experiments.SetHealth(opt.tele.Health())
+	defer experiments.SetHealth(nil)
 	if reg := opt.tele.Registry(); reg != nil {
 		// Pre-register the headline series so the snapshot always carries
 		// them, even for experiments that never search or solve a channel.

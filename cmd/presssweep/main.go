@@ -21,6 +21,7 @@ import (
 	"press/internal/control"
 	"press/internal/experiments"
 	"press/internal/obs"
+	"press/internal/obs/health"
 	"press/internal/radio"
 )
 
@@ -50,13 +51,15 @@ func run(args []string) error {
 // startTelemetry brings up the parsed telemetry flags and installs the
 // experiments observer. The returned finish func tears both down and
 // emits the snapshot ("-" goes to stdout, after the CSV).
-func startTelemetry(tele *obs.CLI) (finish func() error, err error) {
+func startTelemetry(tele *health.CLI) (finish func() error, err error) {
 	if err := tele.Start(os.Stderr); err != nil {
 		return nil, err
 	}
 	experiments.SetObserver(tele.Registry(), tele.Logger())
+	experiments.SetHealth(tele.Health())
 	return func() error {
 		experiments.SetObserver(nil, nil)
+		experiments.SetHealth(nil)
 		return tele.Finish(os.Stdout)
 	}, nil
 }
@@ -73,7 +76,7 @@ func runConvergence(args []string) error {
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	elements := fs.Int("elements", 8, "array size (space 4^n)")
 	budget := fs.Int("budget", 300, "measurement budget per searcher")
-	var tele obs.CLI
+	var tele health.CLI
 	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,7 +129,7 @@ func runBudget(args []string) error {
 	fs := flag.NewFlagSet("budget", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	perMeas := fs.Duration("per-measurement", 2*time.Millisecond, "measurement cost")
-	var tele obs.CLI
+	var tele health.CLI
 	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -186,7 +189,7 @@ func runDensity(args []string) error {
 	fs := flag.NewFlagSet("density", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	maxN := fs.Int("max-elements", 6, "largest array size")
-	var tele obs.CLI
+	var tele health.CLI
 	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err

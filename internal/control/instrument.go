@@ -6,6 +6,7 @@ import (
 
 	"press/internal/element"
 	"press/internal/obs"
+	"press/internal/obs/health"
 )
 
 // Instrumented wraps any Searcher with telemetry: a per-strategy span
@@ -18,15 +19,25 @@ type Instrumented struct {
 	Searcher Searcher
 	Obs      *obs.Registry
 	Log      *obs.Logger
+	// Health, when set, receives best-objective updates as the search
+	// progresses — the feed behind the search_best / search_regret_db
+	// channel-health KPIs.
+	Health *health.Monitor
 }
 
 // Instrument wraps s unless telemetry is fully disabled, in which case
 // s itself is returned and no overhead is added.
 func Instrument(s Searcher, reg *obs.Registry, log *obs.Logger) Searcher {
-	if reg == nil && log == nil {
+	return InstrumentHealth(s, reg, log, nil)
+}
+
+// InstrumentHealth is Instrument plus a channel-health monitor fed with
+// the best-so-far objective after every improving evaluation.
+func InstrumentHealth(s Searcher, reg *obs.Registry, log *obs.Logger, h *health.Monitor) Searcher {
+	if reg == nil && log == nil && h == nil {
 		return s
 	}
-	return Instrumented{Searcher: s, Obs: reg, Log: log}
+	return Instrumented{Searcher: s, Obs: reg, Log: log, Health: h}
 }
 
 // Name implements Searcher.
@@ -55,6 +66,7 @@ func (in Instrumented) Search(arr *element.Array, eval EvalFunc, budget int) (*R
 		if score > best {
 			best = score
 			bestGauge.Set(score)
+			in.Health.ObserveSearchBest(score)
 			if trajectory {
 				in.Log.Debug("search: best improved",
 					"searcher", name, "evaluation", n, "score", score)

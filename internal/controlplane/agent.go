@@ -10,6 +10,7 @@ import (
 
 	"press/internal/element"
 	"press/internal/obs"
+	"press/internal/obs/health"
 )
 
 // Agent is the element-side endpoint: it owns a PRESS array, applies
@@ -29,6 +30,9 @@ type Agent struct {
 	Obs *obs.Registry
 	// Log, when set, receives a Debug record per applied configuration.
 	Log *obs.Logger
+	// Health, when set, is told of every successful actuation — the feed
+	// behind the control_staleness_s channel-health KPI.
+	Health *health.Monitor
 
 	mu      sync.Mutex
 	current element.Config
@@ -115,6 +119,7 @@ func (a *Agent) handle(conn Conn, seq uint32, trace uint64, msg Message) error {
 		if a.OnApply != nil {
 			a.OnApply(cfg.Clone())
 		}
+		a.Health.ObserveActuation()
 		if a.Log.Enabled(obs.LevelDebug) {
 			a.Log.Debug("agent: applied configuration", "seq", seq, "trace", trace, "elements", len(cfg))
 		}

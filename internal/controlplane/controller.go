@@ -149,13 +149,23 @@ func (c *Controller) NumElements() int { return c.numElements }
 // once the matching Ack arrives. ErrRejected reports an agent-side
 // validation failure (no retry: the config itself is bad).
 func (c *Controller) SetConfig(ctx context.Context, cfg element.Config) error {
+	_, err := c.SetConfigTraced(ctx, cfg)
+	return err
+}
+
+// SetConfigTraced is SetConfig, additionally returning the request's
+// trace ID (the one riding the frame header and naming the controller/
+// agent span pair), so callers can stamp downstream artifacts — recorded
+// measurements, CSV rows — with the actuation that produced them. The ID
+// is returned even on failure, identifying the attempted request.
+func (c *Controller) SetConfigTraced(ctx context.Context, cfg element.Config) (uint64, error) {
 	if c.helloSeen && len(cfg) != c.numElements {
-		return fmt.Errorf("controlplane: config has %d states for %d elements", len(cfg), c.numElements)
+		return 0, fmt.Errorf("controlplane: config has %d states for %d elements", len(cfg), c.numElements)
 	}
 	states := make([]uint8, len(cfg))
 	for i, s := range cfg {
 		if s < 0 || s > 255 {
-			return fmt.Errorf("controlplane: state %d out of uint8 range", s)
+			return 0, fmt.Errorf("controlplane: state %d out of uint8 range", s)
 		}
 		states[i] = uint8(s)
 	}
@@ -167,7 +177,7 @@ func (c *Controller) SetConfig(ctx context.Context, cfg element.Config) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return err
+			return trace, err
 		}
 		if attempt > 0 {
 			c.Stats.Retries.Add(1)
@@ -182,7 +192,7 @@ func (c *Controller) SetConfig(ctx context.Context, cfg element.Config) error {
 			attemptStart = time.Now()
 		}
 		if err := c.conn.Send(seq, trace, msg); err != nil {
-			return err
+			return trace, err
 		}
 		c.Stats.Sent.Add(1)
 		c.Obs.Counter("controlplane_frames_sent_total").Inc()
@@ -198,11 +208,11 @@ func (c *Controller) SetConfig(ctx context.Context, cfg element.Config) error {
 			if status != StatusOK {
 				c.Stats.Rejected.Add(1)
 				c.Obs.Counter("controlplane_rejected_total").Inc()
-				return fmt.Errorf("%w (status %d)", ErrRejected, status)
+				return trace, fmt.Errorf("%w (status %d)", ErrRejected, status)
 			}
 			c.Stats.Acked.Add(1)
 			c.Obs.Counter("controlplane_acks_total").Inc()
-			return nil
+			return trace, nil
 		}
 		lastErr = err
 	}
@@ -210,7 +220,7 @@ func (c *Controller) SetConfig(ctx context.Context, cfg element.Config) error {
 		c.Log.Warn("controlplane: set-config unacknowledged",
 			"seq", seq, "trace", trace, "attempts", c.Retries+1, "err", lastErr)
 	}
-	return fmt.Errorf("controlplane: set-config seq %d unacknowledged after %d attempts: %w",
+	return trace, fmt.Errorf("controlplane: set-config seq %d unacknowledged after %d attempts: %w",
 		seq, c.Retries+1, lastErr)
 }
 

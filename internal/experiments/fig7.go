@@ -77,7 +77,13 @@ func buildFig7Link(seed uint64) (*radio.Link, error) {
 		// granularity".
 		elems[i].States = element.FourPhaseStates()
 	}
-	return radio.NewLink(env, tx, rx, ofdm.USRP102(), element.NewArray(elems...), seed)
+	link, err := radio.NewLink(env, tx, rx, ofdm.USRP102(), element.NewArray(elems...), seed)
+	if err != nil {
+		return nil, err
+	}
+	link.Obs = obsRegistry()
+	attachHealth(link)
+	return link, nil
 }
 
 // RunFig7 reproduces Figure 7: find an environment with a frequency-

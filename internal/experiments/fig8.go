@@ -72,7 +72,9 @@ func RunFig8(opts Fig8Options) (*Fig8Result, error) {
 				return false
 			}
 			at += time.Duration(opts.Snapshots) * radio.PrototypeTiming.PerMeasurement
-			samples[idx] = append(samples[idx], ch.CondProfileDB()...)
+			cond := ch.CondProfileDB()
+			healthMon().ObserveCondProfile(cond)
+			samples[idx] = append(samples[idx], cond...)
 			if rep == 0 {
 				names[idx] = ml.Array.String(c)
 			}

@@ -5,6 +5,8 @@ import (
 
 	"press/internal/control"
 	"press/internal/obs"
+	"press/internal/obs/health"
+	"press/internal/radio"
 )
 
 // observerState carries the telemetry sinks an embedding CLI installs.
@@ -48,8 +50,29 @@ func obsLogger() *obs.Logger {
 	return nil
 }
 
-// instrument wraps s with the installed observer; with no observer it
-// returns s unchanged.
+// instrument wraps s with the installed observer and health monitor;
+// with neither it returns s unchanged.
 func instrument(s control.Searcher) control.Searcher {
-	return control.Instrument(s, obsRegistry(), obsLogger())
+	return control.InstrumentHealth(s, obsRegistry(), obsLogger(), healthMon())
+}
+
+var currentHealth atomic.Pointer[health.Monitor]
+
+// SetHealth installs a process-wide channel-health monitor: scenario
+// Builds hook it to every link's CSI stream, search call sites feed it
+// best-objective updates, and the MIMO harnesses push condition-number
+// profiles. Pass nil to clear. The same single-process rationale as
+// SetObserver applies.
+func SetHealth(h *health.Monitor) { currentHealth.Store(h) }
+
+// healthMon returns the installed monitor, or nil when health telemetry
+// is off (every consumer is nil-safe).
+func healthMon() *health.Monitor { return currentHealth.Load() }
+
+// attachHealth points a link's CSI hook at the installed monitor. With
+// no monitor the hook stays nil and measurement stays zero-overhead.
+func attachHealth(link *radio.Link) {
+	if h := healthMon(); h != nil {
+		link.OnCSI = h.ObserveSNR
+	}
 }

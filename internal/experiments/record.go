@@ -9,24 +9,31 @@ import (
 	"press/internal/trace"
 )
 
-// RecordSweep measures the placement-(e) campaign (the dataset behind
-// Figures 4–6) and serializes it with internal/trace, so the analyses
-// can be re-run offline — or swapped for a record captured on real
-// hardware with the same schema.
-func RecordSweep(seed uint64, trials int, w io.Writer) error {
+// RecordSweepRecord measures the placement-(e) campaign (the dataset
+// behind Figures 4–6) and returns it as a trace.Record. When the
+// process-wide observer carries a TraceLog (-trace), each measurement
+// row gets a trace ID joining it to its "radio/measure" span.
+func RecordSweepRecord(seed uint64, trials int) (*trace.Record, error) {
 	if trials < 1 {
-		return fmt.Errorf("experiments: record needs ≥1 trial")
+		return nil, fmt.Errorf("experiments: record needs ≥1 trial")
 	}
 	link, err := DefaultSISO(seed).Build()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	swept, err := link.SweepTrials(radio.PrototypeTiming, trials)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	rec, err := trace.FromSweepTrials(link, swept,
+	return trace.FromSweepTrials(link, swept,
 		fmt.Sprintf("PRESS sweep, placement seed %d, %d trials, 64 configs", seed, trials))
+}
+
+// RecordSweep runs RecordSweepRecord and serializes the result with
+// internal/trace, so the analyses can be re-run offline — or swapped
+// for a record captured on real hardware with the same schema.
+func RecordSweep(seed uint64, trials int, w io.Writer) error {
+	rec, err := RecordSweepRecord(seed, trials)
 	if err != nil {
 		return err
 	}

@@ -52,7 +52,9 @@ func RunMIMOScaling(seed uint64, dims []int, snapshots int) (*MIMOScalingResult,
 				return false
 			}
 			at += time.Duration(snapshots) * radio.PrototypeTiming.PerMeasurement
-			med := stats.Median(ch.CondProfileDB())
+			cond := ch.CondProfileDB()
+			healthMon().ObserveCondProfile(cond)
+			med := stats.Median(cond)
 			if first || med < best {
 				best = med
 			}

@@ -118,6 +118,7 @@ func (s SISOScenario) Build() (*radio.Link, error) {
 		return nil, err
 	}
 	link.Obs = obsRegistry()
+	attachHealth(link)
 	return link, nil
 }
 

@@ -136,6 +136,14 @@ func (c *CLI) Logger() *Logger { return c.logger }
 // TraceLog returns the span collector behind -trace, or nil.
 func (c *CLI) TraceLog() *TraceLog { return c.tracelog }
 
+// Server returns the live telemetry server, or nil when -telemetry-addr
+// was not given — the hook higher layers (internal/obs/health) use to
+// register extra routes and publish SSE events.
+func (c *CLI) Server() *Server { return c.srv }
+
+// Recorder returns the live sample recorder, or nil.
+func (c *CLI) Recorder() *Recorder { return c.rec }
+
 // ServerAddr returns the bound address of the live telemetry server, or
 // "" when -telemetry-addr was not given. Useful with ":0" addresses.
 func (c *CLI) ServerAddr() string {

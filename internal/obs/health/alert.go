@@ -1,0 +1,342 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// State is an alert rule's position in the pending→firing→resolved
+// machine.
+type State int
+
+const (
+	// StateInactive: the condition does not hold.
+	StateInactive State = iota
+	// StatePending: the condition holds but has not yet held for the
+	// rule's `for` count.
+	StatePending
+	// StateFiring: the condition has held `for` consecutive samples.
+	StateFiring
+	// StateResolved: a previously firing rule has been healthy (past its
+	// hysteresis level) for `for` consecutive samples. Resolved lasts one
+	// evaluation, then returns to inactive.
+	StateResolved
+)
+
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateFiring:
+		return "firing"
+	case StateResolved:
+		return "resolved"
+	default:
+		return "inactive"
+	}
+}
+
+// MarshalJSON renders the state as its name.
+func (s State) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", s.String())), nil
+}
+
+// UnmarshalJSON parses a state name, so /alerts documents round-trip
+// into client structs.
+func (s *State) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "inactive":
+		*s = StateInactive
+	case "pending":
+		*s = StatePending
+	case "firing":
+		*s = StateFiring
+	case "resolved":
+		*s = StateResolved
+	default:
+		return fmt.Errorf("health: unknown alert state %q", name)
+	}
+	return nil
+}
+
+// Event is one state transition of one rule.
+type Event struct {
+	Rule   string  `json:"rule"`
+	From   State   `json:"from"`
+	To     State   `json:"to"`
+	UnixMs int64   `json:"unix_ms"`
+	Value  float64 `json:"value"` // KPI value at the transition (0 when unknown)
+}
+
+// RuleStatus is one rule's live state, as served at /alerts.
+type RuleStatus struct {
+	Name   string `json:"name"`
+	Expr   string `json:"expr"`
+	Metric string `json:"metric"`
+	State  State  `json:"state"`
+	// SinceUnixMs is when the rule entered its current state.
+	SinceUnixMs int64 `json:"since_unix_ms,omitempty"`
+	// Value is the last evaluated KPI value (0 when never observed).
+	Value float64 `json:"value"`
+	// FiredCount totals inactive/pending→firing transitions.
+	FiredCount int64 `json:"fired_count"`
+}
+
+// AlertsSnapshot is the /alerts JSON document.
+type AlertsSnapshot struct {
+	UnixMs int64        `json:"unix_ms"`
+	Firing int          `json:"firing"`
+	Rules  []RuleStatus `json:"rules"`
+	Events []Event      `json:"events"`
+}
+
+// ruleState is one rule plus its machine position.
+type ruleState struct {
+	rule    Rule
+	state   State
+	breachN int   // consecutive breaching samples (inactive/pending)
+	clearN  int   // consecutive healthy samples (firing)
+	sinceMs int64 // entered current state
+	value   float64
+	seen    bool
+	fired   int64
+}
+
+// engine evaluates a rule set against KPI samples. It is not safe for
+// concurrent use on its own; the Monitor's lock guards it.
+type engine struct {
+	rules  []*ruleState
+	events []Event // bounded: the most recent eventCap transitions
+}
+
+const eventCap = 256
+
+func newEngine(rules []Rule) *engine {
+	e := &engine{}
+	for _, r := range rules {
+		e.rules = append(e.rules, &ruleState{rule: r})
+	}
+	return e
+}
+
+// window hands a trend rule the last n values of a metric's series.
+type windowFunc func(metric string, n int, dst []float64) []float64
+
+// eval advances every rule one sample. kpi returns the metric's current
+// value (NaN = unknown this sample: the rule's state freezes). The
+// returned events are the transitions this sample caused.
+func (e *engine) eval(unixMs int64, kpi func(string) float64, window windowFunc) []Event {
+	if e == nil {
+		return nil
+	}
+	var out []Event
+	for _, rs := range e.rules {
+		ev, ok := rs.step(unixMs, kpi, window)
+		if ok {
+			out = append(out, ev...)
+		}
+	}
+	if len(out) > 0 {
+		e.events = append(e.events, out...)
+		if excess := len(e.events) - eventCap; excess > 0 {
+			e.events = append(e.events[:0], e.events[excess:]...)
+		}
+	}
+	return out
+}
+
+// step advances one rule. The bool reports whether any transition
+// happened.
+func (rs *ruleState) step(unixMs int64, kpi func(string) float64, window windowFunc) ([]Event, bool) {
+	breach, known := rs.condition(kpi, window)
+	if !known {
+		// No data this sample: freeze rather than flap. A resolved rule
+		// still completes its one-sample lifetime.
+		if rs.state == StateResolved {
+			return []Event{rs.transition(StateInactive, unixMs)}, true
+		}
+		return nil, false
+	}
+	var evs []Event
+	switch rs.state {
+	case StateInactive, StateResolved:
+		if rs.state == StateResolved {
+			// Resolved is observable for exactly one evaluation.
+			evs = append(evs, rs.transition(StateInactive, unixMs))
+		}
+		if breach {
+			rs.breachN = 1
+			if rs.rule.For <= 1 {
+				evs = append(evs, rs.transition(StateFiring, unixMs))
+				rs.fired++
+			} else {
+				evs = append(evs, rs.transition(StatePending, unixMs))
+			}
+		}
+	case StatePending:
+		if !breach {
+			rs.breachN = 0
+			evs = append(evs, rs.transition(StateInactive, unixMs))
+			break
+		}
+		rs.breachN++
+		if rs.breachN >= rs.rule.For {
+			evs = append(evs, rs.transition(StateFiring, unixMs))
+			rs.fired++
+		}
+	case StateFiring:
+		if rs.healthy(kpi, window) {
+			rs.clearN++
+			if rs.clearN >= rs.rule.For {
+				rs.clearN = 0
+				evs = append(evs, rs.transition(StateResolved, unixMs))
+			}
+		} else {
+			rs.clearN = 0
+		}
+	}
+	return evs, len(evs) > 0
+}
+
+// condition evaluates the rule's breach predicate. known=false means the
+// KPI had no data this sample.
+func (rs *ruleState) condition(kpi func(string) float64, window windowFunc) (breach, known bool) {
+	switch rs.rule.Kind {
+	case KindTrend:
+		w := window(rs.rule.Metric, rs.rule.Window, nil)
+		if len(w) > 0 {
+			rs.value = w[len(w)-1]
+			rs.seen = true
+		}
+		if len(w) < rs.rule.Window {
+			// Window still warming up: known but healthy, so a pending
+			// trend alert resets rather than freezing forever.
+			return false, true
+		}
+		slope := lsSlope(w)
+		if rs.rule.Trend == TrendFalling {
+			slope = -slope
+		}
+		return slope > slopeEps(w), true
+	default:
+		v := kpi(rs.rule.Metric)
+		if math.IsNaN(v) {
+			return false, false
+		}
+		rs.value = v
+		rs.seen = true
+		if rs.rule.Op == OpLT {
+			return v < rs.rule.Threshold, true
+		}
+		return v > rs.rule.Threshold, true
+	}
+}
+
+// healthy is the firing-side predicate: the rule only counts as healthy
+// again once the value is on the healthy side of the Clear level
+// (hysteresis), so a KPI oscillating around the threshold cannot flap
+// the alert. Trend rules clear when the slope loses its sign.
+func (rs *ruleState) healthy(kpi func(string) float64, window windowFunc) bool {
+	if rs.rule.Kind == KindTrend {
+		breach, known := rs.condition(kpi, window)
+		return known && !breach
+	}
+	v := kpi(rs.rule.Metric)
+	if math.IsNaN(v) {
+		return false
+	}
+	rs.value = v
+	if rs.rule.Op == OpLT {
+		return v >= rs.rule.Clear
+	}
+	return v <= rs.rule.Clear
+}
+
+func (rs *ruleState) transition(to State, unixMs int64) Event {
+	from := rs.state
+	rs.state = to
+	rs.sinceMs = unixMs
+	v := rs.value
+	if math.IsNaN(v) || !rs.seen {
+		v = 0
+	}
+	return Event{Rule: rs.rule.Name, From: from, To: to, UnixMs: unixMs, Value: v}
+}
+
+// snapshot freezes the engine into the /alerts document.
+func (e *engine) snapshot(unixMs int64) AlertsSnapshot {
+	snap := AlertsSnapshot{UnixMs: unixMs, Rules: []RuleStatus{}, Events: []Event{}}
+	if e == nil {
+		return snap
+	}
+	for _, rs := range e.rules {
+		v := rs.value
+		if math.IsNaN(v) {
+			v = 0
+		}
+		snap.Rules = append(snap.Rules, RuleStatus{
+			Name:        rs.rule.Name,
+			Expr:        rs.rule.Expr(),
+			Metric:      rs.rule.Metric,
+			State:       rs.state,
+			SinceUnixMs: rs.sinceMs,
+			Value:       v,
+			FiredCount:  rs.fired,
+		})
+		if rs.state == StateFiring {
+			snap.Firing++
+		}
+	}
+	snap.Events = append(snap.Events, e.events...)
+	return snap
+}
+
+// firing counts currently firing rules.
+func (e *engine) firing() int {
+	n := 0
+	for _, rs := range e.rules {
+		if rs.state == StateFiring {
+			n++
+		}
+	}
+	return n
+}
+
+// lsSlope is the least-squares slope of w over sample index.
+func lsSlope(w []float64) float64 {
+	n := float64(len(w))
+	meanX := (n - 1) / 2
+	var meanY float64
+	for _, v := range w {
+		meanY += v
+	}
+	meanY /= n
+	var num, den float64
+	for i, v := range w {
+		dx := float64(i) - meanX
+		num += dx * (v - meanY)
+		den += dx * dx
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// slopeEps is the slope magnitude below which a trend is considered
+// flat: floating-point noise on a constant series (the mean of N equal
+// values need not equal them exactly) must never register as rising.
+func slopeEps(w []float64) float64 {
+	var maxAbs float64
+	for _, v := range w {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return 1e-9 * (1 + maxAbs)
+}

@@ -1,0 +1,122 @@
+package health
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"time"
+
+	"press/internal/obs"
+)
+
+func writeJSONIndent(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// CLI extends obs.CLI with the channel-health layer: -alert-rules and
+// -health-interval flags, a Monitor wired to the live telemetry server
+// (/alerts, /health.json, /dashboard, and named SSE events on /events),
+// and alert logging. Drop-in replacement for obs.CLI:
+//
+//	var tele health.CLI
+//	tele.Register(fs)
+//	// after fs.Parse:
+//	if err := tele.Start(os.Stderr); err != nil { ... }
+//	defer tele.Finish(os.Stdout)
+//	... feed tele.Health() from producers ...
+//
+// With no telemetry flags set, Health() returns nil and everything
+// stays at the zero-cost disabled default.
+type CLI struct {
+	obs.CLI
+
+	// AlertRules is the -alert-rules rule list (see ParseRules), or
+	// "default" for DefaultRules. Empty disables alerting.
+	AlertRules string
+	// HealthInterval is the KPI sampling period. Zero means follow
+	// -sample-interval.
+	HealthInterval time.Duration
+
+	mon *Monitor
+}
+
+// Register installs the obs telemetry flags plus the health flags on fs.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	c.CLI.Register(fs)
+	fs.StringVar(&c.AlertRules, "alert-rules", "",
+		`channel-health alert rules, ';'-separated ("default" = built-in set; e.g. "null_depth_db>25 for 3")`)
+	fs.DurationVar(&c.HealthInterval, "health-interval", 0,
+		"channel-health KPI sampling period (default: -sample-interval)")
+}
+
+// Start brings up the obs layer, then — when any telemetry output or
+// alert rules are configured — the health monitor, its HTTP routes, and
+// the SSE bridge.
+func (c *CLI) Start(logw io.Writer) error {
+	rules, err := ParseRules(c.AlertRules)
+	if err != nil {
+		return err
+	}
+	if err := c.CLI.Start(logw); err != nil {
+		return err
+	}
+	if c.Registry() == nil && len(rules) == 0 {
+		return nil // health layer stays off alongside obs
+	}
+	interval := c.HealthInterval
+	if interval <= 0 {
+		interval = c.SampleInterval
+	}
+	c.mon = NewMonitor(c.Registry(), rules, interval, 0)
+
+	srv := c.Server()
+	logger := c.Logger()
+	c.mon.Notify = func(event string, v any) {
+		srv.Publish(event, v)
+		if event == "alert" && logger != nil {
+			ev, ok := v.(Event)
+			if !ok {
+				return
+			}
+			msg := "alert " + ev.To.String()
+			kv := []any{"rule", ev.Rule, "from", ev.From.String(), "value", ev.Value}
+			if ev.To == StateFiring {
+				logger.Warn(msg, kv...)
+			} else if logger.Enabled(obs.LevelInfo) {
+				logger.Info(msg, kv...)
+			}
+		}
+	}
+	if srv != nil {
+		mon := c.mon
+		srv.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {
+			obs.ServeJSON(w, r, func(out io.Writer) error {
+				return writeJSONIndent(out, mon.Alerts())
+			})
+		})
+		srv.HandleFunc("/health.json", func(w http.ResponseWriter, r *http.Request) {
+			obs.ServeJSON(w, r, func(out io.Writer) error {
+				return writeJSONIndent(out, mon.Snapshot())
+			})
+		})
+		srv.HandleFunc("/dashboard", DashboardHandler())
+	}
+	c.mon.Start()
+	return nil
+}
+
+// Health returns the live monitor, or nil when the health layer is off —
+// producers pass it down unconditionally.
+func (c *CLI) Health() *Monitor { return c.mon }
+
+// Finish stops the health monitor, then tears down the obs layer.
+func (c *CLI) Finish(stdout io.Writer) error {
+	if c.mon != nil {
+		c.mon.Stop()
+		c.mon = nil
+	}
+	return c.CLI.Finish(stdout)
+}

@@ -1,0 +1,129 @@
+package health
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCLIRegisterFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var tele CLI
+	tele.Register(fs)
+	for _, name := range []string{
+		"alert-rules", "health-interval", // health layer
+		"telemetry", "telemetry-addr", "sample-interval", // inherited obs layer
+	} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+}
+
+func TestCLIDisabledDefault(t *testing.T) {
+	var tele CLI
+	if err := tele.Start(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if tele.Health() != nil {
+		t.Error("Health() non-nil with no flags set")
+	}
+	if err := tele.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIBadRulesFailEarly(t *testing.T) {
+	tele := CLI{AlertRules: "bogus_kpi>1"}
+	tele.TelemetryAddr = "127.0.0.1:0"
+	err := tele.Start(io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unknown KPI") {
+		t.Fatalf("Start with bad rules = %v", err)
+	}
+	// The obs layer must not have come up: bad rules are rejected before
+	// any listener binds.
+	if tele.ServerAddr() != "" {
+		t.Error("server started despite rule parse error")
+	}
+}
+
+func TestCLIRulesWithoutServer(t *testing.T) {
+	// Alert rules alone (no -telemetry*) still bring the monitor up, with
+	// evaluation feeding only Notify/logs — no registry, no server.
+	tele := CLI{AlertRules: "default", HealthInterval: time.Hour}
+	if err := tele.Start(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Finish(io.Discard)
+	mon := tele.Health()
+	if mon == nil {
+		t.Fatal("monitor off despite -alert-rules")
+	}
+	mon.ObserveSNR(snrWithNull(16, 4, 30))
+	mon.Sample()
+	if got := len(mon.Alerts().Rules); got != 4 {
+		t.Errorf("monitor runs %d rules, want 4 defaults", got)
+	}
+}
+
+func TestCLIServedEndpoints(t *testing.T) {
+	tele := CLI{AlertRules: "default", HealthInterval: time.Hour}
+	tele.TelemetryAddr = "127.0.0.1:0"
+	if err := tele.Start(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Finish(io.Discard)
+	base := "http://" + tele.ServerAddr()
+
+	dash := getBody(t, base+"/dashboard")
+	for _, want := range []string{"PRESS channel health", "<canvas", "EventSource"} {
+		if !strings.Contains(dash, want) {
+			t.Errorf("/dashboard missing %q", want)
+		}
+	}
+
+	var alerts AlertsSnapshot
+	getJSON(t, base+"/alerts", &alerts)
+	if len(alerts.Rules) != 4 {
+		t.Errorf("/alerts serves %d rules", len(alerts.Rules))
+	}
+	var snap Snapshot
+	getJSON(t, base+"/health.json", &snap)
+	if snap.IntervalMs != time.Hour.Milliseconds() {
+		t.Errorf("/health.json interval_ms = %d", snap.IntervalMs)
+	}
+
+	// The JSON endpoints carry the live-data headers.
+	for _, path := range []string{"/alerts", "/health.json"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s Content-Type = %q", path, ct)
+		}
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("%s Cache-Control = %q", path, cc)
+		}
+	}
+}
+
+func TestCLIFinishIdempotent(t *testing.T) {
+	tele := CLI{AlertRules: "default", HealthInterval: time.Hour}
+	if err := tele.Start(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := tele.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if tele.Health() != nil {
+		t.Error("Health() non-nil after Finish")
+	}
+	if err := tele.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,24 @@
+package health
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// dashboardHTML is the zero-dependency live dashboard: one self-
+// contained page (inline CSS + JS, no external assets) that bootstraps
+// from /health.json and /alerts, then follows the SSE /events stream's
+// named "health" and "alert" events. Sparklines and the SNR spectrogram
+// render on <canvas>; light and dark themes follow the OS preference.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// DashboardHandler serves the embedded dashboard page.
+func DashboardHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
+		_, _ = w.Write(dashboardHTML)
+	}
+}

@@ -1,0 +1,62 @@
+package health
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRules drives the rule grammar with arbitrary input. Invariants:
+// the parser never panics, and any accepted rule pretty-prints (Expr) to a
+// string the parser accepts again as the same rule — the grammar is
+// closed under its own canonical form.
+func FuzzParseRules(f *testing.F) {
+	seeds := []string{
+		"",
+		"default",
+		DefaultRules,
+		"null_depth_db>25 for 3 clear 20",
+		"min_snr_db<10",
+		"lowsnr=min_snr_db<10 for 2",
+		"cond_db rising",
+		"cond_db falling over 12 for 2",
+		"a=min_snr_db<10; b=cond_db rising",
+		"bogus_kpi>1",
+		"min_snr_db<",
+		"min_snr_db<abc",
+		"min_snr_db sideways",
+		"min_snr_db<10 for 0",
+		"min_snr_db<10 clear 5",
+		"cond_db rising over 1",
+		"a=x>1; a=y>2",
+		"search_regret_db>3 for 2;;; control_staleness_s>10",
+		"null_depth_db>1e308 for 9999999999",
+		"null_depth_db>-25 clear -30",
+		"=min_snr_db<10",
+		"weird name=min_snr_db<10",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		rules, err := ParseRules(s)
+		if err != nil {
+			return
+		}
+		for _, r := range rules {
+			expr := r.Expr()
+			again, err := ParseRules(expr)
+			if err != nil {
+				t.Fatalf("ParseRules(%q) accepted a rule whose Expr %q does not re-parse: %v", s, expr, err)
+			}
+			if len(again) != 1 {
+				t.Fatalf("Expr %q re-parsed to %d rules", expr, len(again))
+			}
+			if got := again[0].Expr(); got != expr {
+				t.Fatalf("Expr not a fixed point: %q -> %q", expr, got)
+			}
+			if strings.TrimSpace(r.Name) == "" {
+				t.Fatalf("accepted rule with empty name from %q", s)
+			}
+		}
+	})
+}

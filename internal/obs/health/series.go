@@ -1,0 +1,111 @@
+// Package health is the domain-telemetry layer over internal/obs: where
+// the obs registry counts generic events (frames, evaluations, solves),
+// this package watches the *physics* the paper argues from — per-
+// subcarrier SNR curves, null depth and drift, the 2×2 MIMO condition
+// number, search regret, control-plane staleness — as bounded time
+// series, evaluates alert rules over them with a pending→firing→resolved
+// state machine, and serves a zero-dependency live dashboard.
+//
+// Like obs, everything is nil-safe: a nil *Monitor discards every
+// observation, so producers (radio links, the instrumented searcher, the
+// control-plane agent) feed it unconditionally and pay one pointer check
+// when health telemetry is off — the default.
+package health
+
+// Point is one timestamped KPI reading.
+type Point struct {
+	UnixMs int64   `json:"unix_ms"`
+	Value  float64 `json:"value"`
+}
+
+// Series is a bounded ring of points, oldest overwritten. It is not
+// safe for concurrent use on its own; the Monitor's lock guards it.
+type Series struct {
+	ring  []Point
+	next  int
+	count int
+}
+
+func newSeries(capacity int) *Series {
+	return &Series{ring: make([]Point, capacity)}
+}
+
+func (s *Series) append(p Point) {
+	s.ring[s.next] = p
+	s.next = (s.next + 1) % len(s.ring)
+	if s.count < len(s.ring) {
+		s.count++
+	}
+}
+
+// Len returns the number of buffered points.
+func (s *Series) Len() int { return s.count }
+
+// Points returns the buffered points, oldest first.
+func (s *Series) Points() []Point {
+	out := make([]Point, 0, s.count)
+	start := s.next - s.count
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := 0; i < s.count; i++ {
+		out = append(out, s.ring[(start+i)%len(s.ring)])
+	}
+	return out
+}
+
+// last appends the values of the most recent n points to dst (oldest of
+// the n first) and returns it; fewer than n are returned when the series
+// is shorter.
+func (s *Series) last(n int, dst []float64) []float64 {
+	if n > s.count {
+		n = s.count
+	}
+	start := s.next - n
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, s.ring[(start+i)%len(s.ring)].Value)
+	}
+	return dst
+}
+
+// SpectrogramRow is one sampled per-subcarrier SNR curve — a row of the
+// dashboard's SNR spectrogram.
+type SpectrogramRow struct {
+	UnixMs int64     `json:"unix_ms"`
+	SNRdB  []float64 `json:"snr_db"`
+}
+
+// spectrogram is a bounded ring of SNR rows.
+type spectrogram struct {
+	ring  []SpectrogramRow
+	next  int
+	count int
+}
+
+func newSpectrogram(capacity int) *spectrogram {
+	return &spectrogram{ring: make([]SpectrogramRow, capacity)}
+}
+
+func (s *spectrogram) append(r SpectrogramRow) {
+	s.ring[s.next] = r
+	s.next = (s.next + 1) % len(s.ring)
+	if s.count < len(s.ring) {
+		s.count++
+	}
+}
+
+// rows returns the buffered rows, oldest first.
+func (s *spectrogram) rows() []SpectrogramRow {
+	out := make([]SpectrogramRow, 0, s.count)
+	start := s.next - s.count
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := 0; i < s.count; i++ {
+		out = append(out, s.ring[(start+i)%len(s.ring)])
+	}
+	return out
+}

@@ -1,12 +1,16 @@
 package obs
 
 import (
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
+	"sync"
 	"time"
 )
 
@@ -16,56 +20,120 @@ import (
 //	GET /metrics.json  JSON snapshot (same shape as -telemetry)
 //	GET /healthz       liveness probe ("ok")
 //	GET /events        Server-Sent Events stream of recorder samples
+//	                   plus any named events sent through Publish
 //	GET /debug/pprof/  the standard pprof handlers
 //
 // Where -telemetry writes one snapshot at exit, the server makes a
 // long-running sweep or controller session observable while it runs:
 // point Prometheus (or curl) at /metrics, or follow /events for the
 // sampled time series the Recorder maintains.
+//
+// Subsystems can extend the server: HandleFunc registers extra routes
+// (the channel-health layer adds /alerts, /health.json, /dashboard) and
+// Publish fans a named SSE event out to every /events subscriber.
 type Server struct {
 	reg *Registry
 	rec *Recorder
 
+	mux *http.ServeMux
 	srv *http.Server
 	ln  net.Listener
+
+	pubMu sync.Mutex
+	pubs  map[int]chan sseEvent
+	pubID int
+}
+
+// sseEvent is one published named event, pre-marshalled.
+type sseEvent struct {
+	name string
+	data []byte
 }
 
 // NewServer builds a server over reg. rec may be nil, in which case
 // /events reports 404 (no sampler running).
 func NewServer(reg *Registry, rec *Recorder) *Server {
-	s := &Server{reg: reg, rec: rec}
-	s.srv = &http.Server{Handler: s.Handler()}
+	s := &Server{reg: reg, rec: rec, pubs: map[int]chan sseEvent{}}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
+		_ = s.reg.WriteText(w)
+	})
+	s.mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		ServeJSON(w, r, s.reg.WriteJSON)
+	})
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/events", s.serveEvents)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: s.mux}
 	return s
 }
 
 // Handler returns the server's route table, usable standalone (tests,
 // embedding into an existing mux).
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = s.reg.WriteText(w)
-	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = s.reg.WriteJSON(w)
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/events", s.serveEvents)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// HandleFunc registers an additional route on the server — the hook
+// higher layers (internal/obs/health) use to expose their endpoints on
+// the same listener without obs depending on them.
+func (s *Server) HandleFunc(pattern string, handler http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, handler)
+}
+
+// Publish marshals v and fans it out to every /events subscriber as a
+// named SSE event ("event: <name>"). Slow subscribers drop the event
+// rather than blocking the publisher. Safe for concurrent use; a nil
+// server discards the event.
+func (s *Server) Publish(name string, v any) {
+	if s == nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	ev := sseEvent{name: name, data: data}
+	s.pubMu.Lock()
+	for _, ch := range s.pubs {
+		select {
+		case ch <- ev:
+		default: // subscriber lagging: drop, never block the publisher
+		}
+	}
+	s.pubMu.Unlock()
+}
+
+// subscribePub registers a listener for published events; the cancel
+// func unregisters it and closes the channel.
+func (s *Server) subscribePub(buf int) (<-chan sseEvent, func()) {
+	ch := make(chan sseEvent, buf)
+	s.pubMu.Lock()
+	id := s.pubID
+	s.pubID++
+	s.pubs[id] = ch
+	s.pubMu.Unlock()
+	return ch, func() {
+		s.pubMu.Lock()
+		if _, ok := s.pubs[id]; ok {
+			delete(s.pubs, id)
+			close(ch)
+		}
+		s.pubMu.Unlock()
+	}
 }
 
 // serveEvents streams recorder samples as Server-Sent Events: the most
 // recent buffered sample first (so a subscriber immediately sees state),
-// then every new sample until the client disconnects.
+// then every new sample until the client disconnects. Named events sent
+// through Publish are interleaved with their "event:" field set.
 func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request) {
 	if s.rec == nil {
 		http.Error(w, "no recorder: start the binary with -telemetry-addr", http.StatusNotFound)
@@ -81,22 +149,32 @@ func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 
-	write := func(sample Sample) bool {
-		buf, err := json.Marshal(sample)
-		if err != nil {
-			return false
+	write := func(event string, data []byte) bool {
+		if event != "" {
+			if _, err := fmt.Fprintf(w, "event: %s\n", event); err != nil {
+				return false
+			}
 		}
-		if _, err := fmt.Fprintf(w, "data: %s\n\n", buf); err != nil {
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
 			return false
 		}
 		flusher.Flush()
 		return true
 	}
+	writeSample := func(sample Sample) bool {
+		buf, err := json.Marshal(sample)
+		if err != nil {
+			return false
+		}
+		return write("", buf)
+	}
 
 	ch, cancel := s.rec.Subscribe(16)
 	defer cancel()
+	pub, cancelPub := s.subscribePub(16)
+	defer cancelPub()
 	if backlog := s.rec.Samples(); len(backlog) > 0 {
-		if !write(backlog[len(backlog)-1]) {
+		if !writeSample(backlog[len(backlog)-1]) {
 			return
 		}
 	}
@@ -106,13 +184,57 @@ func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return
 			}
-			if !write(sample) {
+			if !writeSample(sample) {
+				return
+			}
+		case ev, ok := <-pub:
+			if !ok {
+				return
+			}
+			if !write(ev.name, ev.data) {
 				return
 			}
 		case <-r.Context().Done():
 			return
 		}
 	}
+}
+
+// ServeJSON writes one JSON document produced by write with the headers
+// a polling client needs — explicit Content-Type and Cache-Control:
+// no-store (these are live readings; caching one defeats the point) —
+// and gzip-compresses the body when the client advertises support.
+func ServeJSON(w http.ResponseWriter, r *http.Request, write func(io.Writer) error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	if acceptsGzip(r) {
+		w.Header().Set("Content-Encoding", "gzip")
+		gz := gzip.NewWriter(w)
+		_ = write(gz)
+		_ = gz.Close()
+		return
+	}
+	_ = write(w)
+}
+
+// acceptsGzip reports whether the request advertises gzip support. A
+// token-level check (split on commas, strip q-values) rather than a
+// substring match, so "identity;q=1, gzip;q=0" is still (approximately)
+// honoured for the common cases.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, q, hasQ := strings.Cut(strings.TrimSpace(part), ";")
+		if !strings.EqualFold(strings.TrimSpace(enc), "gzip") {
+			continue
+		}
+		if hasQ {
+			if v := strings.TrimSpace(q); v == "q=0" || v == "q=0.0" || v == "q=0.00" || v == "q=0.000" {
+				return false
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // Start listens on addr (e.g. "127.0.0.1:9090", ":0") and serves in a

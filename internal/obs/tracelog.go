@@ -178,7 +178,7 @@ func (t *TraceLog) WriteJSON(w io.Writer) error {
 			for k, v := range args {
 				withTrace[k] = v
 			}
-			withTrace["trace_id"] = fmt.Sprintf("%#016x", e.trace)
+			withTrace["trace_id"] = FormatTraceID(e.trace)
 			args = withTrace
 		}
 		cat := e.track
@@ -198,6 +198,17 @@ func (t *TraceLog) WriteJSON(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// FormatTraceID renders a trace ID in the canonical joinable form used
+// everywhere an ID is serialized — Chrome-trace span args, sweep records,
+// CSV columns — so a recorded measurement row greps directly against its
+// trace span. Zero (no trace) renders as "".
+func FormatTraceID(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%#016x", id)
 }
 
 // traceIDCounter and traceIDSalt make NewTraceID unique within a process

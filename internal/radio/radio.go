@@ -72,6 +72,11 @@ type Link struct {
 	// CSI-measurement counters, channel-solve latency histograms, and
 	// sweep spans. The nil default adds one pointer check per measurement.
 	Obs *obs.Registry
+	// OnCSI, when set, receives each successful channel estimate's
+	// per-subcarrier SNR curve — the hook internal/obs/health uses to
+	// watch live channel state without radio depending on it. The slice
+	// is the estimate's own; observers must copy, not retain.
+	OnCSI func(snrDB []float64)
 
 	rng      *rand.Rand
 	envPaths []propagation.Path // cached: environment does not switch
@@ -199,7 +204,11 @@ func (l *Link) measureResponse(h []complex128) (*ofdm.CSI, error) {
 			rx[s][k] = amp*h[k]*tx[k] + n
 		}
 	}
-	return ofdm.Estimate(l.Grid, rx, tx, txPw, noise)
+	csi, err := ofdm.Estimate(l.Grid, rx, tx, txPw, noise)
+	if err == nil && l.OnCSI != nil {
+		l.OnCSI(csi.SNRdB)
+	}
+	return csi, err
 }
 
 // Measurement is one configuration's measured CSI within a sweep.
@@ -210,6 +219,11 @@ type Measurement struct {
 	// At is the simulation time of the measurement; under Doppler the
 	// channel decorrelates across a slow sweep, exactly the §2 problem.
 	At time.Duration
+	// TraceID correlates the measurement with its "radio"-track span in
+	// the Chrome trace export; zero when the link's registry carries no
+	// TraceLog (the default — IDs are process-unique, so assigning them
+	// unconditionally would break bit-identical replays).
+	TraceID uint64
 }
 
 // SNRCurves flattens measurements into per-config SNR vectors, the shape
@@ -237,14 +251,25 @@ func (l *Link) Sweep(timing Timing, start time.Duration) ([]Measurement, error) 
 	n := l.Array.NumConfigs()
 	out := make([]Measurement, 0, n)
 	at := start
+	tl := l.Obs.TraceLog()
 	var sweepErr error
 	l.Array.EachConfig(func(idx int, c element.Config) bool {
+		var traceID uint64
+		wallStart := time.Time{}
+		if tl != nil {
+			traceID = obs.NewTraceID()
+			wallStart = time.Now()
+		}
 		csi, err := l.MeasureCSI(c, at.Seconds())
 		if err != nil {
 			sweepErr = fmt.Errorf("radio: config %d: %w", idx, err)
 			return false
 		}
-		out = append(out, Measurement{ConfigIdx: idx, Config: c.Clone(), CSI: csi, At: at})
+		if tl != nil {
+			tl.Record("radio", "radio/measure", traceID, wallStart, time.Since(wallStart),
+				map[string]any{"config": idx, "at_s": at.Seconds()})
+		}
+		out = append(out, Measurement{ConfigIdx: idx, Config: c.Clone(), CSI: csi, At: at, TraceID: traceID})
 		at += timing.PerMeasurement + timing.SwitchLatency
 		return true
 	})

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the record as long-form rows — one row per (trial,
+// measurement, subcarrier) — the shape spreadsheet and dataframe tools
+// ingest directly. The trace_id column joins each row against its
+// "radio/measure" span in a Chrome trace export captured in the same
+// run, so a suspicious SNR dip can be chased back to the exact
+// measurement's wall-clock placement.
+func (r *Record) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"trial", "config", "config_name", "at_s", "trace_id", "subcarrier", "snr_db"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: csv: %w", err)
+	}
+	for ti, tr := range r.Trials {
+		for _, m := range tr.Measurements {
+			name := ""
+			if m.ConfigIdx >= 0 && m.ConfigIdx < len(r.ConfigNames) {
+				name = r.ConfigNames[m.ConfigIdx]
+			}
+			for k, snr := range m.SNRdB {
+				row := []string{
+					strconv.Itoa(ti),
+					strconv.Itoa(m.ConfigIdx),
+					name,
+					strconv.FormatFloat(m.AtSeconds, 'g', 8, 64),
+					m.TraceID,
+					strconv.Itoa(k),
+					strconv.FormatFloat(snr, 'g', 8, 64),
+				}
+				if err := cw.Write(row); err != nil {
+					return fmt.Errorf("trace: csv: %w", err)
+				}
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: csv: %w", err)
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 
+	"press/internal/obs"
 	"press/internal/radio"
 )
 
@@ -40,9 +41,13 @@ type Trial struct {
 
 // Measurement is one configuration's measured per-subcarrier SNR.
 type Measurement struct {
-	ConfigIdx int       `json:"config"`
-	AtSeconds float64   `json:"at_s"`
-	SNRdB     []float64 `json:"snr_db"`
+	ConfigIdx int     `json:"config"`
+	AtSeconds float64 `json:"at_s"`
+	// TraceID joins the row against its "radio/measure" span in a Chrome
+	// trace export captured in the same run (obs.FormatTraceID form;
+	// empty when the sweep ran without -trace).
+	TraceID string    `json:"trace_id,omitempty"`
+	SNRdB   []float64 `json:"snr_db"`
 }
 
 // FromSweepTrials converts a radio.SweepTrials result into a Record.
@@ -70,6 +75,7 @@ func FromSweepTrials(link *radio.Link, trials [][]radio.Measurement, description
 			trial.Measurements = append(trial.Measurements, Measurement{
 				ConfigIdx: m.ConfigIdx,
 				AtSeconds: m.At.Seconds(),
+				TraceID:   obs.FormatTraceID(m.TraceID),
 				SNRdB:     append([]float64(nil), m.CSI.SNRdB...),
 			})
 		}

@@ -54,6 +54,7 @@ import (
 	"press/internal/geom"
 	"press/internal/mimo"
 	"press/internal/obs"
+	"press/internal/obs/health"
 	"press/internal/ofdm"
 	"press/internal/propagation"
 	"press/internal/radio"
@@ -409,8 +410,19 @@ type (
 	// MetricsSnapshot is a point-in-time export of a registry.
 	MetricsSnapshot = obs.Snapshot
 	// TelemetryCLI bundles the standard -telemetry/-log-level/-cpuprofile
-	// flags and their lifecycle for command-line binaries.
-	TelemetryCLI = obs.CLI
+	// flags and their lifecycle for command-line binaries, extended with
+	// the channel-health layer (-alert-rules, -health-interval, /alerts,
+	// /health.json, /dashboard).
+	TelemetryCLI = health.CLI
+	// HealthMonitor computes channel-health KPIs (null depth, MIMO
+	// condition number, search regret, control staleness) as bounded time
+	// series and evaluates alert rules over them.
+	HealthMonitor = health.Monitor
+	// HealthRule is one parsed alert rule over a channel-health KPI.
+	HealthRule = health.Rule
+	// AlertEvent is one alert-rule state transition
+	// (inactive→pending→firing→resolved).
+	AlertEvent = health.Event
 	// TelemetryServer serves a registry live over HTTP: /metrics,
 	// /metrics.json, /healthz, /events (SSE), and /debug/pprof/*.
 	TelemetryServer = obs.Server
@@ -478,4 +490,21 @@ func NewTraceID() uint64 { return obs.NewTraceID() }
 // counts, best-objective trajectory, and wall-time into reg/log.
 func InstrumentSearcher(s Searcher, reg *Registry, log *Logger) Searcher {
 	return control.Instrument(s, reg, log)
+}
+
+// InstrumentSearcherHealth is InstrumentSearcher plus a channel-health
+// monitor fed with the best objective after every improving evaluation.
+func InstrumentSearcherHealth(s Searcher, reg *Registry, log *Logger, h *HealthMonitor) Searcher {
+	return control.InstrumentHealth(s, reg, log, h)
+}
+
+// ParseAlertRules parses a ';'-separated -alert-rules list ("default"
+// expands to the built-in set).
+func ParseAlertRules(s string) ([]HealthRule, error) { return health.ParseRules(s) }
+
+// NewHealthMonitor builds a channel-health monitor sampling KPIs every
+// interval into series of the given capacity (zero values pick
+// defaults); reg may be nil.
+func NewHealthMonitor(reg *Registry, rules []HealthRule, interval time.Duration, capacity int) *HealthMonitor {
+	return health.NewMonitor(reg, rules, interval, capacity)
 }
