@@ -8,8 +8,11 @@
 //
 //	pressctl demo                    # agent + controller in one process
 //	pressctl demo -speed 0.5         # walking-pace coherence budget
+//	pressctl demo -flight-dir runs   # record a durable run log
 //	pressctl agent -listen :7010     # standalone agent
 //	pressctl ping  -connect ADDR     # control-plane RTT against an agent
+//	pressctl replay runs/RUNID       # re-execute a run log, verify KPIs
+//	pressctl rundiff runs/A runs/B   # KPI deltas between two run logs
 package main
 
 import (
@@ -21,11 +24,49 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync"
 	"time"
 
 	"press"
+	"press/internal/obs/flight"
+	"press/internal/obs/health"
 )
+
+// demoRestarts is the greedy restart count used by the demo — recorded
+// in the manifest so replay reconstructs the identical searcher.
+const demoRestarts = 2
+
+// demoParams freezes the demo's timing-derived knobs as manifest
+// parameters. The control-plane RTT is measured live (and therefore
+// nondeterministic), so it is recorded here and replayed verbatim.
+func demoParams(speed float64, perMeas, switchLat time.Duration, budget, restarts int) []flight.Param {
+	return []flight.Param{
+		{Key: "speed", Value: strconv.FormatFloat(speed, 'g', -1, 64)},
+		{Key: "per_measurement_ns", Value: strconv.FormatInt(perMeas.Nanoseconds(), 10)},
+		{Key: "switch_latency_ns", Value: strconv.FormatInt(switchLat.Nanoseconds(), 10)},
+		{Key: "budget", Value: strconv.Itoa(budget)},
+		{Key: "restarts", Value: strconv.Itoa(restarts)},
+	}
+}
+
+// demoCSIHook chains the health monitor and flight recorder onto a
+// link's CSI stream; with neither enabled it returns nil and the
+// measurement path stays zero-overhead.
+func demoCSIHook(h *health.Monitor, rec *flight.Recorder) func([]float64) {
+	switch {
+	case h != nil && rec != nil:
+		return func(snrDB []float64) {
+			h.ObserveSNR(snrDB)
+			rec.RecordCSI(snrDB)
+		}
+	case h != nil:
+		return h.ObserveSNR
+	case rec != nil:
+		return rec.RecordCSI
+	}
+	return nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -36,7 +77,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: pressctl demo|agent|ping [flags]")
+		return errors.New("usage: pressctl demo|agent|ping|replay|rundiff [flags]")
 	}
 	switch args[0] {
 	case "demo":
@@ -45,8 +86,12 @@ func run(args []string) error {
 		return runAgent(args[1:])
 	case "ping":
 		return runPing(args[1:])
+	case "replay":
+		return runReplay(args[1:], os.Stdout)
+	case "rundiff":
+		return runDiffCmd(args[1:], os.Stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want demo|agent|ping)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want demo|agent|ping|replay|rundiff)", args[0])
 	}
 }
 
@@ -102,9 +147,7 @@ func runDemo(args []string) error {
 	}
 	link := space.Link("ap-client")
 	link.Obs = tele.Registry()
-	if h := tele.Health(); h != nil {
-		link.OnCSI = h.ObserveSNR
-	}
+	link.OnCSI = demoCSIHook(tele.Health(), tele.Flight())
 
 	// Element-side agent on a TCP loopback listener.
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -116,10 +159,12 @@ func runDemo(args []string) error {
 	agent.Health = tele.Health()
 	var mu sync.Mutex
 	applied := space.Applied()
+	rec := tele.Flight()
 	agent.OnApply = func(cfg press.Config) {
 		mu.Lock()
 		applied = cfg
 		mu.Unlock()
+		rec.RecordActuation(flight.SourceAgent, 0, cfg)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -155,6 +200,15 @@ func runDemo(args []string) error {
 		fmt.Printf("coherence budget at %.1f mph: %d measurements\n", *speed, budget)
 	}
 
+	// The manifest captures everything replay needs to regenerate the
+	// run: the scenario seed plus the (measured, hence nondeterministic)
+	// timing inputs that shaped the search, frozen as parameters.
+	if rec != nil {
+		man := press.NewFlightManifest("pressctl", "demo", *seed)
+		man.SetParams(demoParams(*speed, *perMeas, rtt, budget, demoRestarts))
+		rec.RecordManifest(man)
+	}
+
 	// Baseline.
 	base, err := space.Measure("ap-client", 0)
 	if err != nil {
@@ -184,9 +238,9 @@ func runDemo(args []string) error {
 		return objective.Score(csi), nil
 	}
 
-	searcher := press.InstrumentSearcherHealth(
-		press.Greedy{Rng: rand.New(rand.NewPCG(*seed, 2)), Restarts: 2},
-		tele.Registry(), tele.Logger(), tele.Health())
+	searcher := press.InstrumentSearcherFlight(
+		press.Greedy{Rng: rand.New(rand.NewPCG(*seed, 2)), Restarts: demoRestarts},
+		tele.Registry(), tele.Logger(), tele.Health(), rec)
 	res, err := searcher.Search(space.Array, eval, budget)
 	if err != nil && !errors.Is(err, press.ErrBudgetExhausted) {
 		return err
@@ -236,6 +290,12 @@ func runAgent(args []string) error {
 	agent.Obs = tele.Registry()
 	agent.Log = tele.Logger()
 	agent.Health = tele.Health()
+	if rec := tele.Flight(); rec != nil {
+		man := press.NewFlightManifest("pressctl", "agent", *id)
+		man.SetParams([]flight.Param{{Key: "elements", Value: strconv.Itoa(*elements)}})
+		rec.RecordManifest(man)
+		agent.OnApply = func(cfg press.Config) { rec.RecordActuation(flight.SourceAgent, 0, cfg) }
+	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err

@@ -23,7 +23,7 @@ import (
 
 	"press/internal/experiments"
 	"press/internal/obs"
-	"press/internal/obs/health"
+	"press/internal/obs/flight"
 )
 
 func main() {
@@ -43,7 +43,16 @@ type options struct {
 	budget     int
 	csvDir     string
 	recordPath string
-	tele       health.CLI
+	tele       flight.CLI
+}
+
+// spec captures the invocation as a replayable RunSpec — the exact
+// params a flight-log manifest records.
+func (o *options) spec() experiments.RunSpec {
+	return experiments.RunSpec{
+		Exp: o.exp, Seed: o.seed, Trials: o.trials, Placements: o.placements,
+		Snapshots: o.snapshots, Reps: o.reps, Budget: o.budget,
+	}
 }
 
 func run(args []string, out io.Writer) error {
@@ -75,6 +84,13 @@ func run(args []string, out io.Writer) error {
 	defer experiments.SetObserver(nil, nil)
 	experiments.SetHealth(opt.tele.Health())
 	defer experiments.SetHealth(nil)
+	experiments.SetFlight(opt.tele.Flight())
+	defer experiments.SetFlight(nil)
+	if rec := opt.tele.Flight(); rec != nil {
+		man := flight.NewManifest("pressim", opt.exp, opt.seed)
+		man.SetParams(opt.spec().Params())
+		rec.RecordManifest(man)
+	}
 	if reg := opt.tele.Registry(); reg != nil {
 		// Pre-register the headline series so the snapshot always carries
 		// them, even for experiments that never search or solve a channel.

@@ -21,7 +21,7 @@ import (
 	"press/internal/control"
 	"press/internal/experiments"
 	"press/internal/obs"
-	"press/internal/obs/health"
+	"press/internal/obs/flight"
 	"press/internal/radio"
 )
 
@@ -51,15 +51,20 @@ func run(args []string) error {
 // startTelemetry brings up the parsed telemetry flags and installs the
 // experiments observer. The returned finish func tears both down and
 // emits the snapshot ("-" goes to stdout, after the CSV).
-func startTelemetry(tele *health.CLI) (finish func() error, err error) {
+func startTelemetry(tele *flight.CLI, scenario string, seed uint64) (finish func() error, err error) {
 	if err := tele.Start(os.Stderr); err != nil {
 		return nil, err
 	}
 	experiments.SetObserver(tele.Registry(), tele.Logger())
 	experiments.SetHealth(tele.Health())
+	experiments.SetFlight(tele.Flight())
+	if rec := tele.Flight(); rec != nil {
+		rec.RecordManifest(flight.NewManifest("presssweep", scenario, seed))
+	}
 	return func() error {
 		experiments.SetObserver(nil, nil)
 		experiments.SetHealth(nil)
+		experiments.SetFlight(nil)
 		return tele.Finish(os.Stdout)
 	}, nil
 }
@@ -76,12 +81,12 @@ func runConvergence(args []string) error {
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	elements := fs.Int("elements", 8, "array size (space 4^n)")
 	budget := fs.Int("budget", 300, "measurement budget per searcher")
-	var tele health.CLI
+	var tele flight.CLI
 	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	finish, err := startTelemetry(&tele)
+	finish, err := startTelemetry(&tele, "convergence", *seed)
 	if err != nil {
 		return err
 	}
@@ -129,12 +134,12 @@ func runBudget(args []string) error {
 	fs := flag.NewFlagSet("budget", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	perMeas := fs.Duration("per-measurement", 2*time.Millisecond, "measurement cost")
-	var tele health.CLI
+	var tele flight.CLI
 	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	finish, err := startTelemetry(&tele)
+	finish, err := startTelemetry(&tele, "budget", *seed)
 	if err != nil {
 		return err
 	}
@@ -189,12 +194,12 @@ func runDensity(args []string) error {
 	fs := flag.NewFlagSet("density", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	maxN := fs.Int("max-elements", 6, "largest array size")
-	var tele health.CLI
+	var tele flight.CLI
 	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	finish, err := startTelemetry(&tele)
+	finish, err := startTelemetry(&tele, "density", *seed)
 	if err != nil {
 		return err
 	}

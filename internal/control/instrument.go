@@ -6,6 +6,7 @@ import (
 
 	"press/internal/element"
 	"press/internal/obs"
+	"press/internal/obs/flight"
 	"press/internal/obs/health"
 )
 
@@ -23,6 +24,10 @@ type Instrumented struct {
 	// progresses — the feed behind the search_best / search_regret_db
 	// channel-health KPIs.
 	Health *health.Monitor
+	// Flight, when set, persists every evaluation (config, score,
+	// improved flag) as a search-decision record in the run log — the
+	// audit trail `pressctl replay` re-verifies.
+	Flight *flight.Recorder
 }
 
 // Instrument wraps s unless telemetry is fully disabled, in which case
@@ -34,10 +39,16 @@ func Instrument(s Searcher, reg *obs.Registry, log *obs.Logger) Searcher {
 // InstrumentHealth is Instrument plus a channel-health monitor fed with
 // the best-so-far objective after every improving evaluation.
 func InstrumentHealth(s Searcher, reg *obs.Registry, log *obs.Logger, h *health.Monitor) Searcher {
-	if reg == nil && log == nil && h == nil {
+	return InstrumentFlight(s, reg, log, h, nil)
+}
+
+// InstrumentFlight is InstrumentHealth plus a flight recorder that logs
+// every evaluation as a durable search-decision record.
+func InstrumentFlight(s Searcher, reg *obs.Registry, log *obs.Logger, h *health.Monitor, rec *flight.Recorder) Searcher {
+	if reg == nil && log == nil && h == nil && rec == nil {
 		return s
 	}
-	return Instrumented{Searcher: s, Obs: reg, Log: log, Health: h}
+	return Instrumented{Searcher: s, Obs: reg, Log: log, Health: h, Flight: rec}
 }
 
 // Name implements Searcher.
@@ -63,7 +74,8 @@ func (in Instrumented) Search(arr *element.Array, eval EvalFunc, budget int) (*R
 		}
 		evals.Inc()
 		n++
-		if score > best {
+		improved := score > best
+		if improved {
 			best = score
 			bestGauge.Set(score)
 			in.Health.ObserveSearchBest(score)
@@ -72,6 +84,7 @@ func (in Instrumented) Search(arr *element.Array, eval EvalFunc, budget int) (*R
 					"searcher", name, "evaluation", n, "score", score)
 			}
 		}
+		in.Flight.RecordDecision(uint64(n), score, improved, cfg)
 		return score, nil
 	}
 

@@ -82,7 +82,7 @@ func buildFig7Link(seed uint64) (*radio.Link, error) {
 		return nil, err
 	}
 	link.Obs = obsRegistry()
-	attachHealth(link)
+	attachObservers(link)
 	return link, nil
 }
 

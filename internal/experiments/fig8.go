@@ -73,7 +73,7 @@ func RunFig8(opts Fig8Options) (*Fig8Result, error) {
 			}
 			at += time.Duration(opts.Snapshots) * radio.PrototypeTiming.PerMeasurement
 			cond := ch.CondProfileDB()
-			healthMon().ObserveCondProfile(cond)
+			observeCondProfile(cond)
 			samples[idx] = append(samples[idx], cond...)
 			if rep == 0 {
 				names[idx] = ml.Array.String(c)

@@ -5,8 +5,10 @@ import (
 
 	"press/internal/control"
 	"press/internal/obs"
+	"press/internal/obs/flight"
 	"press/internal/obs/health"
 	"press/internal/radio"
+	"press/internal/stats"
 )
 
 // observerState carries the telemetry sinks an embedding CLI installs.
@@ -50,10 +52,10 @@ func obsLogger() *obs.Logger {
 	return nil
 }
 
-// instrument wraps s with the installed observer and health monitor;
-// with neither it returns s unchanged.
+// instrument wraps s with the installed observer, health monitor, and
+// flight recorder; with none of them it returns s unchanged.
 func instrument(s control.Searcher) control.Searcher {
-	return control.InstrumentHealth(s, obsRegistry(), obsLogger(), healthMon())
+	return control.InstrumentFlight(s, obsRegistry(), obsLogger(), healthMon(), flightRec())
 }
 
 var currentHealth atomic.Pointer[health.Monitor]
@@ -69,10 +71,42 @@ func SetHealth(h *health.Monitor) { currentHealth.Store(h) }
 // is off (every consumer is nil-safe).
 func healthMon() *health.Monitor { return currentHealth.Load() }
 
-// attachHealth points a link's CSI hook at the installed monitor. With
-// no monitor the hook stays nil and measurement stays zero-overhead.
-func attachHealth(link *radio.Link) {
-	if h := healthMon(); h != nil {
+var currentFlight atomic.Pointer[flight.Recorder]
+
+// SetFlight installs a process-wide flight recorder: scenario Builds
+// chain it onto every link's CSI stream, search call sites persist
+// per-evaluation decisions, and the MIMO harnesses log condition-number
+// KPI samples. Pass nil to clear. The same single-process rationale as
+// SetObserver applies.
+func SetFlight(rec *flight.Recorder) { currentFlight.Store(rec) }
+
+// flightRec returns the installed recorder, or nil when run logging is
+// off (every consumer is nil-safe).
+func flightRec() *flight.Recorder { return currentFlight.Load() }
+
+// attachObservers points a link's CSI hook at the installed health
+// monitor and flight recorder. With neither the hook stays nil and
+// measurement stays zero-overhead.
+func attachObservers(link *radio.Link) {
+	h, rec := healthMon(), flightRec()
+	switch {
+	case h != nil && rec != nil:
+		link.OnCSI = func(snrDB []float64) {
+			h.ObserveSNR(snrDB)
+			rec.RecordCSI(snrDB)
+		}
+	case h != nil:
 		link.OnCSI = h.ObserveSNR
+	case rec != nil:
+		link.OnCSI = rec.RecordCSI
+	}
+}
+
+// observeCondProfile fans a per-subcarrier condition-number profile (dB)
+// out to the health monitor and, as its median, the flight log.
+func observeCondProfile(condDB []float64) {
+	healthMon().ObserveCondProfile(condDB)
+	if rec := flightRec(); rec != nil && len(condDB) > 0 {
+		rec.RecordKPI(flight.KPICondDBMedian, stats.Median(condDB))
 	}
 }

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"press/internal/obs/flight"
+)
+
+// RunSpec captures a pressim invocation precisely enough to re-execute
+// it: the experiment list and every knob that feeds a harness RNG or
+// iteration count. It round-trips through flight-log manifest params,
+// which is how `pressctl replay` reconstructs a recorded run.
+type RunSpec struct {
+	// Exp is the comma-separated experiment list ("fig4", "fig4,fig8",
+	// "all").
+	Exp string
+	// Seed of 0 means each harness's calibrated default — recorded
+	// verbatim so replay makes the same choice.
+	Seed       uint64
+	Trials     int
+	Placements int
+	Snapshots  int
+	Reps       int
+	Budget     int
+}
+
+// AllExperiments is the expansion of -exp all, in execution order.
+var AllExperiments = []string{
+	"los", "fig4", "fig5", "fig6", "fig7", "fig8", "coherence",
+	"controlplane", "staleness", "scaling", "arrayscale", "faults", "ablation",
+}
+
+// Experiments returns the expanded experiment list.
+func (s RunSpec) Experiments() []string {
+	if s.Exp == "all" {
+		return append([]string(nil), AllExperiments...)
+	}
+	parts := strings.Split(s.Exp, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// Params renders the spec as manifest parameters.
+func (s RunSpec) Params() []flight.Param {
+	itoa := strconv.Itoa
+	return []flight.Param{
+		{Key: "exp", Value: s.Exp},
+		{Key: "trials", Value: itoa(s.Trials)},
+		{Key: "placements", Value: itoa(s.Placements)},
+		{Key: "snapshots", Value: itoa(s.Snapshots)},
+		{Key: "reps", Value: itoa(s.Reps)},
+		{Key: "budget", Value: itoa(s.Budget)},
+	}
+}
+
+// SpecFromManifest rebuilds the spec a recorded pressim run was started
+// with.
+func SpecFromManifest(m *flight.Manifest) (RunSpec, error) {
+	if m.Binary != "pressim" {
+		return RunSpec{}, fmt.Errorf("experiments: manifest binary %q is not pressim", m.Binary)
+	}
+	s := RunSpec{Seed: m.Seed}
+	var ok bool
+	if s.Exp, ok = m.Param("exp"); !ok {
+		return RunSpec{}, fmt.Errorf("experiments: manifest missing exp param")
+	}
+	geti := func(key string, dst *int) error {
+		v, ok := m.Param(key)
+		if !ok {
+			return fmt.Errorf("experiments: manifest missing %s param", key)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("experiments: bad %s param %q", key, v)
+		}
+		*dst = n
+		return nil
+	}
+	for key, dst := range map[string]*int{
+		"trials": &s.Trials, "placements": &s.Placements,
+		"snapshots": &s.Snapshots, "reps": &s.Reps, "budget": &s.Budget,
+	} {
+		if err := geti(key, dst); err != nil {
+			return RunSpec{}, err
+		}
+	}
+	return s, nil
+}
+
+// seedOr returns the spec's seed, or def when unset — mirroring
+// cmd/pressim's flag handling exactly (replay fidelity depends on it).
+func (s RunSpec) seedOr(def uint64) uint64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	return def
+}
+
+// Run re-executes every experiment in the spec, discarding printed
+// results: the point is the measurement side effects, which the
+// installed observers (SetObserver/SetHealth/SetFlight) capture. The
+// dispatch must stay in lockstep with cmd/pressim's runOne.
+func (s RunSpec) Run() error {
+	for _, name := range s.Experiments() {
+		if err := s.runOne(name); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func (s RunSpec) runOne(name string) error {
+	switch name {
+	case "los":
+		o := DefaultLoS()
+		if s.Seed != 0 {
+			o.Seed = s.Seed
+		}
+		_, err := RunLoS(o)
+		return err
+	case "fig4":
+		o := DefaultFig4()
+		o.Trials = s.Trials
+		o.Placements = s.Placements
+		if s.Seed != 0 {
+			o.BaseSeed = s.Seed
+		}
+		_, err := RunFig4(o)
+		return err
+	case "fig5":
+		o := DefaultFig5()
+		o.Trials = s.Trials
+		if s.Seed != 0 {
+			o.Seed = s.Seed
+		}
+		_, err := RunFig5(o)
+		return err
+	case "fig6":
+		o := DefaultFig6()
+		o.Trials = s.Trials
+		if s.Seed != 0 {
+			o.Seed = s.Seed
+		}
+		_, err := RunFig6(o)
+		return err
+	case "fig7":
+		o := DefaultFig7()
+		if s.Seed != 0 {
+			o.Seed = s.Seed
+		}
+		_, err := RunFig7(o)
+		return err
+	case "fig8":
+		o := DefaultFig8()
+		o.Snapshots = s.Snapshots
+		o.Repetitions = s.Reps
+		if s.Seed != 0 {
+			o.Seed = s.Seed
+		}
+		_, err := RunFig8(o)
+		return err
+	case "coherence":
+		RunCoherence()
+		return nil
+	case "controlplane":
+		_, err := RunControlPlaneComparison(s.seedOr(442))
+		return err
+	case "staleness":
+		_, err := RunStaleness(s.seedOr(442), nil)
+		return err
+	case "ablation":
+		seed := s.seedOr(442)
+		if _, err := RunPhaseAblation(seed, nil); err != nil {
+			return err
+		}
+		if _, err := RunElementAblation(seed, nil); err != nil {
+			return err
+		}
+		if _, err := RunSearchAblation(seed, s.Budget); err != nil {
+			return err
+		}
+		_, err := RunContinuousAblation(seed, s.Budget)
+		return err
+	case "scaling":
+		_, err := RunMIMOScaling(s.seedOr(822), nil, s.Snapshots)
+		return err
+	case "arrayscale":
+		_, err := RunArrayScaling(s.seedOr(442), nil, s.Budget*2)
+		return err
+	case "faults":
+		_, err := RunFaultTolerance(s.seedOr(442))
+		return err
+	default:
+		return fmt.Errorf("experiments: unknown or non-replayable experiment %q", name)
+	}
+}

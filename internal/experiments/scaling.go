@@ -53,7 +53,7 @@ func RunMIMOScaling(seed uint64, dims []int, snapshots int) (*MIMOScalingResult,
 			}
 			at += time.Duration(snapshots) * radio.PrototypeTiming.PerMeasurement
 			cond := ch.CondProfileDB()
-			healthMon().ObserveCondProfile(cond)
+			observeCondProfile(cond)
 			med := stats.Median(cond)
 			if first || med < best {
 				best = med

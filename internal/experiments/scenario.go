@@ -118,7 +118,7 @@ func (s SISOScenario) Build() (*radio.Link, error) {
 		return nil, err
 	}
 	link.Obs = obsRegistry()
-	attachHealth(link)
+	attachObservers(link)
 	return link, nil
 }
 

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Build is the process's build provenance, read once from
+// debug.ReadBuildInfo: which Go built it and which VCS revision it came
+// from. It is stamped into /healthz, served at /buildz, and written
+// into every flight-log run manifest so a recorded run can always be
+// traced back to the code that produced it.
+type Build struct {
+	// GoVersion is the toolchain that built the binary (always known).
+	GoVersion string `json:"go_version"`
+	// Main is the main module path.
+	Main string `json:"main,omitempty"`
+	// Revision is the VCS commit, or "" when the binary was built
+	// outside a checkout (e.g. `go test` binaries).
+	Revision string `json:"vcs_revision,omitempty"`
+	// Time is the commit timestamp (RFC 3339), when known.
+	Time string `json:"vcs_time,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"vcs_modified,omitempty"`
+}
+
+// ShortRevision returns the first 12 characters of the revision, or
+// "unknown" when the build carries no VCS stamp.
+func (b Build) ShortRevision() string {
+	if b.Revision == "" {
+		return "unknown"
+	}
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Modified {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+var (
+	buildOnce   sync.Once
+	cachedBuild Build
+)
+
+// ReadBuild returns the cached build provenance of the running binary.
+func ReadBuild() Build {
+	buildOnce.Do(func() {
+		cachedBuild = Build{GoVersion: runtime.Version()}
+		info, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if info.GoVersion != "" {
+			cachedBuild.GoVersion = info.GoVersion
+		}
+		cachedBuild.Main = info.Main.Path
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				cachedBuild.Revision = s.Value
+			case "vcs.time":
+				cachedBuild.Time = s.Value
+			case "vcs.modified":
+				cachedBuild.Modified = s.Value == "true"
+			}
+		}
+	})
+	return cachedBuild
+}

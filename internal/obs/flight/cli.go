@@ -1,0 +1,193 @@
+package flight
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"press/internal/obs"
+	"press/internal/obs/health"
+)
+
+// NewRunID returns a sortable, filesystem-safe run identifier:
+// UTC timestamp plus a random suffix ("20260806T142530-9f3a2c").
+func NewRunID() string {
+	var b [3]byte
+	_, _ = rand.Read(b[:])
+	return time.Now().UTC().Format("20060102T150405") + "-" + hex.EncodeToString(b[:])
+}
+
+// NewManifest starts a manifest for the given producer, stamped with
+// the current time and the binary's build provenance. The caller fills
+// Params and hands it to Recorder.RecordManifest (which assigns RunID
+// and the fingerprint).
+func NewManifest(binary, scenario string, seed uint64) *Manifest {
+	b := obs.ReadBuild()
+	return &Manifest{
+		FormatVersion: FormatVersion,
+		Binary:        binary,
+		Scenario:      scenario,
+		Seed:          seed,
+		StartUnixNs:   time.Now().UnixNano(),
+		GoVersion:     b.GoVersion,
+		VCSRevision:   b.Revision,
+		VCSTime:       b.Time,
+		VCSModified:   b.Modified,
+	}
+}
+
+// CLI extends health.CLI with the flight-recorder layer: -flight-dir
+// and -flight-segment-mb flags, a Recorder writing one run directory
+// per process, alert persistence, and the /runs HTTP routes on the live
+// telemetry server. Drop-in replacement for health.CLI:
+//
+//	var tele flight.CLI
+//	tele.Register(fs)
+//	// after fs.Parse:
+//	if err := tele.Start(os.Stderr); err != nil { ... }
+//	defer tele.Finish(os.Stdout)
+//	... write a manifest, pass tele.Flight() to producers ...
+//
+// With -flight-dir unset, Flight() returns nil and recording stays at
+// the zero-cost disabled default.
+type CLI struct {
+	health.CLI
+
+	// FlightDir is the root directory for run logs; each run gets its
+	// own subdirectory named by run ID. Empty disables recording.
+	FlightDir string
+	// FlightSegmentMB is the segment-file rotation threshold.
+	FlightSegmentMB int
+
+	rec *Recorder
+}
+
+// Register installs the health telemetry flags plus the flight flags.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	c.CLI.Register(fs)
+	fs.StringVar(&c.FlightDir, "flight-dir", "",
+		"record a durable flight log (run manifest, actuations, CSI/KPI samples, alerts, search decisions) under this directory")
+	fs.IntVar(&c.FlightSegmentMB, "flight-segment-mb", DefaultSegmentMB,
+		"flight-log segment rotation threshold in MiB")
+}
+
+// Start opens the run log (when -flight-dir is set), hooks alert
+// persistence into the health layer, brings up the obs/health stack,
+// and registers the /runs routes on the live server.
+func (c *CLI) Start(logw io.Writer) error {
+	if c.FlightDir != "" {
+		if c.FlightSegmentMB < 0 {
+			return fmt.Errorf("flight: negative -flight-segment-mb %d", c.FlightSegmentMB)
+		}
+		rec, err := Open(filepath.Join(c.FlightDir, NewRunID()), c.FlightSegmentMB)
+		if err != nil {
+			return err
+		}
+		c.rec = rec
+		c.EventSink = func(event string, v any) {
+			if event != "alert" {
+				return
+			}
+			if ev, ok := v.(health.Event); ok {
+				rec.RecordAlert(ev.Rule, uint8(ev.From), uint8(ev.To), ev.Value)
+			}
+		}
+	}
+	if err := c.CLI.Start(logw); err != nil {
+		if c.rec != nil {
+			_ = c.rec.Close()
+			c.rec = nil
+		}
+		return err
+	}
+	if srv := c.Server(); srv != nil && c.FlightDir != "" {
+		RegisterRoutes(srv, c.FlightDir)
+	}
+	if log := c.Logger(); log.Enabled(obs.LevelInfo) && c.rec != nil {
+		log.Info("flight recorder started", "dir", c.rec.Dir())
+	}
+	return nil
+}
+
+// Flight returns the run-log recorder, or nil when -flight-dir was not
+// given — producers pass it down unconditionally.
+func (c *CLI) Flight() *Recorder { return c.rec }
+
+// RunDir returns the current run's directory, or "".
+func (c *CLI) RunDir() string { return c.rec.Dir() }
+
+// Finish closes the run log, then tears down the health/obs layers.
+func (c *CLI) Finish(stdout io.Writer) error {
+	var recErr error
+	if c.rec != nil {
+		recErr = c.rec.Close()
+		c.rec = nil
+	}
+	if err := c.CLI.Finish(stdout); err != nil {
+		return err
+	}
+	return recErr
+}
+
+// RegisterRoutes adds the recorded-run endpoints to a telemetry server:
+//
+//	GET /runs            manifests of every run under root (newest first)
+//	GET /runs/{id}.json  decoded summary of one run
+func RegisterRoutes(srv *obs.Server, root string) {
+	srv.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+		obs.ServeJSON(w, r, func(out io.Writer) error {
+			runs, err := ListRuns(root)
+			if err != nil {
+				runs = nil // empty/missing dir serves an empty list
+			}
+			if runs == nil {
+				runs = []*Manifest{}
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(runs)
+		})
+	})
+	srv.HandleFunc("/runs/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/runs/")
+		id = strings.TrimSuffix(id, ".json")
+		if !validRunID(id) {
+			http.Error(w, "bad run id", http.StatusBadRequest)
+			return
+		}
+		run, err := ReadRun(filepath.Join(root, id))
+		if err != nil {
+			http.Error(w, "run not found", http.StatusNotFound)
+			return
+		}
+		obs.ServeJSON(w, r, func(out io.Writer) error {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(Summarize(run))
+		})
+	})
+}
+
+// validRunID accepts exactly the characters NewRunID emits (plus
+// underscore for hand-named runs), keeping path traversal out of the
+// /runs/{id} handler.
+func validRunID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}

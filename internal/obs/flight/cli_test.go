@@ -1,0 +1,169 @@
+package flight
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"press/internal/obs/health"
+)
+
+func TestCLIRegisterFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var tele CLI
+	tele.Register(fs)
+	for _, name := range []string{
+		"flight-dir", "flight-segment-mb", // flight layer
+		"alert-rules", "health-interval", // inherited health layer
+		"telemetry", "telemetry-addr", // inherited obs layer
+	} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+}
+
+func TestCLIDisabledDefault(t *testing.T) {
+	var tele CLI
+	if err := tele.Start(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if tele.Flight() != nil {
+		t.Error("Flight() non-nil with no flags set")
+	}
+	if tele.RunDir() != "" {
+		t.Error("RunDir() non-empty with recording off")
+	}
+	if err := tele.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIRecordsAndFinishes(t *testing.T) {
+	root := t.TempDir()
+	tele := CLI{FlightDir: root}
+	if err := tele.Start(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	rec := tele.Flight()
+	if rec == nil {
+		t.Fatal("Flight() nil despite -flight-dir")
+	}
+	dir := tele.RunDir()
+	if filepath.Dir(dir) != root || !validRunID(filepath.Base(dir)) {
+		t.Fatalf("run dir %q not a valid run under %q", dir, root)
+	}
+	rec.RecordManifest(&Manifest{Binary: "test", Scenario: "t", Seed: 1})
+	rec.RecordKPI("k", 3)
+	// Alert persistence: the health EventSink set by Start must land
+	// alert transitions in the log (and ignore other events).
+	tele.EventSink("health", struct{}{})
+	tele.EventSink("alert", health.Event{Rule: "deep_null", From: health.StatePending, To: health.StateFiring, Value: 26})
+	if err := tele.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	run, err := ReadRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.KPIs) != 1 || run.Manifest == nil {
+		t.Errorf("run = %+v", run)
+	}
+	if len(run.Alerts) != 1 || run.Alerts[0].Rule != "deep_null" || run.Alerts[0].To != uint8(health.StateFiring) {
+		t.Errorf("alerts = %+v", run.Alerts)
+	}
+}
+
+func TestCLIServedRunEndpoints(t *testing.T) {
+	root := t.TempDir()
+	tele := CLI{FlightDir: root}
+	tele.TelemetryAddr = "127.0.0.1:0"
+	if err := tele.Start(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Finish(io.Discard)
+	man := NewManifest("pressctl", "demo", 42)
+	tele.Flight().RecordManifest(man)
+	tele.Flight().RecordCSI([]float64{10, 20, 30})
+	if err := tele.Flight().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + tele.ServerAddr()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/runs")
+	if code != http.StatusOK {
+		t.Fatalf("/runs = %d: %s", code, body)
+	}
+	var runs []*Manifest
+	if err := json.Unmarshal(body, &runs); err != nil {
+		t.Fatalf("/runs not JSON: %v\n%s", err, body)
+	}
+	if len(runs) != 1 || runs[0].Seed != 42 {
+		t.Fatalf("/runs = %+v", runs)
+	}
+
+	code, body = get("/runs/" + runs[0].RunID + ".json")
+	if code != http.StatusOK {
+		t.Fatalf("/runs/{id}.json = %d: %s", code, body)
+	}
+	var sum Summary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, body)
+	}
+	if sum.Measurements != 1 || sum.Subcarriers != 3 || sum.Seed != 42 {
+		t.Errorf("summary = %+v", sum)
+	}
+
+	if code, _ := get("/runs/no-such-run.json"); code != http.StatusNotFound {
+		t.Errorf("missing run = %d, want 404", code)
+	}
+	if code, _ := get("/runs/evil.id.json"); code != http.StatusBadRequest {
+		t.Errorf("invalid id = %d, want 400", code)
+	}
+}
+
+func TestValidRunID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"20260806T142530-9f3a2c": true,
+		"hand_named-Run1":        true,
+		"":                       false,
+		"../evil":                false,
+		"a/b":                    false,
+		"run id":                 false,
+		"run.id":                 false,
+	} {
+		if got := validRunID(id); got != want {
+			t.Errorf("validRunID(%q) = %v, want %v", id, got, want)
+		}
+	}
+	if validRunID(string(make([]byte, 200))) {
+		t.Error("over-long id accepted")
+	}
+}
+
+func TestNewRunIDShape(t *testing.T) {
+	a, b := NewRunID(), NewRunID()
+	if !validRunID(a) || !validRunID(b) {
+		t.Fatalf("NewRunID() = %q, %q: not valid run ids", a, b)
+	}
+	if a == b {
+		t.Errorf("two NewRunID() calls collided: %q", a)
+	}
+}

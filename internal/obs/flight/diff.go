@@ -1,0 +1,219 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// FieldDelta is one compared metric in a cross-run diff.
+type FieldDelta struct {
+	Name  string  `json:"name"`
+	A     float64 `json:"a"`
+	B     float64 `json:"b"`
+	Delta float64 `json:"delta"`
+}
+
+// RunRef identifies one side of a diff.
+type RunRef struct {
+	RunID       string `json:"run_id"`
+	Scenario    string `json:"scenario"`
+	Seed        uint64 `json:"seed"`
+	Fingerprint uint64 `json:"fingerprint"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+}
+
+func refOf(s Summary) RunRef {
+	return RunRef{
+		RunID: s.RunID, Scenario: s.Scenario, Seed: s.Seed,
+		Fingerprint: s.Fingerprint, VCSRevision: s.VCSRevision,
+	}
+}
+
+// RunDiff reports KPI deltas between two runs — the perf-trajectory
+// view `pressctl rundiff` prints.
+type RunDiff struct {
+	A RunRef `json:"a"`
+	B RunRef `json:"b"`
+	// SameConfig is true when both manifests share a fingerprint, i.e.
+	// the deltas measure code/build drift rather than workload drift.
+	SameConfig bool         `json:"same_config"`
+	Fields     []FieldDelta `json:"fields"`
+}
+
+// Diff compares two summarized runs field by field. Metrics absent from
+// both sides are omitted.
+func Diff(a, b Summary) *RunDiff {
+	d := &RunDiff{
+		A:          refOf(a),
+		B:          refOf(b),
+		SameConfig: a.Fingerprint != 0 && a.Fingerprint == b.Fingerprint,
+	}
+	add := func(name string, va, vb float64) {
+		if va == 0 && vb == 0 {
+			return
+		}
+		d.Fields = append(d.Fields, FieldDelta{Name: name, A: va, B: vb, Delta: vb - va})
+	}
+	addDist := func(prefix string, da, db Dist) {
+		if da.N == 0 && db.N == 0 {
+			return
+		}
+		add(prefix+".mean", da.Mean, db.Mean)
+		add(prefix+".p50", da.P50, db.P50)
+		add(prefix+".p90", da.P90, db.P90)
+		add(prefix+".p99", da.P99, db.P99)
+	}
+	add("measurements", float64(a.Measurements), float64(b.Measurements))
+	addDist("min_snr_db", a.MinSNRdB, b.MinSNRdB)
+	addDist("null_depth_db", a.NullDepthDB, b.NullDepthDB)
+	add("final_min_snr_db", a.FinalMinSNRdB, b.FinalMinSNRdB)
+	addDist("cond_db", a.CondDB, b.CondDB)
+	add("search_evals", float64(a.SearchEvals), float64(b.SearchEvals))
+	add("best_score", a.BestScore, b.BestScore)
+	addDist("search_regret_db", a.RegretDB, b.RegretDB)
+	add("actuations", float64(a.Actuations), float64(b.Actuations))
+	add("alerts_fired", float64(a.AlertsFired), float64(b.AlertsFired))
+	return d
+}
+
+// WriteText renders the diff as an aligned table.
+func (d *RunDiff) WriteText(w io.Writer) error {
+	same := "differing configs"
+	if d.SameConfig {
+		same = "same config fingerprint"
+	}
+	if _, err := fmt.Fprintf(w, "run A %s (scenario %s, seed %d, rev %s)\nrun B %s (scenario %s, seed %d, rev %s)\n%s\n\n",
+		d.A.RunID, d.A.Scenario, d.A.Seed, orUnknown(d.A.VCSRevision),
+		d.B.RunID, d.B.Scenario, d.B.Seed, orUnknown(d.B.VCSRevision), same); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-26s %14s %14s %14s\n", "metric", "A", "B", "delta"); err != nil {
+		return err
+	}
+	for _, f := range d.Fields {
+		if _, err := fmt.Fprintf(w, "%-26s %14.4f %14.4f %+14.4f\n", f.Name, f.A, f.B, f.Delta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}
+
+// VerifyReport is the outcome of checking a regenerated run against its
+// recording — `pressctl replay`'s verdict.
+type VerifyReport struct {
+	// Samples is the recorded CSI sample count, Compared how many were
+	// checked pairwise (min of the two stream lengths).
+	Samples  int `json:"samples"`
+	Compared int `json:"compared"`
+	// Mismatches counts samples whose curves disagree beyond tolerance
+	// (or differ in length), plus any stream-length disagreement.
+	Mismatches int `json:"mismatches"`
+	// MaxDeviationDB is the largest per-subcarrier |Δ| seen.
+	MaxDeviationDB float64 `json:"max_deviation_db"`
+	// FirstMismatch describes the earliest failure ("" when clean).
+	FirstMismatch string `json:"first_mismatch,omitempty"`
+	// Decision stream agreement (secondary audit).
+	Decisions        int     `json:"decisions"`
+	DecisionMismatch int     `json:"decision_mismatches"`
+	ToleranceDB      float64 `json:"tolerance_db"`
+}
+
+// OK reports whether replay reproduced the recorded KPI stream.
+func (v *VerifyReport) OK() bool { return v.Mismatches == 0 && v.DecisionMismatch == 0 }
+
+// WriteText renders the report for humans.
+func (v *VerifyReport) WriteText(w io.Writer) error {
+	verdict := "REPLAY OK"
+	if !v.OK() {
+		verdict = "REPLAY MISMATCH"
+	}
+	_, err := fmt.Fprintf(w,
+		"%s: %d/%d CSI samples compared, %d mismatches (tolerance %g dB, max deviation %g dB); %d search decisions, %d mismatches\n",
+		verdict, v.Compared, v.Samples, v.Mismatches, v.ToleranceDB, v.MaxDeviationDB,
+		v.Decisions, v.DecisionMismatch)
+	if err == nil && v.FirstMismatch != "" {
+		_, err = fmt.Fprintf(w, "first mismatch: %s\n", v.FirstMismatch)
+	}
+	return err
+}
+
+// Verify compares a regenerated run's KPI stream (CSI samples, search
+// decisions) against the recording, within a per-subcarrier tolerance
+// in dB. Timestamps and alert records are not compared — wall time is
+// not reproducible; the physics and the search trajectory are.
+func Verify(recorded, regenerated *Run, tolDB float64) *VerifyReport {
+	v := &VerifyReport{Samples: len(recorded.CSI), ToleranceDB: tolDB}
+	mismatch := func(format string, args ...any) {
+		v.Mismatches++
+		if v.FirstMismatch == "" {
+			v.FirstMismatch = fmt.Sprintf(format, args...)
+		}
+	}
+	if len(recorded.CSI) != len(regenerated.CSI) {
+		mismatch("CSI stream length: recorded %d, regenerated %d",
+			len(recorded.CSI), len(regenerated.CSI))
+	}
+	n := min(len(recorded.CSI), len(regenerated.CSI))
+	v.Compared = n
+	for i := 0; i < n; i++ {
+		a, b := recorded.CSI[i], regenerated.CSI[i]
+		if len(a.SNRdB) != len(b.SNRdB) {
+			mismatch("sample %d: curve length %d vs %d", i, len(a.SNRdB), len(b.SNRdB))
+			continue
+		}
+		bad := false
+		for k := range a.SNRdB {
+			dev := math.Abs(a.SNRdB[k] - b.SNRdB[k])
+			if dev > v.MaxDeviationDB {
+				v.MaxDeviationDB = dev
+			}
+			if !(dev <= tolDB) { // NaN-safe: NaN deviation is a mismatch
+				if !bad {
+					mismatch("sample %d subcarrier %d: %.9f vs %.9f dB", i, k, a.SNRdB[k], b.SNRdB[k])
+					bad = true
+				}
+			}
+		}
+	}
+
+	v.Decisions = len(recorded.Decisions)
+	if len(recorded.Decisions) != len(regenerated.Decisions) {
+		v.DecisionMismatch++
+		if v.FirstMismatch == "" {
+			v.FirstMismatch = fmt.Sprintf("decision stream length: recorded %d, regenerated %d",
+				len(recorded.Decisions), len(regenerated.Decisions))
+		}
+	}
+	dn := min(len(recorded.Decisions), len(regenerated.Decisions))
+	for i := 0; i < dn; i++ {
+		a, b := recorded.Decisions[i], regenerated.Decisions[i]
+		if math.Abs(a.Score-b.Score) > tolDB || !configsEqual(a.Config, b.Config) {
+			v.DecisionMismatch++
+			if v.FirstMismatch == "" {
+				v.FirstMismatch = fmt.Sprintf("decision %d: config %v score %.9f vs config %v score %.9f",
+					i, a.Config, a.Score, b.Config, b.Score)
+			}
+		}
+	}
+	return v
+}
+
+func configsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

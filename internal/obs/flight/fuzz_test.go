@@ -1,0 +1,93 @@
+package flight
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrames drives the segment decoder with arbitrary bytes.
+// Invariants: it never panics or over-reads, emitted payloads round-trip
+// through re-encoding, and record-level decoders accept every emitted
+// frame of their kind without panicking.
+func FuzzDecodeFrames(f *testing.F) {
+	var good []byte
+	good = appendFrame(good, KindCSI, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	good = appendFrame(good, KindKPI, nil)
+
+	var rec []byte
+	e := &enc{}
+	encodeManifest(e, &Manifest{Binary: "b", Scenario: "s", Seed: 9,
+		Params: []Param{{Key: "k", Value: "v"}}})
+	rec = appendFrame(rec, KindManifest, e.b)
+
+	seeds := [][]byte{
+		nil,
+		good,
+		rec,
+		good[:len(good)-3],                  // torn tail
+		append([]byte{0xF1, 0x7E}, good...), // stray magic prefix
+		{0xF1, 0x7E, 0x03, 0xFF, 0xFF, 0xFF, 0xFF}, // insane length
+		bytes.Repeat([]byte{0xF1}, 64),
+		bytes.Repeat([]byte{0xF1, 0x7E}, 32),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		stats, err := decodeFrames(data, func(kind Kind, payload []byte) error {
+			// A frame that decoded must re-encode to a frame that decodes
+			// to the same payload.
+			reframed := appendFrame(nil, kind, payload)
+			n := 0
+			_, _ = decodeFrames(reframed, func(k2 Kind, p2 []byte) error {
+				n++
+				if k2 != kind || !bytes.Equal(p2, payload) {
+					t.Fatalf("re-encode round trip: %v/%x -> %v/%x", kind, payload, k2, p2)
+				}
+				return nil
+			})
+			if n != 1 {
+				t.Fatalf("re-encoded frame decoded %d times", n)
+			}
+			// Record decoders must reject or accept, never panic; a run
+			// must fold any frame without panicking either.
+			(&Run{}).apply(kind, payload)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("decodeFrames returned emit error that was never raised: %v", err)
+		}
+		if stats.Frames < 0 || stats.BytesSkipped < 0 || stats.BytesSkipped > int64(len(data)) {
+			t.Fatalf("implausible stats %+v for %d bytes", stats, len(data))
+		}
+	})
+}
+
+// FuzzDecodeManifest drives the record-level manifest decoder directly:
+// any accepted payload must re-encode and decode to the same manifest.
+func FuzzDecodeManifest(f *testing.F) {
+	e := &enc{}
+	encodeManifest(e, &Manifest{
+		FormatVersion: FormatVersion, RunID: "r", Binary: "b", Scenario: "s",
+		Seed: 1, Params: []Param{{Key: "a", Value: "1"}}, Fingerprint: 2,
+		StartUnixNs: 3, GoVersion: "go", VCSRevision: "rev", VCSTime: "t", VCSModified: true,
+	})
+	f.Add(e.b)
+	f.Add([]byte{})
+	f.Add(e.b[:len(e.b)/2])
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := decodeManifest(payload)
+		if err != nil {
+			return
+		}
+		e := &enc{}
+		encodeManifest(e, m)
+		m2, err := decodeManifest(e.b)
+		if err != nil {
+			t.Fatalf("accepted manifest did not re-decode: %v", err)
+		}
+		if m.Binary != m2.Binary || m.Seed != m2.Seed || len(m.Params) != len(m2.Params) {
+			t.Fatalf("manifest round trip drifted: %+v vs %+v", m, m2)
+		}
+	})
+}

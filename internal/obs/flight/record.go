@@ -1,0 +1,424 @@
+package flight
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// FormatVersion is the flight-log format revision stamped into every
+// manifest. Bump it when the frame layout or a record's encoding
+// changes incompatibly; the decoder skips unknown record kinds, so
+// additive changes do not need a bump.
+const FormatVersion = 1
+
+// Kind identifies a record's type on the wire.
+type Kind uint8
+
+// Record kinds. Values are wire format — never renumber.
+const (
+	KindManifest  Kind = 1 // run identity: seeds, params, build info
+	KindActuation Kind = 2 // one applied element configuration
+	KindCSI       Kind = 3 // one measured per-subcarrier SNR curve
+	KindKPI       Kind = 4 // one named scalar KPI sample
+	KindAlert     Kind = 5 // one alert-rule state transition
+	KindDecision  Kind = 6 // one search evaluation
+)
+
+// String names a kind for logs and summaries.
+func (k Kind) String() string {
+	switch k {
+	case KindManifest:
+		return "manifest"
+	case KindActuation:
+		return "actuation"
+	case KindCSI:
+		return "csi"
+	case KindKPI:
+		return "kpi"
+	case KindAlert:
+		return "alert"
+	case KindDecision:
+		return "decision"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Param is one manifest key/value pair. Parameters are stored sorted by
+// key so the fingerprint is order-independent.
+type Param struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Manifest is the first record of every run log: everything needed to
+// identify, fingerprint, and re-execute the run.
+type Manifest struct {
+	FormatVersion uint16 `json:"format_version"`
+	RunID         string `json:"run_id"`
+	// Binary and Scenario name what produced the run ("pressctl"/"demo",
+	// "pressim"/"fig4,fig8"); replay dispatches on them.
+	Binary   string `json:"binary"`
+	Scenario string `json:"scenario"`
+	// Seed is the primary RNG seed; harness-specific seeds and settings
+	// live in Params.
+	Seed        uint64  `json:"seed"`
+	Params      []Param `json:"params,omitempty"`
+	Fingerprint uint64  `json:"fingerprint"`
+	StartUnixNs int64   `json:"start_unix_ns"`
+	// Build provenance, from debug.ReadBuildInfo at record time.
+	GoVersion   string `json:"go_version"`
+	VCSRevision string `json:"vcs_revision"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// SetParams replaces the manifest's parameter list, sorted by key.
+func (m *Manifest) SetParams(ps []Param) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Key < ps[j].Key })
+	m.Params = ps
+}
+
+// Param returns the named parameter's value and whether it is present.
+func (m *Manifest) Param(key string) (string, bool) {
+	for _, p := range m.Params {
+		if p.Key == key {
+			return p.Value, true
+		}
+	}
+	return "", false
+}
+
+// ComputeFingerprint hashes the run configuration (binary, scenario,
+// seed, sorted params — not timestamps or build info) so identically
+// configured runs share a fingerprint across hosts and days.
+func (m *Manifest) ComputeFingerprint() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	write := func(s string) {
+		binary.LittleEndian.PutUint64(b[:], uint64(len(s)))
+		h.Write(b[:])
+		h.Write([]byte(s))
+	}
+	write(m.Binary)
+	write(m.Scenario)
+	binary.LittleEndian.PutUint64(b[:], m.Seed)
+	h.Write(b[:])
+	for _, p := range m.Params {
+		write(p.Key)
+		write(p.Value)
+	}
+	return h.Sum64()
+}
+
+// ActuationSource says which side of the control plane stamped an
+// actuation record.
+type ActuationSource uint8
+
+// Actuation sources.
+const (
+	SourceController ActuationSource = 0 // controller-side SetConfig
+	SourceAgent      ActuationSource = 1 // agent-side successful apply
+	SourceReplay     ActuationSource = 2 // regenerated during replay
+)
+
+// String names the source.
+func (s ActuationSource) String() string {
+	switch s {
+	case SourceController:
+		return "controller"
+	case SourceAgent:
+		return "agent"
+	case SourceReplay:
+		return "replay"
+	default:
+		return fmt.Sprintf("source(%d)", uint8(s))
+	}
+}
+
+// Actuation is one applied element configuration.
+type Actuation struct {
+	UnixNs  int64           `json:"unix_ns"`
+	TraceID uint64          `json:"trace_id,omitempty"`
+	Source  ActuationSource `json:"source"`
+	Config  []int32         `json:"config"`
+}
+
+// CSISample is one measured per-subcarrier SNR curve — the KPI stream
+// replay verification compares.
+type CSISample struct {
+	UnixNs int64 `json:"unix_ns"`
+	// Seq is the measurement's index within the run, assigned by the
+	// recorder; replay aligns streams on it.
+	Seq   uint64    `json:"seq"`
+	SNRdB []float64 `json:"snr_db"`
+}
+
+// KPISample is one named scalar sample (e.g. "cond_db_median").
+type KPISample struct {
+	UnixNs int64   `json:"unix_ns"`
+	Name   string  `json:"name"`
+	Value  float64 `json:"value"`
+}
+
+// AlertTransition is one alert-rule state change, mirrored from the
+// channel-health engine.
+type AlertTransition struct {
+	UnixNs int64   `json:"unix_ns"`
+	Rule   string  `json:"rule"`
+	From   uint8   `json:"from"`
+	To     uint8   `json:"to"`
+	Value  float64 `json:"value"`
+}
+
+// SearchDecision is one configuration-search evaluation: which config
+// was measured, what it scored, and whether it improved the best.
+type SearchDecision struct {
+	UnixNs   int64   `json:"unix_ns"`
+	Eval     uint64  `json:"eval"`
+	Score    float64 `json:"score"`
+	Improved bool    `json:"improved"`
+	Config   []int32 `json:"config"`
+}
+
+// ---- binary payload codec ----
+//
+// All integers are little-endian and fixed-width; strings and slices are
+// u32-length-prefixed. The decoder bounds-checks every read against the
+// remaining payload, so corrupt lengths can never over-read.
+
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) f64s(vs []float64) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.f64(v)
+	}
+}
+
+// i32sFromInts encodes an []int config without converting through an
+// intermediate slice (keeps the producer path allocation-free).
+func (e *enc) i32sFromInts(vs []int) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.u32(uint32(int32(v)))
+	}
+}
+func (e *enc) i32s(vs []int32) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.u32(uint32(v))
+	}
+}
+
+type dec struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (d *dec) fail() {
+	d.bad = true
+	d.off = len(d.b)
+}
+func (d *dec) take(n int) []byte {
+	if d.bad || n < 0 || len(d.b)-d.off < n {
+		d.fail()
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+func (d *dec) u8() uint8 {
+	if s := d.take(1); s != nil {
+		return s[0]
+	}
+	return 0
+}
+func (d *dec) u16() uint16 {
+	if s := d.take(2); s != nil {
+		return binary.LittleEndian.Uint16(s)
+	}
+	return 0
+}
+func (d *dec) u32() uint32 {
+	if s := d.take(4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+func (d *dec) u64() uint64 {
+	if s := d.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *dec) boolv() bool  { return d.u8() != 0 }
+func (d *dec) str() string {
+	n := int(d.u32())
+	if d.bad || len(d.b)-d.off < n {
+		d.fail()
+		return ""
+	}
+	return string(d.take(n))
+}
+func (d *dec) f64s() []float64 {
+	n := int(d.u32())
+	if d.bad || n < 0 || len(d.b)-d.off < n*8 {
+		d.fail()
+		return nil
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = d.f64()
+	}
+	return vs
+}
+func (d *dec) i32s() []int32 {
+	n := int(d.u32())
+	if d.bad || n < 0 || len(d.b)-d.off < n*4 {
+		d.fail()
+		return nil
+	}
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = int32(d.u32())
+	}
+	return vs
+}
+
+// done reports whether the payload decoded cleanly and completely.
+func (d *dec) done() bool { return !d.bad && d.off == len(d.b) }
+
+var errBadPayload = fmt.Errorf("flight: malformed record payload")
+
+func encodeManifest(e *enc, m *Manifest) {
+	e.u16(m.FormatVersion)
+	e.str(m.RunID)
+	e.str(m.Binary)
+	e.str(m.Scenario)
+	e.u64(m.Seed)
+	e.u32(uint32(len(m.Params)))
+	for _, p := range m.Params {
+		e.str(p.Key)
+		e.str(p.Value)
+	}
+	e.u64(m.Fingerprint)
+	e.i64(m.StartUnixNs)
+	e.str(m.GoVersion)
+	e.str(m.VCSRevision)
+	e.str(m.VCSTime)
+	e.bool(m.VCSModified)
+}
+
+func decodeManifest(payload []byte) (*Manifest, error) {
+	d := &dec{b: payload}
+	m := &Manifest{
+		FormatVersion: d.u16(),
+		RunID:         d.str(),
+		Binary:        d.str(),
+		Scenario:      d.str(),
+		Seed:          d.u64(),
+	}
+	n := int(d.u32())
+	if d.bad || n < 0 || len(d.b)-d.off < n { // ≥1 byte per param pair
+		return nil, errBadPayload
+	}
+	if n > 0 {
+		m.Params = make([]Param, n)
+		for i := range m.Params {
+			m.Params[i] = Param{Key: d.str(), Value: d.str()}
+		}
+	}
+	m.Fingerprint = d.u64()
+	m.StartUnixNs = d.i64()
+	m.GoVersion = d.str()
+	m.VCSRevision = d.str()
+	m.VCSTime = d.str()
+	m.VCSModified = d.boolv()
+	if !d.done() {
+		return nil, errBadPayload
+	}
+	return m, nil
+}
+
+func decodeActuation(payload []byte) (Actuation, error) {
+	d := &dec{b: payload}
+	a := Actuation{
+		UnixNs:  d.i64(),
+		TraceID: d.u64(),
+		Source:  ActuationSource(d.u8()),
+		Config:  d.i32s(),
+	}
+	if !d.done() {
+		return Actuation{}, errBadPayload
+	}
+	return a, nil
+}
+
+func decodeCSI(payload []byte) (CSISample, error) {
+	d := &dec{b: payload}
+	c := CSISample{UnixNs: d.i64(), Seq: d.u64(), SNRdB: d.f64s()}
+	if !d.done() {
+		return CSISample{}, errBadPayload
+	}
+	return c, nil
+}
+
+func decodeKPI(payload []byte) (KPISample, error) {
+	d := &dec{b: payload}
+	k := KPISample{UnixNs: d.i64(), Name: d.str(), Value: d.f64()}
+	if !d.done() {
+		return KPISample{}, errBadPayload
+	}
+	return k, nil
+}
+
+func decodeAlert(payload []byte) (AlertTransition, error) {
+	d := &dec{b: payload}
+	a := AlertTransition{
+		UnixNs: d.i64(), Rule: d.str(),
+		From: d.u8(), To: d.u8(), Value: d.f64(),
+	}
+	if !d.done() {
+		return AlertTransition{}, errBadPayload
+	}
+	return a, nil
+}
+
+func decodeDecision(payload []byte) (SearchDecision, error) {
+	d := &dec{b: payload}
+	s := SearchDecision{
+		UnixNs: d.i64(), Eval: d.u64(), Score: d.f64(),
+		Improved: d.boolv(), Config: d.i32s(),
+	}
+	if !d.done() {
+		return SearchDecision{}, errBadPayload
+	}
+	return s, nil
+}

@@ -1,0 +1,151 @@
+package flight
+
+import (
+	"math"
+
+	"press/internal/stats"
+)
+
+// Dist condenses one KPI's samples into the fields a cross-run diff
+// compares.
+type Dist struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+}
+
+// distOf summarizes xs; a zero Dist (N=0) means no samples.
+func distOf(xs []float64) Dist {
+	if len(xs) == 0 {
+		return Dist{}
+	}
+	return Dist{
+		N:    len(xs),
+		Mean: stats.Mean(xs),
+		Min:  stats.Min(xs),
+		Max:  stats.Max(xs),
+		P50:  stats.Quantile(xs, 0.5),
+		P90:  stats.Quantile(xs, 0.9),
+		P99:  stats.Quantile(xs, 0.99),
+	}
+}
+
+// Summary is the decoded, aggregated view of one run — what
+// /runs/{id}.json serves and what rundiff compares.
+type Summary struct {
+	RunID       string `json:"run_id"`
+	Binary      string `json:"binary"`
+	Scenario    string `json:"scenario"`
+	Seed        uint64 `json:"seed"`
+	Fingerprint uint64 `json:"fingerprint"`
+	StartUnixNs int64  `json:"start_unix_ns"`
+	GoVersion   string `json:"go_version,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+
+	// Measurements is the CSI sample count; Subcarriers the curve width
+	// of the first sample.
+	Measurements int `json:"measurements"`
+	Subcarriers  int `json:"subcarriers,omitempty"`
+
+	// Physical-layer KPIs over the CSI stream.
+	MinSNRdB      Dist    `json:"min_snr_db"`
+	NullDepthDB   Dist    `json:"null_depth_db"`
+	FinalMinSNRdB float64 `json:"final_min_snr_db,omitempty"`
+
+	// CondDB aggregates "cond_db_median" KPI samples (MIMO harnesses).
+	CondDB Dist `json:"cond_db,omitempty"`
+
+	// Search trajectory: evaluations, best score, and the regret of each
+	// evaluation's best-so-far against the run's final best.
+	SearchEvals int     `json:"search_evals"`
+	BestScore   float64 `json:"best_score,omitempty"`
+	RegretDB    Dist    `json:"regret_db,omitempty"`
+
+	Actuations  int `json:"actuations"`
+	AlertsFired int `json:"alerts_fired"`
+
+	Decode DecodeStats `json:"decode"`
+}
+
+// Summarize aggregates a decoded run. It never fails: missing record
+// classes leave zero-valued fields.
+func Summarize(run *Run) Summary {
+	s := Summary{Decode: run.Stats}
+	if m := run.Manifest; m != nil {
+		s.RunID = m.RunID
+		s.Binary = m.Binary
+		s.Scenario = m.Scenario
+		s.Seed = m.Seed
+		s.Fingerprint = m.Fingerprint
+		s.StartUnixNs = m.StartUnixNs
+		s.GoVersion = m.GoVersion
+		s.VCSRevision = m.VCSRevision
+	}
+
+	s.Measurements = len(run.CSI)
+	if len(run.CSI) > 0 {
+		s.Subcarriers = len(run.CSI[0].SNRdB)
+		minSNR := make([]float64, 0, len(run.CSI))
+		depths := make([]float64, 0, len(run.CSI))
+		for _, c := range run.CSI {
+			if len(c.SNRdB) == 0 {
+				continue
+			}
+			minSNR = append(minSNR, stats.Min(c.SNRdB))
+			if null, ok := stats.MostSignificantNull(c.SNRdB, 0); ok {
+				depths = append(depths, null.DepthDB)
+			}
+		}
+		s.MinSNRdB = distOf(minSNR)
+		s.NullDepthDB = distOf(depths)
+		if len(minSNR) > 0 {
+			s.FinalMinSNRdB = minSNR[len(minSNR)-1]
+		}
+	}
+
+	var cond []float64
+	for _, k := range run.KPIs {
+		if k.Name == KPICondDBMedian {
+			cond = append(cond, k.Value)
+		}
+	}
+	s.CondDB = distOf(cond)
+
+	s.SearchEvals = len(run.Decisions)
+	if len(run.Decisions) > 0 {
+		best := math.Inf(-1)
+		trajectory := make([]float64, 0, len(run.Decisions))
+		for _, d := range run.Decisions {
+			if d.Score > best {
+				best = d.Score
+			}
+			trajectory = append(trajectory, best)
+		}
+		s.BestScore = best
+		regret := make([]float64, len(trajectory))
+		for i, b := range trajectory {
+			regret[i] = best - b
+		}
+		s.RegretDB = distOf(regret)
+	}
+
+	s.Actuations = len(run.Actuations)
+	for _, a := range run.Alerts {
+		if a.To == alertStateFiring {
+			s.AlertsFired++
+		}
+	}
+	return s
+}
+
+// KPICondDBMedian is the KPI record name the MIMO harnesses log for the
+// median per-subcarrier condition number in dB.
+const KPICondDBMedian = "cond_db_median"
+
+// alertStateFiring mirrors health.StateFiring's wire value without
+// importing the package here (cli.go owns that dependency).
+const alertStateFiring = 2

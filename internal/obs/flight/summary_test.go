@@ -1,0 +1,161 @@
+package flight
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// sampleRun builds a synthetic decoded run with a known search
+// trajectory and CSI stream.
+func sampleRun(seed uint64, bump float64) *Run {
+	run := &Run{
+		Manifest: &Manifest{
+			RunID: "r", Binary: "pressctl", Scenario: "demo", Seed: seed,
+		},
+	}
+	run.Manifest.Fingerprint = run.Manifest.ComputeFingerprint()
+	for i := 0; i < 10; i++ {
+		curve := []float64{20 + float64(i) + bump, 5 + float64(i) + bump, 25 + bump}
+		run.CSI = append(run.CSI, CSISample{Seq: uint64(i), SNRdB: curve})
+		run.Decisions = append(run.Decisions, SearchDecision{
+			Eval: uint64(i), Score: float64(i) + bump, Improved: true,
+			Config: []int32{int32(i)},
+		})
+		run.Actuations = append(run.Actuations, Actuation{Source: SourceController, Config: []int32{int32(i)}})
+	}
+	run.KPIs = append(run.KPIs, KPISample{Name: KPICondDBMedian, Value: 9 + bump})
+	run.Alerts = append(run.Alerts,
+		AlertTransition{Rule: "deep_null", From: 1, To: alertStateFiring},
+		AlertTransition{Rule: "deep_null", From: alertStateFiring, To: 3})
+	return run
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleRun(7, 0))
+	if s.Seed != 7 || s.Binary != "pressctl" {
+		t.Errorf("identity = %+v", s)
+	}
+	if s.Measurements != 10 || s.Subcarriers != 3 {
+		t.Errorf("measurements/subcarriers = %d/%d", s.Measurements, s.Subcarriers)
+	}
+	// Min of each curve is 5+i; the last one is 14.
+	if s.MinSNRdB.N != 10 || s.MinSNRdB.Min != 5 || s.MinSNRdB.Max != 14 || s.FinalMinSNRdB != 14 {
+		t.Errorf("min snr = %+v final %v", s.MinSNRdB, s.FinalMinSNRdB)
+	}
+	if s.SearchEvals != 10 || s.BestScore != 9 {
+		t.Errorf("search = %d evals best %v", s.SearchEvals, s.BestScore)
+	}
+	// Monotone trajectory: regret of eval i is 9-i.
+	if s.RegretDB.Max != 9 || s.RegretDB.Min != 0 {
+		t.Errorf("regret = %+v", s.RegretDB)
+	}
+	if s.CondDB.N != 1 || s.CondDB.Mean != 9 {
+		t.Errorf("cond = %+v", s.CondDB)
+	}
+	if s.Actuations != 10 || s.AlertsFired != 1 {
+		t.Errorf("actuations/alerts = %d/%d", s.Actuations, s.AlertsFired)
+	}
+}
+
+func TestSummarizeEmptyRun(t *testing.T) {
+	s := Summarize(&Run{})
+	if s.Measurements != 0 || s.SearchEvals != 0 || s.MinSNRdB.N != 0 {
+		t.Errorf("empty run summary = %+v", s)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := Summarize(sampleRun(7, 0))
+	b := Summarize(sampleRun(7, 2))
+	d := Diff(a, b)
+	if !d.SameConfig {
+		t.Error("same manifest config not detected")
+	}
+	find := func(name string) FieldDelta {
+		for _, f := range d.Fields {
+			if f.Name == name {
+				return f
+			}
+		}
+		t.Fatalf("field %q missing from diff: %+v", name, d.Fields)
+		return FieldDelta{}
+	}
+	if f := find("final_min_snr_db"); f.Delta != 2 {
+		t.Errorf("final_min_snr_db delta = %v, want +2", f.Delta)
+	}
+	if f := find("best_score"); f.A != 9 || f.B != 11 {
+		t.Errorf("best_score = %+v", f)
+	}
+	if f := find("measurements"); f.Delta != 0 {
+		t.Errorf("measurements delta = %v", f.Delta)
+	}
+
+	// Different seeds → different fingerprints.
+	if Diff(a, Summarize(sampleRun(8, 0))).SameConfig {
+		t.Error("differing seeds reported as same config")
+	}
+
+	var sb strings.Builder
+	if err := d.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "same config fingerprint") || !strings.Contains(out, "best_score") {
+		t.Errorf("text diff:\n%s", out)
+	}
+}
+
+func TestVerifyClean(t *testing.T) {
+	a, b := sampleRun(7, 0), sampleRun(7, 0)
+	v := Verify(a, b, 1e-9)
+	if !v.OK() || v.Compared != 10 || v.Mismatches != 0 || v.DecisionMismatch != 0 {
+		t.Errorf("verify clean = %+v", v)
+	}
+	var sb strings.Builder
+	if err := v.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "REPLAY OK") {
+		t.Errorf("report: %s", sb.String())
+	}
+}
+
+func TestVerifyCatchesDeviation(t *testing.T) {
+	a, b := sampleRun(7, 0), sampleRun(7, 0)
+	b.CSI[4].SNRdB[1] += 1e-6
+	v := Verify(a, b, 1e-9)
+	if v.OK() || v.Mismatches != 1 {
+		t.Fatalf("verify = %+v", v)
+	}
+	if v.MaxDeviationDB < 0.9e-6 || v.MaxDeviationDB > 1.1e-6 {
+		t.Errorf("max deviation = %v", v.MaxDeviationDB)
+	}
+	if !strings.Contains(v.FirstMismatch, "sample 4") {
+		t.Errorf("first mismatch = %q", v.FirstMismatch)
+	}
+	// The same deviation within tolerance passes.
+	if v := Verify(a, b, 1e-3); !v.OK() {
+		t.Errorf("tolerant verify = %+v", v)
+	}
+}
+
+func TestVerifyCatchesStructuralDrift(t *testing.T) {
+	a, b := sampleRun(7, 0), sampleRun(7, 0)
+	b.CSI = b.CSI[:9] // lost a sample
+	if v := Verify(a, b, 1e-9); v.OK() || !strings.Contains(v.FirstMismatch, "stream length") {
+		t.Errorf("short stream verify = %+v", v)
+	}
+
+	a, b = sampleRun(7, 0), sampleRun(7, 0)
+	b.Decisions[3].Config = []int32{99}
+	if v := Verify(a, b, 1e-9); v.OK() || v.DecisionMismatch != 1 {
+		t.Errorf("decision drift verify = %+v", v)
+	}
+
+	a, b = sampleRun(7, 0), sampleRun(7, 0)
+	b.CSI[0].SNRdB[0] = math.NaN()
+	if v := Verify(a, b, 1e-9); v.OK() {
+		t.Errorf("NaN curve accepted: %+v", v)
+	}
+}

@@ -40,6 +40,12 @@ type CLI struct {
 	// -sample-interval.
 	HealthInterval time.Duration
 
+	// EventSink, when set before Start, additionally receives every
+	// monitor notification — ("health", samplePayload) and ("alert",
+	// Event) — alongside the SSE publish and alert logging. The hook the
+	// flight-recorder layer uses to persist alert transitions.
+	EventSink func(event string, v any)
+
 	mon *Monitor
 }
 
@@ -75,6 +81,9 @@ func (c *CLI) Start(logw io.Writer) error {
 	srv := c.Server()
 	logger := c.Logger()
 	c.mon.Notify = func(event string, v any) {
+		if c.EventSink != nil {
+			c.EventSink(event, v)
+		}
 		srv.Publish(event, v)
 		if event == "alert" && logger != nil {
 			ev, ok := v.(Event)

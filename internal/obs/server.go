@@ -18,7 +18,8 @@ import (
 //
 //	GET /metrics       Prometheus text exposition of the registry
 //	GET /metrics.json  JSON snapshot (same shape as -telemetry)
-//	GET /healthz       liveness probe ("ok")
+//	GET /healthz       liveness probe ("ok" plus build provenance)
+//	GET /buildz        build info JSON (Go version, VCS revision)
 //	GET /events        Server-Sent Events stream of recorder samples
 //	                   plus any named events sent through Publish
 //	GET /debug/pprof/  the standard pprof handlers
@@ -65,7 +66,15 @@ func NewServer(reg *Registry, rec *Recorder) *Server {
 	})
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		b := ReadBuild()
+		fmt.Fprintf(w, "ok\ngo %s\nrev %s\n", b.GoVersion, b.ShortRevision())
+	})
+	s.mux.HandleFunc("/buildz", func(w http.ResponseWriter, r *http.Request) {
+		ServeJSON(w, r, func(out io.Writer) error {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(ReadBuild())
+		})
 	})
 	s.mux.HandleFunc("/events", s.serveEvents)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -68,8 +68,20 @@ func TestServerMetricsEndpoints(t *testing.T) {
 	}
 
 	code, body, _ = get(t, base+"/healthz")
-	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+	if code != http.StatusOK || !strings.HasPrefix(body, "ok\n") || !strings.Contains(body, "go go") {
 		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body, hdr = get(t, base+"/buildz")
+	if code != http.StatusOK || hdr.Get("Content-Type") != "application/json" {
+		t.Fatalf("/buildz status %d type %q", code, hdr.Get("Content-Type"))
+	}
+	var build Build
+	if err := json.Unmarshal([]byte(body), &build); err != nil {
+		t.Fatalf("/buildz unparsable: %v", err)
+	}
+	if build.GoVersion == "" {
+		t.Error("/buildz missing go_version")
 	}
 
 	code, body, _ = get(t, base+"/debug/pprof/cmdline")

@@ -54,6 +54,7 @@ import (
 	"press/internal/geom"
 	"press/internal/mimo"
 	"press/internal/obs"
+	"press/internal/obs/flight"
 	"press/internal/obs/health"
 	"press/internal/ofdm"
 	"press/internal/propagation"
@@ -412,8 +413,17 @@ type (
 	// TelemetryCLI bundles the standard -telemetry/-log-level/-cpuprofile
 	// flags and their lifecycle for command-line binaries, extended with
 	// the channel-health layer (-alert-rules, -health-interval, /alerts,
-	// /health.json, /dashboard).
-	TelemetryCLI = health.CLI
+	// /health.json, /dashboard) and the flight-recorder layer
+	// (-flight-dir, -flight-segment-mb, /runs).
+	TelemetryCLI = flight.CLI
+	// FlightRecorder appends a durable, crash-safe run log (manifest,
+	// actuations, CSI/KPI samples, alerts, search decisions) to
+	// size-rotated CRC-framed segment files. A nil recorder discards
+	// everything at zero cost.
+	FlightRecorder = flight.Recorder
+	// FlightManifest identifies one recorded run: seeds, parameters,
+	// and build provenance.
+	FlightManifest = flight.Manifest
 	// HealthMonitor computes channel-health KPIs (null depth, MIMO
 	// condition number, search regret, control staleness) as bounded time
 	// series and evaluates alert rules over them.
@@ -496,6 +506,19 @@ func InstrumentSearcher(s Searcher, reg *Registry, log *Logger) Searcher {
 // monitor fed with the best objective after every improving evaluation.
 func InstrumentSearcherHealth(s Searcher, reg *Registry, log *Logger, h *HealthMonitor) Searcher {
 	return control.InstrumentHealth(s, reg, log, h)
+}
+
+// InstrumentSearcherFlight is InstrumentSearcherHealth plus a flight
+// recorder that persists every evaluation as a durable search-decision
+// record for post-hoc audit and replay.
+func InstrumentSearcherFlight(s Searcher, reg *Registry, log *Logger, h *HealthMonitor, rec *FlightRecorder) Searcher {
+	return control.InstrumentFlight(s, reg, log, h, rec)
+}
+
+// NewFlightManifest starts a run manifest stamped with the current time
+// and build provenance; see flight.NewManifest.
+func NewFlightManifest(binary, scenario string, seed uint64) *FlightManifest {
+	return flight.NewManifest(binary, scenario, seed)
 }
 
 // ParseAlertRules parses a ';'-separated -alert-rules list ("default"
