@@ -1,0 +1,266 @@
+// Command pressbench is the benchmark side of the performance-regression
+// radar: it runs `go test -bench` and captures the output into the
+// canonical result schema, grows the append-only benchmark history, and
+// gates changes with a benchstat-style statistical comparison.
+//
+// Usage:
+//
+//	pressbench run -count 5 ./internal/obs/...        # run + capture
+//	pressbench run -input bench.txt -json BENCH_x.json
+//	pressbench compare BENCH_old.json bench_new.txt   # benchstat-style table
+//	pressbench gate -baseline-dir . bench_new.txt     # exit 1 on regression
+//
+// `gate` compares new results against the committed baselines
+// (BENCH_*.json documents plus bench/history.ndjson) with a two-sided
+// Mann-Whitney U test and a minimum-effect-size guard, and exits
+// nonzero naming each significantly regressed benchmark.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"press/internal/obs/perf"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pressbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: pressbench run|compare|gate [flags]")
+	}
+	switch args[0] {
+	case "run":
+		return runRun(args[1:], stdout)
+	case "compare":
+		return runCompare(args[1:], stdout)
+	case "gate":
+		return runGate(args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want run|compare|gate)", args[0])
+	}
+}
+
+// runRun captures benchmark results — from a file (-input), or by
+// executing `go test -bench` over the given packages — and writes them
+// as canonical records.
+func runRun(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pressbench run", flag.ContinueOnError)
+	input := fs.String("input", "", `parse existing "go test -bench" output from this file ("-" = stdin) instead of running benchmarks`)
+	benchRe := fs.String("bench", ".", "benchmark regexp passed to go test -bench")
+	count := fs.Int("count", 5, "samples per benchmark (go test -count); >=2 enables the rank test")
+	benchtime := fs.String("benchtime", "", "go test -benchtime value (e.g. 100x, 1s)")
+	rawOut := fs.String("raw", "", "also save the raw go test output to this file (CI artifact)")
+	jsonOut := fs.String("json", "", "write canonical records to this file (one pretty document, or NDJSON when multiple packages)")
+	histOut := fs.String("history", "", "append canonical records to this NDJSON history file")
+	desc := fs.String("description", "", "human description stored in each record")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var recs []perf.Record
+	var err error
+	if *input != "" {
+		recs, err = parseInput(*input, *rawOut)
+	} else {
+		pkgs := fs.Args()
+		if len(pkgs) == 0 {
+			return errors.New("run: no packages given (and no -input)")
+		}
+		recs, err = execBench(pkgs, *benchRe, *count, *benchtime, *rawOut)
+	}
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return errors.New("run: no benchmark results found")
+	}
+
+	stamp := perf.NewRecord(time.Now().UTC().Format(time.RFC3339))
+	for i := range recs {
+		recs[i].Date = stamp.Date
+		recs[i].Commit = stamp.Commit
+		recs[i].Dirty = stamp.Dirty
+		recs[i].GoVersion = stamp.GoVersion
+		recs[i].Description = *desc
+	}
+
+	total := 0
+	for _, r := range recs {
+		total += len(r.Benchmarks)
+	}
+	fmt.Fprintf(stdout, "captured %d benchmarks across %d packages\n", total, len(recs))
+
+	if *jsonOut != "" {
+		if len(recs) == 1 {
+			if err := perf.WriteRecordFile(*jsonOut, recs[0]); err != nil {
+				return err
+			}
+		} else if err := writeNDJSON(*jsonOut, recs); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *jsonOut)
+	}
+	if *histOut != "" {
+		if err := perf.AppendHistory(*histOut, recs...); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "appended %d records to %s\n", len(recs), *histOut)
+	}
+	return nil
+}
+
+func parseInput(path, rawOut string) ([]perf.Record, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if rawOut != "" {
+		if err := os.WriteFile(rawOut, data, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return perf.ParseBench(strings.NewReader(string(data)))
+}
+
+// execBench shells out to the go tool, teeing the raw output to stderr
+// (and -raw when set) while parsing it.
+func execBench(pkgs []string, benchRe string, count int, benchtime, rawOut string) ([]perf.Record, error) {
+	cmdArgs := []string{"test", "-run", "^$", "-bench", benchRe, "-benchmem",
+		"-count", strconv.Itoa(count)}
+	if benchtime != "" {
+		cmdArgs = append(cmdArgs, "-benchtime", benchtime)
+	}
+	cmdArgs = append(cmdArgs, pkgs...)
+
+	cmd := exec.Command("go", cmdArgs...)
+	var sb strings.Builder
+	out := io.MultiWriter(&sb, os.Stderr)
+	cmd.Stdout = out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(cmdArgs, " "), err)
+	}
+	if rawOut != "" {
+		if err := os.WriteFile(rawOut, []byte(sb.String()), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return perf.ParseBench(strings.NewReader(sb.String()))
+}
+
+func writeNDJSON(path string, recs []perf.Record) error {
+	// Truncate, then append: the history writer handles encoding.
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		return err
+	}
+	return perf.AppendHistory(path, recs...)
+}
+
+// statOptions registers the shared comparison tuning flags.
+func statOptions(fs *flag.FlagSet) *perf.Options {
+	opt := &perf.Options{}
+	fs.Float64Var(&opt.Alpha, "alpha", perf.DefaultAlpha,
+		"two-sided significance threshold for the Mann-Whitney U test")
+	fs.Float64Var(&opt.MinDelta, "min-delta", perf.DefaultMinDelta,
+		"minimum |relative median change| that counts as a real change")
+	fs.Float64Var(&opt.FallbackDelta, "fallback-delta", perf.DefaultFallbackDelta,
+		"median-change threshold used when either side has < 2 samples")
+	return opt
+}
+
+// runCompare prints the benchstat-style table for OLD vs NEW.
+func runCompare(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pressbench compare", flag.ContinueOnError)
+	opt := statOptions(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return errors.New("compare: want exactly two arguments: OLD NEW (bench text, BENCH_*.json, or history.ndjson)")
+	}
+	oldRecs, err := perf.LoadResults(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newRecs, err := perf.LoadResults(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	return perf.WriteComparisons(stdout, perf.Compare(oldRecs, newRecs, *opt))
+}
+
+// runGate compares NEW results against the committed baselines and
+// exits nonzero on any statistically significant regression.
+func runGate(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pressbench gate", flag.ContinueOnError)
+	opt := statOptions(fs)
+	baseDir := fs.String("baseline-dir", ".",
+		"directory holding the committed baselines (BENCH_*.json, bench/history.ndjson)")
+	baseline := fs.String("baseline", "",
+		"gate against this one baseline file instead of -baseline-dir discovery")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return errors.New("gate: no new result files given")
+	}
+
+	var basePaths []string
+	if *baseline != "" {
+		basePaths = []string{*baseline}
+	} else {
+		basePaths = perf.BaselineFiles(*baseDir)
+		if len(basePaths) == 0 {
+			return fmt.Errorf("gate: no baselines found under %s", *baseDir)
+		}
+	}
+	var baseRecs []perf.Record
+	for _, p := range basePaths {
+		recs, err := perf.LoadResults(p)
+		if err != nil {
+			return err
+		}
+		baseRecs = append(baseRecs, recs...)
+	}
+	var newRecs []perf.Record
+	for _, p := range fs.Args() {
+		recs, err := perf.LoadResults(p)
+		if err != nil {
+			return err
+		}
+		newRecs = append(newRecs, recs...)
+	}
+
+	cmps := perf.Compare(baseRecs, newRecs, *opt)
+	if err := perf.WriteComparisons(stdout, cmps); err != nil {
+		return err
+	}
+	if regs := perf.Regressions(cmps); len(regs) > 0 {
+		names := make([]string, len(regs))
+		for i, c := range regs {
+			names[i] = strings.TrimSpace(c.Pkg + " " + c.Name)
+		}
+		return fmt.Errorf("gate: %d regression(s): %s", len(regs), strings.Join(names, ", "))
+	}
+	fmt.Fprintln(stdout, "gate: ok")
+	return nil
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"press/internal/obs/perf"
+)
+
+// writeFixture builds a canonical BENCH document whose one benchmark
+// has the given ns/op samples.
+func writeFixture(t *testing.T, path, name string, ns ...float64) {
+	t.Helper()
+	rec := perf.Record{Schema: perf.RecordSchema, Pkg: "press/internal/obs",
+		Date: "2026-08-06T00:00:00Z"}
+	for _, v := range ns {
+		rec.Benchmarks = appendSample(rec.Benchmarks, name, v)
+	}
+	if err := perf.WriteRecordFile(path, rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func appendSample(bs []perf.Benchmark, name string, ns float64) []perf.Benchmark {
+	for i := range bs {
+		if bs[i].Name == name {
+			bs[i].Samples = append(bs[i].Samples, perf.BenchSample{N: 100, NsPerOp: ns})
+			return bs
+		}
+	}
+	return append(bs, perf.Benchmark{Name: name,
+		Samples: []perf.BenchSample{{N: 100, NsPerOp: ns}}})
+}
+
+// TestGateFailsOnSyntheticSlowdown is the acceptance check: a clean 2x
+// slowdown (5 samples a side) must exit nonzero and name the offending
+// benchmark.
+func TestGateFailsOnSyntheticSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_base.json")
+	cur := filepath.Join(dir, "new.json")
+	writeFixture(t, base, "BenchmarkHot", 100, 101, 99, 100.5, 100)
+	writeFixture(t, cur, "BenchmarkHot", 200, 202, 199, 201, 200)
+
+	var sb strings.Builder
+	err := run([]string{"gate", "-baseline", base, cur}, &sb)
+	if err == nil {
+		t.Fatalf("gate passed a 2x slowdown:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkHot") {
+		t.Errorf("gate error does not name the benchmark: %v", err)
+	}
+	if !strings.Contains(sb.String(), "regression") {
+		t.Errorf("table missing regression verdict:\n%s", sb.String())
+	}
+}
+
+// TestGatePassesOnNoise: overlapping samples stay below the gate.
+func TestGatePassesOnNoise(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_base.json")
+	cur := filepath.Join(dir, "new.json")
+	writeFixture(t, base, "BenchmarkHot", 100, 104, 98, 102, 97)
+	writeFixture(t, cur, "BenchmarkHot", 101, 99, 103, 100, 105)
+
+	var sb strings.Builder
+	if err := run([]string{"gate", "-baseline-dir", dir, cur}, &sb); err != nil {
+		t.Fatalf("gate failed on noise: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "gate: ok") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+// TestGateCommittedBaselines: the repo's own committed baselines gated
+// against themselves must pass — identical samples are never a
+// regression.
+func TestGateCommittedBaselines(t *testing.T) {
+	root := filepath.Join("..", "..")
+	files := perf.BaselineFiles(root)
+	if len(files) == 0 {
+		t.Skip("no committed baselines")
+	}
+	var sb strings.Builder
+	args := append([]string{"gate", "-baseline-dir", root}, files...)
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("committed baselines fail their own gate: %v\n%s", err, sb.String())
+	}
+}
+
+// TestRunFromInput: `pressbench run -input` captures raw bench text
+// into a canonical document and appends history.
+func TestRunFromInput(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "bench.txt")
+	text := "goos: linux\npkg: press/x\ncpu: test\n" +
+		"BenchmarkA-8 100 5.0 ns/op 0 B/op 0 allocs/op\n" +
+		"BenchmarkA-8 100 5.1 ns/op 0 B/op 0 allocs/op\nPASS\n"
+	if err := os.WriteFile(raw, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonOut := filepath.Join(dir, "BENCH_x.json")
+	hist := filepath.Join(dir, "bench", "history.ndjson")
+	var sb strings.Builder
+	err := run([]string{"run", "-input", raw, "-json", jsonOut, "-history", hist,
+		"-description", "unit fixture"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := perf.ReadRecordFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Pkg != "press/x" || rec.Description != "unit fixture" || rec.Date == "" {
+		t.Errorf("record = %+v", rec)
+	}
+	if b := rec.Benchmark("BenchmarkA"); b == nil || len(b.Samples) != 2 {
+		t.Errorf("benchmarks = %+v", rec.Benchmarks)
+	}
+	hrecs, err := perf.ReadHistory(hist)
+	if err != nil || len(hrecs) != 1 {
+		t.Fatalf("history = %+v (%v)", hrecs, err)
+	}
+}
+
+// TestCompareSubcommand renders the table between two fixtures.
+func TestCompareSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeFixture(t, a, "BenchmarkHot", 100, 101, 99, 100, 100)
+	writeFixture(t, b, "BenchmarkHot", 50, 51, 49, 50, 50)
+	var sb strings.Builder
+	if err := run([]string{"compare", a, b}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "improvement") {
+		t.Errorf("table:\n%s", sb.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"bogus"},
+		{"run"},
+		{"compare", "one-arg"},
+		{"gate"},
+		{"gate", "-baseline-dir", os.TempDir() + "/definitely-missing-xyz", "x"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%q) succeeded, want error", args)
+		}
+	}
+}

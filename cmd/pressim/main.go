@@ -24,6 +24,7 @@ import (
 	"press/internal/experiments"
 	"press/internal/obs"
 	"press/internal/obs/flight"
+	"press/internal/obs/perf"
 )
 
 func main() {
@@ -43,7 +44,7 @@ type options struct {
 	budget     int
 	csvDir     string
 	recordPath string
-	tele       flight.CLI
+	tele       perf.CLI
 }
 
 // spec captures the invocation as a replayable RunSpec — the exact

@@ -74,6 +74,12 @@ func Diff(a, b Summary) *RunDiff {
 	addDist("search_regret_db", a.RegretDB, b.RegretDB)
 	add("actuations", float64(a.Actuations), float64(b.Actuations))
 	add("alerts_fired", float64(a.AlertsFired), float64(b.AlertsFired))
+	add("runtime_samples", float64(a.RuntimeSamples), float64(b.RuntimeSamples))
+	addDist("heap_live_mb", a.HeapLiveMB, b.HeapLiveMB)
+	addDist("goroutines", a.Goroutines, b.Goroutines)
+	addDist("gc_pause_p99_ms", a.GCPauseP99Ms, b.GCPauseP99Ms)
+	addDist("sched_latency_p99_ms", a.SchedLatP99Ms, b.SchedLatP99Ms)
+	add("gc_cycles", float64(a.GCCycles), float64(b.GCCycles))
 	return d
 }
 

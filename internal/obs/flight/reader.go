@@ -16,6 +16,7 @@ type Run struct {
 	KPIs       []KPISample       `json:"kpis,omitempty"`
 	Alerts     []AlertTransition `json:"alerts,omitempty"`
 	Decisions  []SearchDecision  `json:"decisions,omitempty"`
+	Runtime    []RuntimeSample   `json:"runtime,omitempty"`
 	Stats      DecodeStats       `json:"stats"`
 }
 
@@ -103,6 +104,13 @@ func (run *Run) apply(kind Kind, payload []byte) {
 			return
 		}
 		run.Decisions = append(run.Decisions, d)
+	case KindRuntime:
+		s, err := decodeRuntime(payload)
+		if err != nil {
+			run.Stats.Corrupt++
+			return
+		}
+		run.Runtime = append(run.Runtime, s)
 	default:
 		run.Stats.Unknown++
 	}

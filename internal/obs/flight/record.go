@@ -25,6 +25,7 @@ const (
 	KindKPI       Kind = 4 // one named scalar KPI sample
 	KindAlert     Kind = 5 // one alert-rule state transition
 	KindDecision  Kind = 6 // one search evaluation
+	KindRuntime   Kind = 7 // one periodic Go-runtime health snapshot
 )
 
 // String names a kind for logs and summaries.
@@ -42,6 +43,8 @@ func (k Kind) String() string {
 		return "alert"
 	case KindDecision:
 		return "decision"
+	case KindRuntime:
+		return "runtime"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -172,6 +175,20 @@ type AlertTransition struct {
 	From   uint8   `json:"from"`
 	To     uint8   `json:"to"`
 	Value  float64 `json:"value"`
+}
+
+// RuntimeSample is one periodic Go-runtime health snapshot — the
+// GC/heap/scheduler state the perf sampler records so a cross-run diff
+// can report runtime-health drift alongside the physical-layer KPIs.
+type RuntimeSample struct {
+	UnixNs        int64   `json:"unix_ns"`
+	HeapLiveBytes uint64  `json:"heap_live_bytes"`
+	HeapGoalBytes uint64  `json:"heap_goal_bytes"`
+	Goroutines    uint64  `json:"goroutines"`
+	GCCycles      uint64  `json:"gc_cycles"`
+	GCPauseP50    float64 `json:"gc_pause_p50_s"`
+	GCPauseP99    float64 `json:"gc_pause_p99_s"`
+	SchedLatP99   float64 `json:"sched_latency_p99_s"`
 }
 
 // SearchDecision is one configuration-search evaluation: which config
@@ -409,6 +426,24 @@ func decodeAlert(payload []byte) (AlertTransition, error) {
 		return AlertTransition{}, errBadPayload
 	}
 	return a, nil
+}
+
+func decodeRuntime(payload []byte) (RuntimeSample, error) {
+	d := &dec{b: payload}
+	s := RuntimeSample{
+		UnixNs:        d.i64(),
+		HeapLiveBytes: d.u64(),
+		HeapGoalBytes: d.u64(),
+		Goroutines:    d.u64(),
+		GCCycles:      d.u64(),
+		GCPauseP50:    d.f64(),
+		GCPauseP99:    d.f64(),
+		SchedLatP99:   d.f64(),
+	}
+	if !d.done() {
+		return RuntimeSample{}, errBadPayload
+	}
+	return s, nil
 }
 
 func decodeDecision(payload []byte) (SearchDecision, error) {

@@ -68,6 +68,17 @@ type Summary struct {
 	Actuations  int `json:"actuations"`
 	AlertsFired int `json:"alerts_fired"`
 
+	// Runtime-health aggregates over the periodic RuntimeSample stream
+	// (empty when the run recorded none).
+	RuntimeSamples int  `json:"runtime_samples,omitempty"`
+	HeapLiveMB     Dist `json:"heap_live_mb,omitempty"`
+	Goroutines     Dist `json:"goroutines,omitempty"`
+	GCPauseP99Ms   Dist `json:"gc_pause_p99_ms,omitempty"`
+	SchedLatP99Ms  Dist `json:"sched_latency_p99_ms,omitempty"`
+	// GCCycles is the number of GC cycles the run spanned (last sample
+	// minus first).
+	GCCycles uint64 `json:"gc_cycles,omitempty"`
+
 	Decode DecodeStats `json:"decode"`
 }
 
@@ -137,6 +148,27 @@ func Summarize(run *Run) Summary {
 	for _, a := range run.Alerts {
 		if a.To == alertStateFiring {
 			s.AlertsFired++
+		}
+	}
+
+	s.RuntimeSamples = len(run.Runtime)
+	if n := len(run.Runtime); n > 0 {
+		heap := make([]float64, n)
+		gor := make([]float64, n)
+		pause := make([]float64, n)
+		sched := make([]float64, n)
+		for i, rt := range run.Runtime {
+			heap[i] = float64(rt.HeapLiveBytes) / (1 << 20)
+			gor[i] = float64(rt.Goroutines)
+			pause[i] = rt.GCPauseP99 * 1e3
+			sched[i] = rt.SchedLatP99 * 1e3
+		}
+		s.HeapLiveMB = distOf(heap)
+		s.Goroutines = distOf(gor)
+		s.GCPauseP99Ms = distOf(pause)
+		s.SchedLatP99Ms = distOf(sched)
+		if last, first := run.Runtime[n-1].GCCycles, run.Runtime[0].GCCycles; last >= first {
+			s.GCCycles = last - first
 		}
 	}
 	return s

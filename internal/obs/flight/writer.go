@@ -332,6 +332,27 @@ func (r *Recorder) RecordAlert(rule string, from, to uint8, value float64) {
 	r.commit(KindAlert)
 }
 
+// RecordRuntime logs one periodic Go-runtime health snapshot. A zero
+// UnixNs is stamped with the current time.
+func (r *Recorder) RecordRuntime(s RuntimeSample) {
+	e := r.begin()
+	if e == nil {
+		return
+	}
+	if s.UnixNs == 0 {
+		s.UnixNs = time.Now().UnixNano()
+	}
+	e.i64(s.UnixNs)
+	e.u64(s.HeapLiveBytes)
+	e.u64(s.HeapGoalBytes)
+	e.u64(s.Goroutines)
+	e.u64(s.GCCycles)
+	e.f64(s.GCPauseP50)
+	e.f64(s.GCPauseP99)
+	e.f64(s.SchedLatP99)
+	r.commit(KindRuntime)
+}
+
 // RecordDecision logs one search evaluation: the measured config, its
 // score, and whether it improved the best-so-far.
 func (r *Recorder) RecordDecision(eval uint64, score float64, improved bool, cfg []int) {

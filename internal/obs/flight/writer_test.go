@@ -34,18 +34,22 @@ func TestRecorderGoldenRoundTrip(t *testing.T) {
 	rec.RecordKPI("cond_db_median", 12.75)
 	rec.RecordAlert("deep_null", 1, 2, 27.5)
 	rec.RecordDecision(3, 41.125, true, []int{2, 2, 2})
+	rec.RecordRuntime(RuntimeSample{
+		HeapLiveBytes: 4 << 20, HeapGoalBytes: 8 << 20, Goroutines: 9,
+		GCCycles: 12, GCPauseP50: 25e-6, GCPauseP99: 180e-6, SchedLatP99: 90e-6,
+	})
 	if err := rec.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if got := rec.Records(); got != 7 {
-		t.Errorf("Records() = %d, want 7", got)
+	if got := rec.Records(); got != 8 {
+		t.Errorf("Records() = %d, want 8", got)
 	}
 
 	run, err := ReadRun(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if run.Stats.Corrupt != 0 || run.Stats.TornTail || run.Stats.Frames != 7 {
+	if run.Stats.Corrupt != 0 || run.Stats.TornTail || run.Stats.Frames != 8 {
 		t.Errorf("decode stats = %+v", run.Stats)
 	}
 
@@ -105,6 +109,14 @@ func TestRecorderGoldenRoundTrip(t *testing.T) {
 		!reflect.DeepEqual(d.Config, []int32{2, 2, 2}) {
 		t.Errorf("decision = %+v", d)
 	}
+	if len(run.Runtime) != 1 {
+		t.Fatalf("runtime = %+v", run.Runtime)
+	}
+	if rt := run.Runtime[0]; rt.UnixNs == 0 || rt.HeapLiveBytes != 4<<20 ||
+		rt.HeapGoalBytes != 8<<20 || rt.Goroutines != 9 || rt.GCCycles != 12 ||
+		rt.GCPauseP50 != 25e-6 || rt.GCPauseP99 != 180e-6 || rt.SchedLatP99 != 90e-6 {
+		t.Errorf("runtime sample = %+v", rt)
+	}
 }
 
 // TestRecorderNilSafe exercises every producer method on a nil recorder.
@@ -116,6 +128,7 @@ func TestRecorderNilSafe(t *testing.T) {
 	r.RecordKPI("x", 1)
 	r.RecordAlert("r", 0, 2, 1)
 	r.RecordDecision(0, 1, false, nil)
+	r.RecordRuntime(RuntimeSample{})
 	if r.RunID() != "" || r.Dir() != "" || r.Err() != nil || r.Records() != 0 {
 		t.Error("nil recorder accessors not zero-valued")
 	}

@@ -1,0 +1,185 @@
+package perf
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// RecordSchema is the canonical benchmark-result schema revision, stamped
+// into every Record (BENCH_*.json documents and NDJSON history lines).
+const RecordSchema = 1
+
+// BenchSample is one parsed `go test -bench` result line: the iteration
+// count and per-operation measurements. Multiple -count runs of the same
+// benchmark produce multiple samples — the sample sets the statistical
+// comparison needs.
+type BenchSample struct {
+	N           int64   `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	// HasMem reports whether the -benchmem columns (B/op, allocs/op)
+	// were present on the line.
+	HasMem bool `json:"has_mem,omitempty"`
+}
+
+// Benchmark is one benchmark's sample set within a Record. The name is
+// the full benchmark identifier including sub-benchmarks
+// ("BenchmarkCounterInc/enabled"), with the -GOMAXPROCS suffix
+// stripped.
+type Benchmark struct {
+	Name    string        `json:"name"`
+	Samples []BenchSample `json:"samples"`
+}
+
+// Record is one benchmark invocation over one package — the canonical
+// result schema. Pretty-printed it is a BENCH_*.json document; one per
+// line it is the append-only NDJSON history `pressbench run` grows.
+type Record struct {
+	Schema int `json:"schema"`
+	// Date is the invocation time, RFC3339.
+	Date string `json:"date,omitempty"`
+	// Commit/Dirty are the VCS revision the results were measured at.
+	Commit    string `json:"commit,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	Goos      string `json:"goos,omitempty"`
+	Goarch    string `json:"goarch,omitempty"`
+	CPU       string `json:"cpu,omitempty"`
+	Pkg       string `json:"pkg,omitempty"`
+	// Description is the human field: what this run measures and the
+	// exact command that produced it.
+	Description string      `json:"description,omitempty"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark returns the named benchmark's sample set, or nil.
+func (r *Record) Benchmark(name string) *Benchmark {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			return &r.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// add appends one sample to the named benchmark, creating it on first
+// use.
+func (r *Record) add(name string, s BenchSample) {
+	if b := r.Benchmark(name); b != nil {
+		b.Samples = append(b.Samples, s)
+		return
+	}
+	r.Benchmarks = append(r.Benchmarks, Benchmark{Name: name, Samples: []BenchSample{s}})
+}
+
+// ParseBench parses `go test -bench` text output into canonical
+// records, one per package block (the goos/goarch/pkg/cpu headers the
+// test binary prints). Result lines before any pkg header land in a
+// record with an empty Pkg. Unknown measurement units, PASS/ok
+// trailers, and unrelated output are ignored; a stream with no
+// benchmark lines yields no records.
+func ParseBench(r io.Reader) ([]Record, error) {
+	var out []Record
+	cur := Record{Schema: RecordSchema}
+	flush := func() {
+		if len(cur.Benchmarks) > 0 {
+			out = append(out, cur)
+		}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			cur.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			cur.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			cur.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			// A new package block: emit the previous record, carrying the
+			// environment header over (go test prints it once per binary).
+			pkg := strings.TrimPrefix(line, "pkg: ")
+			if cur.Pkg != "" && len(cur.Benchmarks) > 0 {
+				flush()
+				cur = Record{Schema: RecordSchema, Goos: cur.Goos, Goarch: cur.Goarch, CPU: cur.CPU}
+			}
+			cur.Pkg = pkg
+		default:
+			if name, s, ok := parseBenchLine(line); ok {
+				cur.add(name, s)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return out, nil
+}
+
+// parseBenchLine parses one "BenchmarkX-8  N  V unit  V unit ..." line.
+func parseBenchLine(line string) (string, BenchSample, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", BenchSample{}, false
+	}
+	f := strings.Fields(line)
+	// Shortest valid line: name, iterations, value, unit.
+	if len(f) < 4 {
+		return "", BenchSample{}, false
+	}
+	name := trimProcs(f[0])
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil || n <= 0 {
+		return "", BenchSample{}, false
+	}
+	s := BenchSample{N: n}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", BenchSample{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			s.NsPerOp = v
+			seen = true
+		case "B/op":
+			s.BytesPerOp = v
+			s.HasMem = true
+		case "allocs/op":
+			s.AllocsPerOp = v
+			s.HasMem = true
+		case "MB/s":
+			s.MBPerS = v
+		default:
+			// Custom metric (b.ReportMetric): ignored, not an error.
+		}
+	}
+	if !seen {
+		return "", BenchSample{}, false
+	}
+	return name, s, true
+}
+
+// trimProcs strips the trailing -GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkX/sub-8" → "BenchmarkX/sub"). Only an
+// all-digit suffix after the final dash of the final path segment is
+// removed, so "BenchmarkFoo/cfg-2x" survives.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}

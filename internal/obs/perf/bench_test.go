@@ -1,0 +1,141 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseBenchGolden parses a realistic two-package `go test -bench`
+// stream (sub-benchmarks, -benchmem columns, MB/s, repeated -count
+// lines, log noise) and checks the canonical records field by field.
+func TestParseBenchGolden(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "bench_multi.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := ParseBench(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2 (one per pkg block)", len(recs))
+	}
+
+	obsRec := recs[0]
+	if obsRec.Pkg != "press/internal/obs" || obsRec.Goos != "linux" ||
+		obsRec.Goarch != "amd64" || obsRec.CPU != "AMD EPYC 7B13" {
+		t.Errorf("record 0 header = %+v", obsRec)
+	}
+	if obsRec.Schema != RecordSchema {
+		t.Errorf("schema = %d, want %d", obsRec.Schema, RecordSchema)
+	}
+	if len(obsRec.Benchmarks) != 4 {
+		t.Fatalf("record 0 benchmarks = %d, want 4", len(obsRec.Benchmarks))
+	}
+
+	// -count=3 samples of a sub-benchmark stay together, -8 suffix gone.
+	inc := obsRec.Benchmark("BenchmarkCounterInc/enabled")
+	if inc == nil {
+		t.Fatal("BenchmarkCounterInc/enabled not parsed")
+	}
+	if len(inc.Samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(inc.Samples))
+	}
+	s := inc.Samples[0]
+	if s.N != 95973364 || s.NsPerOp != 12.45 || !s.HasMem ||
+		s.BytesPerOp != 0 || s.AllocsPerOp != 0 {
+		t.Errorf("sample = %+v", s)
+	}
+
+	// A line without -benchmem columns parses with HasMem false.
+	hist := obsRec.Benchmark("BenchmarkHistogramObserve")
+	if hist == nil || len(hist.Samples) != 1 {
+		t.Fatal("BenchmarkHistogramObserve not parsed")
+	}
+	if hist.Samples[0].HasMem || hist.Samples[0].NsPerOp != 28.70 {
+		t.Errorf("no-benchmem sample = %+v", hist.Samples[0])
+	}
+
+	// MB/s column.
+	js := obsRec.Benchmark("BenchmarkSnapshotJSON")
+	if js == nil || js.Samples[0].MBPerS != 152.31 || js.Samples[0].AllocsPerOp != 31 {
+		t.Errorf("MB/s sample = %+v", js)
+	}
+
+	flightRec := recs[1]
+	if flightRec.Pkg != "press/internal/obs/flight" {
+		t.Errorf("record 1 pkg = %q", flightRec.Pkg)
+	}
+	// Environment header carries over between package blocks.
+	if flightRec.CPU != "AMD EPYC 7B13" || flightRec.Goos != "linux" {
+		t.Errorf("record 1 did not inherit env header: %+v", flightRec)
+	}
+	if b := flightRec.Benchmark("BenchmarkRecordCSI/len64"); b == nil || len(b.Samples) != 2 {
+		t.Errorf("BenchmarkRecordCSI/len64 = %+v", b)
+	}
+	// Only the all-digit GOMAXPROCS suffix is stripped; "cfg-2x" stays.
+	if b := flightRec.Benchmark("BenchmarkFoo/cfg-2x"); b == nil {
+		names := []string{}
+		for _, bb := range flightRec.Benchmarks {
+			names = append(names, bb.Name)
+		}
+		t.Errorf("BenchmarkFoo/cfg-2x not found in %v", names)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	recs, err := ParseBench(strings.NewReader("PASS\nok  \tpress\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("records = %+v, want none", recs)
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		ok   bool
+		name string
+		ns   float64
+	}{
+		{"BenchmarkX-8 100 5.5 ns/op", true, "BenchmarkX", 5.5},
+		{"BenchmarkX 100 5.5 ns/op", true, "BenchmarkX", 5.5}, // no procs suffix
+		{"BenchmarkX-8 100 7 B/op", false, "", 0},             // no ns/op
+		{"BenchmarkX-8 bogus 5.5 ns/op", false, "", 0},
+		{"Benchmark", false, "", 0},
+		{"not a bench line", false, "", 0},
+		{"BenchmarkX-8 100 5.5 ns/op 3.0 widgets/op", true, "BenchmarkX", 5.5}, // unknown unit ignored
+	}
+	for _, c := range cases {
+		name, s, ok := parseBenchLine(c.line)
+		if ok != c.ok {
+			t.Errorf("parseBenchLine(%q) ok = %v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if ok && (name != c.name || s.NsPerOp != c.ns) {
+			t.Errorf("parseBenchLine(%q) = %q/%v", c.line, name, s)
+		}
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":        "BenchmarkX",
+		"BenchmarkX-128":      "BenchmarkX",
+		"BenchmarkX/sub-8":    "BenchmarkX/sub",
+		"BenchmarkX/cfg-2x-8": "BenchmarkX/cfg-2x",
+		"BenchmarkX/cfg-2x":   "BenchmarkX/cfg-2x",
+		"BenchmarkX":          "BenchmarkX",
+		"BenchmarkX-":         "BenchmarkX-",
+	}
+	for in, want := range cases {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package perf
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"press/internal/obs"
+	"press/internal/obs/flight"
+)
+
+// CLI extends flight.CLI with the performance-radar layer: a
+// -runtime-metrics-interval flag that starts the runtime sampler
+// (GC pauses, scheduler latencies, heap, goroutines into the registry,
+// /metrics, /metrics.json, and — when recording — the flight log), and
+// the /perfz endpoint on the live telemetry server. Drop-in replacement
+// for flight.CLI:
+//
+//	var tele perf.CLI
+//	tele.Register(fs)
+//	// after fs.Parse:
+//	if err := tele.Start(os.Stderr); err != nil { ... }
+//	defer tele.Finish(os.Stdout)
+//
+// With -runtime-metrics-interval unset the sampler never runs; /perfz
+// (served whenever -telemetry-addr is up) then reports it disabled.
+type CLI struct {
+	flight.CLI
+
+	// RuntimeMetricsInterval is the runtime/metrics polling period.
+	// Zero disables the sampler.
+	RuntimeMetricsInterval time.Duration
+	// BenchBaselineDir is where /perfz looks for BENCH_*.json and
+	// bench/history.ndjson ("." by default; empty disables the listing).
+	BenchBaselineDir string
+
+	sampler *Sampler
+}
+
+// Register installs the flight telemetry flags plus the perf flags.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	c.CLI.Register(fs)
+	fs.DurationVar(&c.RuntimeMetricsInterval, "runtime-metrics-interval", 0,
+		"poll runtime/metrics (GC pauses, sched latencies, heap, goroutines) into the registry at this period (0 = off)")
+	fs.StringVar(&c.BenchBaselineDir, "bench-baselines", ".",
+		"directory /perfz scans for BENCH_*.json and bench/history.ndjson baselines")
+}
+
+// Start brings up the flight/health/obs stack, then the runtime sampler
+// and the /perfz route.
+func (c *CLI) Start(logw io.Writer) error {
+	if c.RuntimeMetricsInterval < 0 {
+		return fmt.Errorf("perf: negative -runtime-metrics-interval %v", c.RuntimeMetricsInterval)
+	}
+	if err := c.CLI.Start(logw); err != nil {
+		return err
+	}
+	if c.RuntimeMetricsInterval > 0 {
+		if c.Registry() == nil && c.Flight() == nil {
+			if log := c.Logger(); log.Enabled(obs.LevelWarn) {
+				log.Warn("-runtime-metrics-interval set but no telemetry output; enable -telemetry, -telemetry-addr, or -flight-dir")
+			}
+		} else {
+			c.sampler = NewSampler(c.Registry(), c.Flight(), c.RuntimeMetricsInterval)
+			c.sampler.Start()
+			if log := c.Logger(); log.Enabled(obs.LevelInfo) {
+				log.Info("runtime-metrics sampler started", "interval", c.sampler.Interval())
+			}
+		}
+	}
+	if srv := c.Server(); srv != nil {
+		RegisterRoutes(srv, c.sampler, c.BenchBaselineDir)
+	}
+	return nil
+}
+
+// Sampler returns the live runtime sampler, or nil when
+// -runtime-metrics-interval was not given.
+func (c *CLI) Sampler() *Sampler { return c.sampler }
+
+// Finish stops the sampler (taking one final sample so short runs still
+// record runtime state), then tears down the flight/health/obs layers.
+func (c *CLI) Finish(stdout io.Writer) error {
+	if c.sampler != nil {
+		c.sampler.SampleOnce()
+		c.sampler.Stop()
+		c.sampler = nil
+	}
+	return c.CLI.Finish(stdout)
+}

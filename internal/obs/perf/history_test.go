@@ -1,0 +1,131 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench", "history.ndjson")
+	r1 := rec("BenchmarkA", 100, 101)
+	r1.Date = "2026-08-01T00:00:00Z"
+	r2 := rec("BenchmarkA", 90, 91)
+	r2.Date = "2026-08-02T00:00:00Z"
+	if err := AppendHistory(path, r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, r2); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Date != r1.Date || recs[1].Date != r2.Date {
+		t.Fatalf("history = %+v", recs)
+	}
+	// Newest-wins resolution picks the later append.
+	sets := SampleSets(recs)
+	set := sets["press/test BenchmarkA"]
+	if set == nil || set.Date != r2.Date || set.Samples[0].NsPerOp != 90 {
+		t.Errorf("resolved set = %+v", set)
+	}
+}
+
+func TestReadHistoryRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.ndjson")
+	if err := os.WriteFile(path, []byte("{\"schema\":1}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHistory(path); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestRecordFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	r := rec("BenchmarkA", 100)
+	r.Description = "demo"
+	if err := WriteRecordFile(path, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecordFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Description != "demo" || len(got.Benchmarks) != 1 {
+		t.Errorf("record = %+v", got)
+	}
+}
+
+// TestLoadResultsSniffing: the same loader accepts raw bench text, a
+// canonical JSON document, and NDJSON history.
+func TestLoadResultsSniffing(t *testing.T) {
+	dir := t.TempDir()
+
+	text := filepath.Join(dir, "raw.txt")
+	os.WriteFile(text, []byte("pkg: press/x\nBenchmarkA-8 100 5.0 ns/op\n"), 0o644)
+	recs, err := LoadResults(text)
+	if err != nil || len(recs) != 1 || recs[0].Pkg != "press/x" {
+		t.Fatalf("text: %v %+v", err, recs)
+	}
+
+	doc := filepath.Join(dir, "BENCH_x.json")
+	if err := WriteRecordFile(doc, rec("BenchmarkA", 100)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = LoadResults(doc)
+	if err != nil || len(recs) != 1 || recs[0].Pkg != "press/test" {
+		t.Fatalf("doc: %v %+v", err, recs)
+	}
+
+	hist := filepath.Join(dir, "history.ndjson")
+	if err := AppendHistory(hist, rec("BenchmarkA", 100), rec("BenchmarkB", 50)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = LoadResults(hist)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("ndjson: %v %+v", err, recs)
+	}
+
+	if _, err := LoadResults(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file should error")
+	}
+	empty := filepath.Join(dir, "empty")
+	os.WriteFile(empty, []byte("  \n"), 0o644)
+	if _, err := LoadResults(empty); err == nil {
+		t.Error("empty file should error")
+	}
+}
+
+func TestBaselineFiles(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "BENCH_b.json"), []byte("{}"), 0o644)
+	os.WriteFile(filepath.Join(dir, "BENCH_a.json"), []byte("{}"), 0o644)
+	os.WriteFile(filepath.Join(dir, "README.md"), []byte("x"), 0o644)
+	os.MkdirAll(filepath.Join(dir, "bench"), 0o755)
+	os.WriteFile(filepath.Join(dir, "bench", "history.ndjson"), []byte(""), 0o644)
+
+	got := BaselineFiles(dir)
+	want := []string{
+		filepath.Join(dir, "BENCH_a.json"),
+		filepath.Join(dir, "BENCH_b.json"),
+		filepath.Join(dir, "bench", "history.ndjson"),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("files = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("files[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewRecordStamps(t *testing.T) {
+	r := NewRecord("2026-08-06T00:00:00Z")
+	if r.Schema != RecordSchema || r.Date != "2026-08-06T00:00:00Z" {
+		t.Errorf("record = %+v", r)
+	}
+}

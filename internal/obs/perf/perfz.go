@@ -1,0 +1,94 @@
+package perf
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+
+	"press/internal/obs"
+)
+
+// SamplerStatus is the sampler section of the /perfz document.
+type SamplerStatus struct {
+	Enabled  bool     `json:"enabled"`
+	Interval string   `json:"interval,omitempty"`
+	Last     Snapshot `json:"last,omitempty"`
+}
+
+// BaselineInfo summarizes one loaded benchmark baseline artifact.
+type BaselineInfo struct {
+	File        string `json:"file"`
+	Pkg         string `json:"pkg,omitempty"`
+	Date        string `json:"date,omitempty"`
+	Commit      string `json:"commit,omitempty"`
+	CPU         string `json:"cpu,omitempty"`
+	Description string `json:"description,omitempty"`
+	Benchmarks  int    `json:"benchmarks"`
+	Error       string `json:"error,omitempty"`
+}
+
+// PerfzDoc is the /perfz response: live runtime-sampler state plus the
+// benchmark baselines found on disk — one endpoint answering "is the
+// radar on, and what is it gating against?".
+type PerfzDoc struct {
+	Sampler   SamplerStatus  `json:"sampler"`
+	Baselines []BaselineInfo `json:"baselines"`
+}
+
+// LoadBaselines reads every baseline artifact under dir (canonical
+// BENCH_*.json documents and bench/history.ndjson) into summaries.
+// Unreadable files are reported in-line rather than failing the whole
+// listing.
+func LoadBaselines(dir string) []BaselineInfo {
+	out := []BaselineInfo{}
+	for _, path := range BaselineFiles(dir) {
+		recs, err := LoadResults(path)
+		if err != nil {
+			out = append(out, BaselineInfo{File: filepath.Base(path), Error: err.Error()})
+			continue
+		}
+		if len(recs) == 0 {
+			out = append(out, BaselineInfo{File: filepath.Base(path), Error: "no benchmark records"})
+			continue
+		}
+		for _, rec := range recs {
+			out = append(out, BaselineInfo{
+				File: filepath.Base(path), Pkg: rec.Pkg, Date: rec.Date,
+				Commit: rec.Commit, CPU: rec.CPU, Description: rec.Description,
+				Benchmarks: len(rec.Benchmarks),
+			})
+		}
+	}
+	return out
+}
+
+// PerfzHandler serves the /perfz document for a sampler (nil = radar
+// off) and a baseline directory ("" = no baselines reported). JSON gets
+// the same gzip + Cache-Control: no-store treatment as every other JSON
+// endpoint on the telemetry server.
+func PerfzHandler(s *Sampler, baselineDir string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		doc := PerfzDoc{Baselines: []BaselineInfo{}}
+		if s != nil {
+			doc.Sampler = SamplerStatus{
+				Enabled:  true,
+				Interval: s.Interval().String(),
+				Last:     s.Last(),
+			}
+		}
+		if baselineDir != "" {
+			doc.Baselines = LoadBaselines(baselineDir)
+		}
+		obs.ServeJSON(w, r, func(out io.Writer) error {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(doc)
+		})
+	}
+}
+
+// RegisterRoutes adds the /perfz endpoint to a telemetry server.
+func RegisterRoutes(srv *obs.Server, s *Sampler, baselineDir string) {
+	srv.HandleFunc("/perfz", PerfzHandler(s, baselineDir))
+}

@@ -1,0 +1,349 @@
+// Package perf is the repository's performance-regression radar: a
+// runtime-metrics sampler that mirrors the Go runtime's GC, heap, and
+// scheduler state into the obs registry (and optionally the flight
+// recorder), a parser and canonical schema for `go test -bench` output,
+// an append-only NDJSON benchmark history, and a benchstat-style
+// statistical comparison engine behind the `pressbench` command's
+// regression gate.
+//
+// The sampler polls runtime/metrics — not runtime.ReadMemStats, which
+// stops the world — so watching a long pressim sweep or controller
+// session costs microseconds per tick. Everything follows the obs
+// conventions: nil receivers are inert, and the layer is off unless a
+// CLI flag turns it on.
+package perf
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+
+	"press/internal/obs"
+	"press/internal/obs/flight"
+)
+
+// Runtime metric names the sampler polls (see runtime/metrics). Metrics
+// a toolchain does not support are skipped at construction time.
+const (
+	metricHeapLive   = "/memory/classes/heap/objects:bytes"
+	metricHeapGoal   = "/gc/heap/goal:bytes"
+	metricGoroutines = "/sched/goroutines:goroutines"
+	metricGCCycles   = "/gc/cycles/total:gc-cycles"
+	metricHeapAllocs = "/gc/heap/allocs:bytes"
+	metricGCPauses   = "/gc/pauses:seconds"
+	metricSchedLat   = "/sched/latencies:seconds"
+)
+
+// Registry metric names the sampler maintains.
+const (
+	GaugeHeapLiveBytes    = "runtime_heap_live_bytes"
+	GaugeHeapGoalBytes    = "runtime_heap_goal_bytes"
+	GaugeGoroutines       = "runtime_goroutines"
+	CounterGCCycles       = "runtime_gc_cycles_total"
+	CounterHeapAllocBytes = "runtime_heap_allocs_bytes_total"
+	HistGCPauseSeconds    = "runtime_gc_pause_seconds"
+	HistSchedLatSeconds   = "runtime_sched_latency_seconds"
+)
+
+// RuntimeLatencyBuckets spans 1µs to ~262ms in powers of four — the
+// range of GC pauses and scheduler latencies worth distinguishing.
+var RuntimeLatencyBuckets = obs.ExponentialBuckets(1e-6, 4, 10)
+
+// DefaultRuntimeInterval is the sampler cadence when the CLI flag is
+// given without a value it can use.
+const DefaultRuntimeInterval = time.Second
+
+// Snapshot is one sampler reading — the live view /perfz serves and the
+// payload of a flight RuntimeSample record.
+type Snapshot struct {
+	UnixMs        int64   `json:"unix_ms"`
+	Ticks         uint64  `json:"ticks"`
+	HeapLiveBytes uint64  `json:"heap_live_bytes"`
+	HeapGoalBytes uint64  `json:"heap_goal_bytes"`
+	Goroutines    uint64  `json:"goroutines"`
+	GCCycles      uint64  `json:"gc_cycles"`
+	GCPauseP50    float64 `json:"gc_pause_p50_s"`
+	GCPauseP99    float64 `json:"gc_pause_p99_s"`
+	SchedLatP99   float64 `json:"sched_latency_p99_s"`
+}
+
+// Sampler periodically reads runtime/metrics and mirrors the readings
+// into an obs.Registry: instantaneous values as gauges, cumulative
+// totals as counters, and the runtime's pause/latency distributions as
+// registry histograms (bucket-count deltas folded in with ObserveN, so
+// /metrics and /metrics.json expose them like any other histogram).
+// When a flight recorder is attached, each tick also appends a
+// RuntimeSample record, putting runtime health into `pressctl rundiff`.
+//
+// A nil *Sampler is inert. Construction registers the metric handles —
+// re-registering on an already-instrumented registry is idempotent
+// because the registry hands back the same handles by name.
+type Sampler struct {
+	reg      *obs.Registry
+	rec      *flight.Recorder
+	interval time.Duration
+
+	mu      sync.Mutex
+	samples []metrics.Sample
+	// Indices into samples, -1 when the metric is unsupported.
+	iHeapLive, iHeapGoal, iGoroutines, iGCCycles, iHeapAllocs, iPause, iSched int
+	prevGC, prevAllocs                                                        uint64
+	prevPause, prevSched                                                      []uint64
+	ticks                                                                     uint64
+	last                                                                      Snapshot
+
+	gHeapLive, gHeapGoal, gGoroutines *obs.Gauge
+	cGC, cAllocs                      *obs.Counter
+	hPause, hSched                    *obs.Histogram
+
+	startOnce, stopOnce sync.Once
+	stop, done          chan struct{}
+}
+
+// NewSampler builds a sampler over reg (nil: registry mirroring off)
+// and rec (nil: no flight records) ticking every interval (≤ 0 means
+// DefaultRuntimeInterval). Call Start to begin sampling, or SampleOnce
+// for a manual tick.
+func NewSampler(reg *obs.Registry, rec *flight.Recorder, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = DefaultRuntimeInterval
+	}
+	s := &Sampler{
+		reg:      reg,
+		rec:      rec,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+
+		gHeapLive:   reg.Gauge(GaugeHeapLiveBytes),
+		gHeapGoal:   reg.Gauge(GaugeHeapGoalBytes),
+		gGoroutines: reg.Gauge(GaugeGoroutines),
+		cGC:         reg.Counter(CounterGCCycles),
+		cAllocs:     reg.Counter(CounterHeapAllocBytes),
+		hPause:      reg.Histogram(HistGCPauseSeconds, RuntimeLatencyBuckets),
+		hSched:      reg.Histogram(HistSchedLatSeconds, RuntimeLatencyBuckets),
+	}
+	// Probe which metrics this toolchain supports; unsupported ones read
+	// as KindBad and are dropped so a tick never branches on them again.
+	names := []string{
+		metricHeapLive, metricHeapGoal, metricGoroutines,
+		metricGCCycles, metricHeapAllocs, metricGCPauses, metricSchedLat,
+	}
+	probe := make([]metrics.Sample, len(names))
+	for i, n := range names {
+		probe[i].Name = n
+	}
+	metrics.Read(probe)
+	idx := [7]int{-1, -1, -1, -1, -1, -1, -1}
+	for i := range probe {
+		if probe[i].Value.Kind() == metrics.KindBad {
+			continue
+		}
+		idx[i] = len(s.samples)
+		s.samples = append(s.samples, metrics.Sample{Name: probe[i].Name})
+	}
+	s.iHeapLive, s.iHeapGoal, s.iGoroutines = idx[0], idx[1], idx[2]
+	s.iGCCycles, s.iHeapAllocs, s.iPause, s.iSched = idx[3], idx[4], idx[5], idx[6]
+	// Baseline the cumulative counters so the registry counts activity
+	// since the sampler started, not since process start.
+	metrics.Read(s.samples)
+	if s.iGCCycles >= 0 {
+		s.prevGC = s.samples[s.iGCCycles].Value.Uint64()
+	}
+	if s.iHeapAllocs >= 0 {
+		s.prevAllocs = s.samples[s.iHeapAllocs].Value.Uint64()
+	}
+	if s.iPause >= 0 {
+		s.prevPause = baselineHist(s.samples[s.iPause].Value.Float64Histogram())
+	}
+	if s.iSched >= 0 {
+		s.prevSched = baselineHist(s.samples[s.iSched].Value.Float64Histogram())
+	}
+	return s
+}
+
+func baselineHist(h *metrics.Float64Histogram) []uint64 {
+	prev := make([]uint64, len(h.Counts))
+	copy(prev, h.Counts)
+	return prev
+}
+
+// Interval returns the sampling cadence (0 for a nil sampler).
+func (s *Sampler) Interval() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// Start launches the background sampling goroutine, taking one sample
+// immediately. Idempotent; safe on a nil sampler.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.startOnce.Do(func() {
+		s.SampleOnce()
+		go func() {
+			defer close(s.done)
+			t := time.NewTicker(s.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.SampleOnce()
+				case <-s.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts sampling and waits for the goroutine to exit. Idempotent,
+// safe without Start and on a nil sampler.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.startOnce.Do(func() { close(s.done) }) // never started: nothing to wait for
+	<-s.done
+}
+
+// Last returns the most recent snapshot (zero before the first tick or
+// for a nil sampler).
+func (s *Sampler) Last() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// SampleOnce takes one reading now: gauges and counters are updated,
+// histogram deltas folded into the registry, and (when attached) a
+// flight RuntimeSample appended. Safe for concurrent use and on a nil
+// sampler. Steady-state it allocates nothing beyond what metrics.Read
+// itself needs — histogram buffers are reused in place.
+func (s *Sampler) SampleOnce() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metrics.Read(s.samples)
+	s.ticks++
+	snap := Snapshot{UnixMs: time.Now().UnixMilli(), Ticks: s.ticks}
+	if i := s.iHeapLive; i >= 0 {
+		snap.HeapLiveBytes = s.samples[i].Value.Uint64()
+		s.gHeapLive.Set(float64(snap.HeapLiveBytes))
+	}
+	if i := s.iHeapGoal; i >= 0 {
+		snap.HeapGoalBytes = s.samples[i].Value.Uint64()
+		s.gHeapGoal.Set(float64(snap.HeapGoalBytes))
+	}
+	if i := s.iGoroutines; i >= 0 {
+		snap.Goroutines = s.samples[i].Value.Uint64()
+		s.gGoroutines.Set(float64(snap.Goroutines))
+	}
+	if i := s.iGCCycles; i >= 0 {
+		v := s.samples[i].Value.Uint64()
+		snap.GCCycles = v
+		if v >= s.prevGC {
+			s.cGC.Add(int64(v - s.prevGC))
+		}
+		s.prevGC = v
+	}
+	if i := s.iHeapAllocs; i >= 0 {
+		v := s.samples[i].Value.Uint64()
+		if v >= s.prevAllocs {
+			s.cAllocs.Add(int64(v - s.prevAllocs))
+		}
+		s.prevAllocs = v
+	}
+	if i := s.iPause; i >= 0 {
+		h := s.samples[i].Value.Float64Histogram()
+		s.prevPause = mirrorHist(s.hPause, h, s.prevPause)
+		snap.GCPauseP50 = histQuantile(h, 0.50)
+		snap.GCPauseP99 = histQuantile(h, 0.99)
+	}
+	if i := s.iSched; i >= 0 {
+		h := s.samples[i].Value.Float64Histogram()
+		s.prevSched = mirrorHist(s.hSched, h, s.prevSched)
+		snap.SchedLatP99 = histQuantile(h, 0.99)
+	}
+	s.last = snap
+	s.rec.RecordRuntime(flight.RuntimeSample{
+		UnixNs:        snap.UnixMs * int64(time.Millisecond),
+		HeapLiveBytes: snap.HeapLiveBytes,
+		HeapGoalBytes: snap.HeapGoalBytes,
+		Goroutines:    snap.Goroutines,
+		GCCycles:      snap.GCCycles,
+		GCPauseP50:    snap.GCPauseP50,
+		GCPauseP99:    snap.GCPauseP99,
+		SchedLatP99:   snap.SchedLatP99,
+	})
+	return snap
+}
+
+// mirrorHist folds the delta between a cumulative runtime histogram and
+// its previous counts into dst, observing each bucket's representative
+// value delta-many times. Returns the updated previous-counts slice
+// (reallocated only if the runtime changed the bucket layout).
+func mirrorHist(dst *obs.Histogram, src *metrics.Float64Histogram, prev []uint64) []uint64 {
+	if len(prev) != len(src.Counts) {
+		prev = make([]uint64, len(src.Counts))
+	}
+	for i, c := range src.Counts {
+		if d := c - prev[i]; c >= prev[i] && d > 0 {
+			dst.ObserveN(histBucketValue(src, i), int64(d))
+		}
+		prev[i] = c
+	}
+	return prev
+}
+
+// histBucketValue picks a representative value for bucket i of a
+// runtime histogram: the midpoint, or the finite edge when the other is
+// infinite.
+func histBucketValue(h *metrics.Float64Histogram, i int) float64 {
+	lo, hi := h.Buckets[i], h.Buckets[i+1]
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	default:
+		return lo + (hi-lo)/2
+	}
+}
+
+// histQuantile reads quantile q off a cumulative runtime histogram,
+// reporting the representative value of the bucket the quantile falls
+// in (0 when the histogram is empty).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return histBucketValue(h, i)
+		}
+	}
+	return histBucketValue(h, len(h.Counts)-1)
+}

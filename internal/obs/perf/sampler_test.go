@@ -1,0 +1,180 @@
+package perf
+
+import (
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"press/internal/obs"
+	"press/internal/obs/flight"
+)
+
+func TestSamplerSampleOnce(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewSampler(reg, nil, time.Second)
+	runtime.GC() // guarantee at least one GC cycle and pause since baseline
+	snap := s.SampleOnce()
+
+	if snap.Ticks != 1 {
+		t.Errorf("ticks = %d, want 1", snap.Ticks)
+	}
+	if snap.Goroutines == 0 || snap.HeapLiveBytes == 0 || snap.HeapGoalBytes == 0 {
+		t.Errorf("snapshot missing live values: %+v", snap)
+	}
+	if snap.UnixMs == 0 {
+		t.Error("snapshot not timestamped")
+	}
+	if got := s.Last(); got != snap {
+		t.Errorf("Last() = %+v, want %+v", got, snap)
+	}
+
+	// Registry mirrors: gauges track the snapshot, the forced GC shows up
+	// in the counter and the pause histogram.
+	if v := reg.Gauge(GaugeGoroutines).Value(); v != float64(snap.Goroutines) {
+		t.Errorf("goroutine gauge = %v, snapshot %d", v, snap.Goroutines)
+	}
+	if v := reg.Gauge(GaugeHeapLiveBytes).Value(); v == 0 {
+		t.Error("heap gauge not set")
+	}
+	if v := reg.Counter(CounterGCCycles).Value(); v < 1 {
+		t.Errorf("gc counter = %d, want >= 1 after runtime.GC()", v)
+	}
+	if n := reg.Histogram(HistGCPauseSeconds, nil).Count(); n < 1 {
+		t.Errorf("pause histogram count = %d, want >= 1", n)
+	}
+
+	// Second tick: cumulative counters advance by deltas, not totals.
+	before := reg.Counter(CounterGCCycles).Value()
+	runtime.GC()
+	snap2 := s.SampleOnce()
+	if snap2.Ticks != 2 {
+		t.Errorf("ticks = %d, want 2", snap2.Ticks)
+	}
+	after := reg.Counter(CounterGCCycles).Value()
+	if after <= before {
+		t.Errorf("gc counter did not advance: %d -> %d", before, after)
+	}
+	if after > before+64 {
+		t.Errorf("gc counter jumped %d -> %d; delta accounting broken", before, after)
+	}
+}
+
+func TestSamplerNil(t *testing.T) {
+	var s *Sampler
+	s.Start()
+	if snap := s.SampleOnce(); snap != (Snapshot{}) {
+		t.Errorf("nil SampleOnce = %+v", snap)
+	}
+	if s.Last() != (Snapshot{}) || s.Interval() != 0 {
+		t.Error("nil accessors not inert")
+	}
+	s.Stop()
+}
+
+// TestSamplerNilRegistry: flight-only operation (registry mirroring off)
+// still snapshots.
+func TestSamplerNilRegistry(t *testing.T) {
+	s := NewSampler(nil, nil, time.Second)
+	if snap := s.SampleOnce(); snap.Goroutines == 0 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestSamplerStartStopIdempotent(t *testing.T) {
+	s := NewSampler(obs.NewRegistry(), nil, time.Hour)
+	s.Start()
+	s.Start() // second Start is a no-op, not a second goroutine
+	if s.Last().Ticks == 0 {
+		t.Error("Start did not take an immediate sample")
+	}
+	s.Stop()
+	s.Stop() // idempotent
+
+	// Stop without Start must not hang.
+	NewSampler(obs.NewRegistry(), nil, time.Hour).Stop()
+}
+
+// TestSamplerSharedRegistry: two samplers over one registry share metric
+// handles by name — construction is idempotent, counts merge rather
+// than clash.
+func TestSamplerSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := NewSampler(reg, nil, time.Second)
+	b := NewSampler(reg, nil, time.Second)
+	a.SampleOnce()
+	b.SampleOnce()
+	snap := reg.Snapshot()
+	if _, ok := snap.Gauges[GaugeGoroutines]; !ok {
+		t.Errorf("registry gauges = %v", snap.Gauges)
+	}
+	if len(snap.Gauges) != 3 {
+		t.Errorf("gauges = %d (%v), want 3 shared handles", len(snap.Gauges), snap.Gauges)
+	}
+}
+
+// TestSamplerConcurrent exercises SampleOnce/Last from multiple
+// goroutines while the background ticker runs — the race detector is
+// the assertion.
+func TestSamplerConcurrent(t *testing.T) {
+	s := NewSampler(obs.NewRegistry(), nil, time.Millisecond)
+	s.Start()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.SampleOnce()
+				_ = s.Last()
+			}
+		}()
+	}
+	wg.Wait()
+	s.Stop()
+	if s.Last().Ticks < 200 {
+		t.Errorf("ticks = %d, want >= 200", s.Last().Ticks)
+	}
+}
+
+// TestSamplerFlightRecord: each tick lands a RuntimeSample in the run
+// log, so rundiff sees runtime health.
+func TestSamplerFlightRecord(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run-perf")
+	rec, err := flight.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(nil, rec, time.Second)
+	runtime.GC()
+	s.SampleOnce()
+	s.SampleOnce()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	run, err := flight.ReadRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Runtime) != 2 {
+		t.Fatalf("runtime samples = %d, want 2", len(run.Runtime))
+	}
+	rs := run.Runtime[0]
+	if rs.UnixNs == 0 || rs.Goroutines == 0 || rs.HeapLiveBytes == 0 {
+		t.Errorf("runtime sample = %+v", rs)
+	}
+}
+
+// BenchmarkSamplerTick is the sampler's own overhead budget: one tick
+// must stay in the tens of microseconds with zero steady-state
+// allocations, cheap enough for a 1s cadence on a controller hot path.
+func BenchmarkSamplerTick(b *testing.B) {
+	s := NewSampler(obs.NewRegistry(), nil, time.Second)
+	s.SampleOnce() // warm: first tick settles histogram buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampleOnce()
+	}
+}

@@ -265,6 +265,34 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// ObserveN records n observations of value v in one operation — the
+// bulk path the runtime-metrics sampler uses to mirror a cumulative
+// runtime/metrics histogram bucket delta without n separate Observes.
+// n ≤ 0 is a no-op.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.buckets[lo].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations (0 for nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {

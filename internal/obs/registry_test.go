@@ -56,6 +56,30 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramObserveN(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bulk", []float64{1, 2, 5})
+	h.ObserveN(1.5, 3)
+	h.ObserveN(10, 2)
+	h.ObserveN(0.5, 0)  // no-op
+	h.ObserveN(0.5, -4) // no-op
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 24.5 {
+		t.Errorf("sum = %g, want 24.5", h.Sum())
+	}
+	snap := r.Snapshot().Histograms["bulk"]
+	wantCum := []int64{0, 3, 3, 5}
+	for i, b := range snap.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket[%d] (le=%s) = %d, want %d", i, b.LE, b.Count, wantCum[i])
+		}
+	}
+	var nilH *Histogram
+	nilH.ObserveN(1, 1) // must not panic
+}
+
 func TestHistogramDefaultAndDuplicateBuckets(t *testing.T) {
 	r := NewRegistry()
 	if h := r.Histogram("def", nil); len(h.bounds) != len(DefBuckets) {

@@ -56,6 +56,7 @@ import (
 	"press/internal/obs"
 	"press/internal/obs/flight"
 	"press/internal/obs/health"
+	"press/internal/obs/perf"
 	"press/internal/ofdm"
 	"press/internal/propagation"
 	"press/internal/radio"
@@ -413,9 +414,10 @@ type (
 	// TelemetryCLI bundles the standard -telemetry/-log-level/-cpuprofile
 	// flags and their lifecycle for command-line binaries, extended with
 	// the channel-health layer (-alert-rules, -health-interval, /alerts,
-	// /health.json, /dashboard) and the flight-recorder layer
-	// (-flight-dir, -flight-segment-mb, /runs).
-	TelemetryCLI = flight.CLI
+	// /health.json, /dashboard), the flight-recorder layer (-flight-dir,
+	// -flight-segment-mb, /runs), and the performance-radar layer
+	// (-runtime-metrics-interval, -bench-baselines, /perfz).
+	TelemetryCLI = perf.CLI
 	// FlightRecorder appends a durable, crash-safe run log (manifest,
 	// actuations, CSI/KPI samples, alerts, search decisions) to
 	// size-rotated CRC-framed segment files. A nil recorder discards
