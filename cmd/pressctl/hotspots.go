@@ -1,0 +1,40 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+
+	"press/internal/obs/flight"
+	"press/internal/obs/prof"
+)
+
+// runHotspots renders the phase-cost breakdown of a recorded run: wall
+// clock attributed to named phases, cost per configuration, and cost per
+// subcarrier evaluation. The run must have been recorded with phase
+// accounting on (any run with -flight-dir qualifies).
+func runHotspots(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hotspots", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the cost report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: pressctl hotspots [flags] RUNDIR")
+	}
+	run, err := flight.ReadRun(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep, err := prof.BuildReport(run)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		e := json.NewEncoder(out)
+		e.SetIndent("", "  ")
+		return e.Encode(rep)
+	}
+	return rep.WriteText(out)
+}

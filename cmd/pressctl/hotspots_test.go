@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"press/internal/obs/prof"
+)
+
+// TestHotspotsCommand records a demo run (phase accounting is implied by
+// -flight-dir) and checks that the hotspots report attributes its cost
+// to named phases in both text and JSON form.
+func TestHotspotsCommand(t *testing.T) {
+	root := t.TempDir()
+	runDir := recordDemo(t, root)
+
+	var out bytes.Buffer
+	if err := runHotspots([]string{runDir}, &out); err != nil {
+		t.Fatalf("hotspots: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"search_eval", "channel_sum", "frame_synth", "actuate", "coverage"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("hotspots output missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if err := runHotspots([]string{"-json", runDir}, &out); err != nil {
+		t.Fatalf("hotspots -json: %v", err)
+	}
+	var rep prof.CostReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("hotspots -json output not JSON: %v\n%s", err, out.String())
+	}
+	if rep.WallNs <= 0 || len(rep.Phases) == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	// The demo's cost is dominated by the instrumented search loop, whose
+	// leaves (trace, channel_sum, frame_synth, estimate) must account for
+	// most of the root wall clock.
+	if rep.Coverage < 0.5 {
+		t.Errorf("coverage = %.2f, want most of the wall clock attributed", rep.Coverage)
+	}
+
+	if err := runHotspots([]string{}, &out); err == nil {
+		t.Error("hotspots with no args should fail")
+	}
+}

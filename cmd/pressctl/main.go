@@ -13,6 +13,7 @@
 //	pressctl ping  -connect ADDR     # control-plane RTT against an agent
 //	pressctl replay runs/RUNID       # re-execute a run log, verify KPIs
 //	pressctl rundiff runs/A runs/B   # KPI deltas between two run logs
+//	pressctl hotspots runs/RUNID     # phase-cost breakdown of a run log
 package main
 
 import (
@@ -77,7 +78,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: pressctl demo|agent|ping|replay|rundiff [flags]")
+		return errors.New("usage: pressctl demo|agent|ping|replay|rundiff|hotspots [flags]")
 	}
 	switch args[0] {
 	case "demo":
@@ -90,15 +91,20 @@ func run(args []string) error {
 		return runReplay(args[1:], os.Stdout)
 	case "rundiff":
 		return runDiffCmd(args[1:], os.Stdout)
+	case "hotspots":
+		return runHotspots(args[1:], os.Stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want demo|agent|ping|replay|rundiff)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want demo|agent|ping|replay|rundiff|hotspots)", args[0])
 	}
 }
 
 // buildScenario assembles the demo space: NLoS room, three parabolic
-// elements, one AP→client link.
-func buildScenario(seed uint64) (*press.Space, error) {
+// elements, one AP→client link. The collector (nil when accounting is
+// off) is attached before construction so the initial environment traces
+// are attributed too.
+func buildScenario(seed uint64, pc *press.ProfCollector) (*press.Space, error) {
 	env := press.NewEnvironment(12, 9, 3)
+	env.Prof = pc
 	env.AddScatterers(rand.New(rand.NewPCG(seed, 1)), 10, 35)
 	env.Blockers = append(env.Blockers,
 		press.NewBlocker(press.V(5.6, 4.2, 0), press.V(5.9, 5.0, 2.2), 35))
@@ -141,12 +147,13 @@ func runDemo(args []string) error {
 		return err
 	}
 
-	space, err := buildScenario(*seed)
+	space, err := buildScenario(*seed, tele.Prof())
 	if err != nil {
 		return err
 	}
 	link := space.Link("ap-client")
 	link.Obs = tele.Registry()
+	link.Prof = tele.Prof()
 	link.OnCSI = demoCSIHook(tele.Health(), tele.Flight())
 
 	// Element-side agent on a TCP loopback listener.
@@ -179,6 +186,7 @@ func runDemo(args []string) error {
 	ctrl := press.NewController(press.NewStreamConn(nc))
 	ctrl.Obs = tele.Registry()
 	ctrl.Log = tele.Logger()
+	ctrl.Prof = tele.Prof()
 	hctx, hcancel := context.WithTimeout(ctx, 5*time.Second)
 	defer hcancel()
 	hsp := press.StartSpan(tele.Registry(), "demo/handshake")
@@ -238,9 +246,9 @@ func runDemo(args []string) error {
 		return objective.Score(csi), nil
 	}
 
-	searcher := press.InstrumentSearcherFlight(
+	searcher := press.InstrumentSearcherProf(
 		press.Greedy{Rng: rand.New(rand.NewPCG(*seed, 2)), Restarts: demoRestarts},
-		tele.Registry(), tele.Logger(), tele.Health(), rec)
+		tele.Registry(), tele.Logger(), tele.Health(), rec, tele.Prof())
 	res, err := searcher.Search(space.Array, eval, budget)
 	if err != nil && !errors.Is(err, press.ErrBudgetExhausted) {
 		return err

@@ -12,7 +12,7 @@ func TestRunUsage(t *testing.T) {
 }
 
 func TestBuildScenario(t *testing.T) {
-	space, err := buildScenario(42)
+	space, err := buildScenario(42, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +23,7 @@ func TestBuildScenario(t *testing.T) {
 		t.Error("ap-client link missing")
 	}
 	// Deterministic per seed.
-	again, err := buildScenario(42)
+	again, err := buildScenario(42, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -131,7 +131,7 @@ func replayDemo(man *flight.Manifest, rec *flight.Recorder) error {
 		return err
 	}
 
-	space, err := buildScenario(man.Seed)
+	space, err := buildScenario(man.Seed, nil)
 	if err != nil {
 		return err
 	}

@@ -24,7 +24,7 @@ import (
 	"press/internal/experiments"
 	"press/internal/obs"
 	"press/internal/obs/flight"
-	"press/internal/obs/perf"
+	"press/internal/obs/prof"
 )
 
 func main() {
@@ -44,7 +44,7 @@ type options struct {
 	budget     int
 	csvDir     string
 	recordPath string
-	tele       perf.CLI
+	tele       prof.CLI
 }
 
 // spec captures the invocation as a replayable RunSpec — the exact
@@ -87,6 +87,8 @@ func run(args []string, out io.Writer) error {
 	defer experiments.SetHealth(nil)
 	experiments.SetFlight(opt.tele.Flight())
 	defer experiments.SetFlight(nil)
+	experiments.SetProf(opt.tele.Prof())
+	defer experiments.SetProf(nil)
 	if rec := opt.tele.Flight(); rec != nil {
 		man := flight.NewManifest("pressim", opt.exp, opt.seed)
 		man.SetParams(opt.spec().Params())

@@ -22,7 +22,7 @@ import (
 	"press/internal/experiments"
 	"press/internal/obs"
 	"press/internal/obs/flight"
-	"press/internal/obs/perf"
+	"press/internal/obs/prof"
 	"press/internal/radio"
 )
 
@@ -52,13 +52,14 @@ func run(args []string) error {
 // startTelemetry brings up the parsed telemetry flags and installs the
 // experiments observer. The returned finish func tears both down and
 // emits the snapshot ("-" goes to stdout, after the CSV).
-func startTelemetry(tele *perf.CLI, scenario string, seed uint64) (finish func() error, err error) {
+func startTelemetry(tele *prof.CLI, scenario string, seed uint64) (finish func() error, err error) {
 	if err := tele.Start(os.Stderr); err != nil {
 		return nil, err
 	}
 	experiments.SetObserver(tele.Registry(), tele.Logger())
 	experiments.SetHealth(tele.Health())
 	experiments.SetFlight(tele.Flight())
+	experiments.SetProf(tele.Prof())
 	if rec := tele.Flight(); rec != nil {
 		rec.RecordManifest(flight.NewManifest("presssweep", scenario, seed))
 	}
@@ -66,6 +67,7 @@ func startTelemetry(tele *perf.CLI, scenario string, seed uint64) (finish func()
 		experiments.SetObserver(nil, nil)
 		experiments.SetHealth(nil)
 		experiments.SetFlight(nil)
+		experiments.SetProf(nil)
 		return tele.Finish(os.Stdout)
 	}, nil
 }
@@ -82,7 +84,7 @@ func runConvergence(args []string) error {
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	elements := fs.Int("elements", 8, "array size (space 4^n)")
 	budget := fs.Int("budget", 300, "measurement budget per searcher")
-	var tele perf.CLI
+	var tele prof.CLI
 	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,7 +137,7 @@ func runBudget(args []string) error {
 	fs := flag.NewFlagSet("budget", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	perMeas := fs.Duration("per-measurement", 2*time.Millisecond, "measurement cost")
-	var tele perf.CLI
+	var tele prof.CLI
 	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -195,7 +197,7 @@ func runDensity(args []string) error {
 	fs := flag.NewFlagSet("density", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	maxN := fs.Int("max-elements", 6, "largest array size")
-	var tele perf.CLI
+	var tele prof.CLI
 	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -1,0 +1,39 @@
+package cmat
+
+// Flop estimators for the work-accounting layer: coarse real-operation
+// counts for the package's dominant kernels, so cost-per-solve reports
+// can normalize by arithmetic volume rather than matrix count. They are
+// models, not measurements — good to a small constant factor, which is
+// all a cost trend needs.
+
+// complexMACFlops is the real-op cost of one complex multiply-accumulate
+// (4 multiplies + 4 adds).
+const complexMACFlops = 8
+
+// jacobiSweepsEstimate approximates how many one-sided Jacobi sweeps
+// Decompose needs to converge on the well-conditioned matrices MIMO
+// channels produce.
+const jacobiSweepsEstimate = 6
+
+// MulFlops estimates the real flops of an (m×k)·(k×n) complex matrix
+// multiply.
+func MulFlops(m, k, n int) int64 {
+	return int64(m) * int64(k) * int64(n) * complexMACFlops
+}
+
+// SVDFlops estimates the real flops of a Jacobi SVD of a rows×cols
+// matrix: per sweep, every column pair gets a rotation touching two
+// length-rows columns.
+func SVDFlops(rows, cols int) int64 {
+	if rows < cols {
+		rows, cols = cols, rows
+	}
+	pairs := int64(cols) * int64(cols-1) / 2
+	if pairs == 0 {
+		pairs = 1
+	}
+	return jacobiSweepsEstimate * pairs * int64(rows) * 4 * complexMACFlops
+}
+
+// SingularValues2x2Flops is the closed-form 2×2 singular-value cost.
+func SingularValues2x2Flops() int64 { return 64 }

@@ -8,6 +8,7 @@ import (
 	"press/internal/obs"
 	"press/internal/obs/flight"
 	"press/internal/obs/health"
+	"press/internal/obs/prof"
 )
 
 // Instrumented wraps any Searcher with telemetry: a per-strategy span
@@ -28,6 +29,10 @@ type Instrumented struct {
 	// improved flag) as a search-decision record in the run log — the
 	// audit trail `pressctl replay` re-verifies.
 	Flight *flight.Recorder
+	// Prof, when set, accounts each evaluation to the search_eval root
+	// phase (wall time, configs scored) so hotspot reports can apportion
+	// the search loop's cost.
+	Prof *prof.Collector
 }
 
 // Instrument wraps s unless telemetry is fully disabled, in which case
@@ -45,10 +50,16 @@ func InstrumentHealth(s Searcher, reg *obs.Registry, log *obs.Logger, h *health.
 // InstrumentFlight is InstrumentHealth plus a flight recorder that logs
 // every evaluation as a durable search-decision record.
 func InstrumentFlight(s Searcher, reg *obs.Registry, log *obs.Logger, h *health.Monitor, rec *flight.Recorder) Searcher {
-	if reg == nil && log == nil && h == nil && rec == nil {
+	return InstrumentProf(s, reg, log, h, rec, nil)
+}
+
+// InstrumentProf is InstrumentFlight plus a work-accounting collector
+// that attributes search-evaluation cost to the search_eval phase.
+func InstrumentProf(s Searcher, reg *obs.Registry, log *obs.Logger, h *health.Monitor, rec *flight.Recorder, pc *prof.Collector) Searcher {
+	if reg == nil && log == nil && h == nil && rec == nil && pc == nil {
 		return s
 	}
-	return Instrumented{Searcher: s, Obs: reg, Log: log, Health: h, Flight: rec}
+	return Instrumented{Searcher: s, Obs: reg, Log: log, Health: h, Flight: rec, Prof: pc}
 }
 
 // Name implements Searcher.
@@ -68,10 +79,14 @@ func (in Instrumented) Search(arr *element.Array, eval EvalFunc, budget int) (*R
 	best := math.Inf(-1)
 	n := 0
 	wrapped := func(cfg element.Config) (float64, error) {
+		esp := in.Prof.Start(prof.PhaseSearch)
 		score, err := eval(cfg)
 		if err != nil {
+			esp.End()
 			return score, err
 		}
+		in.Prof.Add(prof.PhaseSearch, prof.AuxConfigsScored, 1)
+		esp.End()
 		evals.Inc()
 		n++
 		improved := score > best

@@ -9,6 +9,7 @@ import (
 
 	"press/internal/element"
 	"press/internal/obs"
+	"press/internal/obs/prof"
 )
 
 // Stats counts controller-side protocol events, for the latency/loss
@@ -49,6 +50,9 @@ type Controller struct {
 	// Log, when set, receives protocol events (retries, give-ups) as
 	// structured records.
 	Log *obs.Logger
+	// Prof, when set, accounts actuation round trips (send → matching
+	// ack) to the actuate phase.
+	Prof *prof.Collector
 
 	seq atomic.Uint32
 	// agentID and numElements are learned from the agent's Hello.
@@ -173,6 +177,8 @@ func (c *Controller) SetConfigTraced(ctx context.Context, cfg element.Config) (u
 	seq := c.seq.Add(1)
 	trace := obs.NewTraceID()
 	reqStart := time.Now()
+	psp := c.Prof.Start(prof.PhaseActuate)
+	defer psp.End()
 
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
@@ -212,6 +218,7 @@ func (c *Controller) SetConfigTraced(ctx context.Context, cfg element.Config) (u
 			}
 			c.Stats.Acked.Add(1)
 			c.Obs.Counter("controlplane_acks_total").Inc()
+			c.Prof.Add(prof.PhaseActuate, prof.AuxActuations, 1)
 			return trace, nil
 		}
 		lastErr = err

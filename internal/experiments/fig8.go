@@ -72,7 +72,7 @@ func RunFig8(opts Fig8Options) (*Fig8Result, error) {
 				return false
 			}
 			at += time.Duration(opts.Snapshots) * radio.PrototypeTiming.PerMeasurement
-			cond := ch.CondProfileDB()
+			cond := ch.CondProfileDBProf(profC())
 			observeCondProfile(cond)
 			samples[idx] = append(samples[idx], cond...)
 			if rep == 0 {

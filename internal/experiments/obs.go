@@ -7,6 +7,7 @@ import (
 	"press/internal/obs"
 	"press/internal/obs/flight"
 	"press/internal/obs/health"
+	"press/internal/obs/prof"
 	"press/internal/radio"
 	"press/internal/stats"
 )
@@ -52,10 +53,11 @@ func obsLogger() *obs.Logger {
 	return nil
 }
 
-// instrument wraps s with the installed observer, health monitor, and
-// flight recorder; with none of them it returns s unchanged.
+// instrument wraps s with the installed observer, health monitor,
+// flight recorder, and work-accounting collector; with none of them it
+// returns s unchanged.
 func instrument(s control.Searcher) control.Searcher {
-	return control.InstrumentFlight(s, obsRegistry(), obsLogger(), healthMon(), flightRec())
+	return control.InstrumentProf(s, obsRegistry(), obsLogger(), healthMon(), flightRec(), profC())
 }
 
 var currentHealth atomic.Pointer[health.Monitor]
@@ -83,6 +85,19 @@ func SetFlight(rec *flight.Recorder) { currentFlight.Store(rec) }
 // flightRec returns the installed recorder, or nil when run logging is
 // off (every consumer is nil-safe).
 func flightRec() *flight.Recorder { return currentFlight.Load() }
+
+var currentProf atomic.Pointer[prof.Collector]
+
+// SetProf installs a process-wide work-accounting collector: scenario
+// Builds attach it to the environments and links they create, and search
+// call sites account their evaluation loops to the search_eval phase.
+// Pass nil to clear. The same single-process rationale as SetObserver
+// applies.
+func SetProf(c *prof.Collector) { currentProf.Store(c) }
+
+// profC returns the installed collector, or nil when phase accounting is
+// off (every consumer is nil-safe).
+func profC() *prof.Collector { return currentProf.Load() }
 
 // attachObservers points a link's CSI hook at the installed health
 // monitor and flight recorder. With neither the hook stays nil and

@@ -52,7 +52,7 @@ func RunMIMOScaling(seed uint64, dims []int, snapshots int) (*MIMOScalingResult,
 				return false
 			}
 			at += time.Duration(snapshots) * radio.PrototypeTiming.PerMeasurement
-			cond := ch.CondProfileDB()
+			cond := ch.CondProfileDBProf(profC())
 			observeCondProfile(cond)
 			med := stats.Median(cond)
 			if first || med < best {

@@ -72,6 +72,7 @@ func (s SISOScenario) Build() (*radio.Link, error) {
 	}
 	env := propagation.NewEnvironment(rx2, ry2, 3)
 	env.Obs = obsRegistry()
+	env.Prof = profC()
 	env.AddScatterers(rand.New(rand.NewPCG(s.Seed, 0xa11ce)), s.NumScatterers, s.ScattererAmp)
 
 	cx, cy := rx2/2, ry2/2
@@ -118,6 +119,7 @@ func (s SISOScenario) Build() (*radio.Link, error) {
 		return nil, err
 	}
 	link.Obs = obsRegistry()
+	link.Prof = profC()
 	attachObservers(link)
 	return link, nil
 }
@@ -148,6 +150,7 @@ func DefaultMIMO(seed uint64) MIMOScenario {
 func (s MIMOScenario) Build() (*radio.MIMOLink, error) {
 	env := propagation.NewEnvironment(14, 10, 3)
 	env.Obs = obsRegistry()
+	env.Prof = profC()
 	env.AddScatterers(rand.New(rand.NewPCG(s.Seed, 0xa11ce)), 16, 40)
 	env.Blockers = append(env.Blockers,
 		geom.NewBlocker(geom.V(6.6, 4.7, 0), geom.V(6.9, 5.5, 2.2), 35))
@@ -181,6 +184,7 @@ func (s MIMOScenario) Build() (*radio.MIMOLink, error) {
 	}
 	ml.NumTraining = 4
 	ml.Obs = obsRegistry()
+	ml.Prof = profC()
 	return ml, nil
 }
 

@@ -1,0 +1,40 @@
+package mimo
+
+import (
+	"press/internal/cmat"
+	"press/internal/obs/prof"
+)
+
+// CondProfileDBProf is CondProfileDB with solve-phase work accounting:
+// the per-subcarrier singular-value computations are timed under
+// prof.PhaseSolve with solve and flop counts. A nil collector is
+// exactly CondProfileDB.
+func (c *Channel) CondProfileDBProf(pc *prof.Collector) []float64 {
+	if pc == nil {
+		return c.CondProfileDB()
+	}
+	sp := pc.Start(prof.PhaseSolve)
+	out := c.CondProfileDB()
+	pc.Add(prof.PhaseSolve, prof.AuxSolves, int64(len(c.Matrices)))
+	pc.Add(prof.PhaseSolve, prof.AuxFlops, c.condFlops())
+	sp.End()
+	return out
+}
+
+// condFlops estimates the arithmetic volume of one condition-number
+// profile over the channel's matrices (closed form for 2×2, Jacobi SVD
+// otherwise — mirroring CondNumberDB's dispatch).
+func (c *Channel) condFlops() int64 {
+	var total int64
+	for _, m := range c.Matrices {
+		if m == nil {
+			continue
+		}
+		if m.Rows == 2 && m.Cols == 2 {
+			total += cmat.SingularValues2x2Flops()
+		} else {
+			total += cmat.SVDFlops(m.Rows, m.Cols)
+		}
+	}
+	return total
+}

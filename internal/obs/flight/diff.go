@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 )
 
 // FieldDelta is one compared metric in a cross-run diff.
@@ -80,7 +81,39 @@ func Diff(a, b Summary) *RunDiff {
 	addDist("gc_pause_p99_ms", a.GCPauseP99Ms, b.GCPauseP99Ms)
 	addDist("sched_latency_p99_ms", a.SchedLatP99Ms, b.SchedLatP99Ms)
 	add("gc_cycles", float64(a.GCCycles), float64(b.GCCycles))
+
+	// Per-phase cost deltas over the union of phase names, so a phase
+	// present on only one side still shows up.
+	pa := phaseIndex(a.Phases)
+	pb := phaseIndex(b.Phases)
+	for _, name := range phaseNameUnion(a.Phases, b.Phases) {
+		add("phase."+name+".ms", float64(pa[name].Ns)/1e6, float64(pb[name].Ns)/1e6)
+		add("phase."+name+".calls", float64(pa[name].Calls), float64(pb[name].Calls))
+	}
 	return d
+}
+
+func phaseIndex(ps []PhaseSummary) map[string]PhaseSummary {
+	m := make(map[string]PhaseSummary, len(ps))
+	for _, p := range ps {
+		m[p.Phase] = p
+	}
+	return m
+}
+
+func phaseNameUnion(a, b []PhaseSummary) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var names []string
+	for _, ps := range [2][]PhaseSummary{a, b} {
+		for _, p := range ps {
+			if !seen[p.Phase] {
+				seen[p.Phase] = true
+				names = append(names, p.Phase)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 // WriteText renders the diff as an aligned table.

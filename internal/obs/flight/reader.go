@@ -17,6 +17,7 @@ type Run struct {
 	Alerts     []AlertTransition `json:"alerts,omitempty"`
 	Decisions  []SearchDecision  `json:"decisions,omitempty"`
 	Runtime    []RuntimeSample   `json:"runtime,omitempty"`
+	PhaseCosts []PhaseCost       `json:"phase_costs,omitempty"`
 	Stats      DecodeStats       `json:"stats"`
 }
 
@@ -111,6 +112,13 @@ func (run *Run) apply(kind Kind, payload []byte) {
 			return
 		}
 		run.Runtime = append(run.Runtime, s)
+	case KindPhaseCost:
+		p, err := decodePhaseCost(payload)
+		if err != nil {
+			run.Stats.Corrupt++
+			return
+		}
+		run.PhaseCosts = append(run.PhaseCosts, p)
 	default:
 		run.Stats.Unknown++
 	}

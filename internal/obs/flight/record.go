@@ -26,6 +26,7 @@ const (
 	KindAlert     Kind = 5 // one alert-rule state transition
 	KindDecision  Kind = 6 // one search evaluation
 	KindRuntime   Kind = 7 // one periodic Go-runtime health snapshot
+	KindPhaseCost Kind = 8 // one cumulative per-phase work-accounting sample
 )
 
 // String names a kind for logs and summaries.
@@ -45,6 +46,8 @@ func (k Kind) String() string {
 		return "decision"
 	case KindRuntime:
 		return "runtime"
+	case KindPhaseCost:
+		return "phase_cost"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -189,6 +192,31 @@ type RuntimeSample struct {
 	GCPauseP50    float64 `json:"gc_pause_p50_s"`
 	GCPauseP99    float64 `json:"gc_pause_p99_s"`
 	SchedLatP99   float64 `json:"sched_latency_p99_s"`
+}
+
+// AuxCount is one named work counter riding a PhaseCost sample —
+// domain units like images enumerated, paths kept, or subcarrier
+// evaluations that give the ns/calls pair a denominator.
+type AuxCount struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// PhaseCost is one cumulative work-accounting sample for a named
+// execution phase ("path_trace", "channel_sum", ...). Samples are
+// cumulative since collection started, so the last record per phase
+// carries the run's totals and a torn tail only loses recency, never
+// the whole tally.
+type PhaseCost struct {
+	UnixNs int64  `json:"unix_ns"`
+	Phase  string `json:"phase"`
+	// Ns is total time spent inside the phase, Calls how many spans
+	// closed, Bytes the heap bytes allocated while a phase span was open
+	// (process-wide reading; see internal/obs/prof).
+	Ns    int64      `json:"ns"`
+	Calls int64      `json:"calls"`
+	Bytes int64      `json:"bytes,omitempty"`
+	Aux   []AuxCount `json:"aux,omitempty"`
 }
 
 // SearchDecision is one configuration-search evaluation: which config
@@ -444,6 +472,28 @@ func decodeRuntime(payload []byte) (RuntimeSample, error) {
 		return RuntimeSample{}, errBadPayload
 	}
 	return s, nil
+}
+
+func decodePhaseCost(payload []byte) (PhaseCost, error) {
+	d := &dec{b: payload}
+	p := PhaseCost{
+		UnixNs: d.i64(), Phase: d.str(),
+		Ns: d.i64(), Calls: d.i64(), Bytes: d.i64(),
+	}
+	n := int(d.u32())
+	if d.bad || n < 0 || len(d.b)-d.off < n { // ≥1 byte per aux entry
+		return PhaseCost{}, errBadPayload
+	}
+	if n > 0 {
+		p.Aux = make([]AuxCount, n)
+		for i := range p.Aux {
+			p.Aux[i] = AuxCount{Name: d.str(), Value: d.i64()}
+		}
+	}
+	if !d.done() {
+		return PhaseCost{}, errBadPayload
+	}
+	return p, nil
 }
 
 func decodeDecision(payload []byte) (SearchDecision, error) {

@@ -2,6 +2,7 @@ package flight
 
 import (
 	"math"
+	"sort"
 
 	"press/internal/stats"
 )
@@ -79,7 +80,42 @@ type Summary struct {
 	// minus first).
 	GCCycles uint64 `json:"gc_cycles,omitempty"`
 
+	// Phases carries the run's final per-phase work-accounting totals
+	// (empty when the run recorded no phase-cost samples).
+	Phases []PhaseSummary `json:"phases,omitempty"`
+
 	Decode DecodeStats `json:"decode"`
+}
+
+// PhaseSummary is one phase's final cumulative work totals. Because
+// PhaseCost samples are cumulative, the last sample per phase name wins.
+type PhaseSummary struct {
+	Phase string     `json:"phase"`
+	Ns    int64      `json:"ns"`
+	Calls int64      `json:"calls"`
+	Bytes int64      `json:"bytes,omitempty"`
+	Aux   []AuxCount `json:"aux,omitempty"`
+}
+
+// summarizePhases reduces the cumulative sample stream to the final
+// totals per phase, sorted by phase name for stable output.
+func summarizePhases(samples []PhaseCost) []PhaseSummary {
+	if len(samples) == 0 {
+		return nil
+	}
+	last := make(map[string]PhaseCost, 8)
+	for _, p := range samples {
+		prev, ok := last[p.Phase]
+		if !ok || p.UnixNs >= prev.UnixNs {
+			last[p.Phase] = p
+		}
+	}
+	out := make([]PhaseSummary, 0, len(last))
+	for _, p := range last {
+		out = append(out, PhaseSummary{Phase: p.Phase, Ns: p.Ns, Calls: p.Calls, Bytes: p.Bytes, Aux: p.Aux})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phase < out[j].Phase })
+	return out
 }
 
 // Summarize aggregates a decoded run. It never fails: missing record
@@ -171,6 +207,7 @@ func Summarize(run *Run) Summary {
 			s.GCCycles = last - first
 		}
 	}
+	s.Phases = summarizePhases(run.PhaseCosts)
 	return s
 }
 

@@ -106,6 +106,60 @@ func TestDiff(t *testing.T) {
 	}
 }
 
+func TestSummarizePhasesLastSampleWins(t *testing.T) {
+	run := &Run{PhaseCosts: []PhaseCost{
+		{UnixNs: 1, Phase: "path_trace", Ns: 100, Calls: 1},
+		{UnixNs: 2, Phase: "channel_sum", Ns: 500, Calls: 2,
+			Aux: []AuxCount{{Name: "subcarrier_evals", Value: 52}}},
+		{UnixNs: 3, Phase: "path_trace", Ns: 900, Calls: 4, Bytes: 64},
+	}}
+	s := Summarize(run)
+	if len(s.Phases) != 2 {
+		t.Fatalf("phases = %+v", s.Phases)
+	}
+	// Sorted by name; cumulative samples mean the latest wins.
+	if p := s.Phases[0]; p.Phase != "channel_sum" || p.Ns != 500 || p.Calls != 2 ||
+		len(p.Aux) != 1 || p.Aux[0].Value != 52 {
+		t.Errorf("phases[0] = %+v", p)
+	}
+	if p := s.Phases[1]; p.Phase != "path_trace" || p.Ns != 900 || p.Calls != 4 || p.Bytes != 64 {
+		t.Errorf("phases[1] = %+v", p)
+	}
+}
+
+func TestDiffPhaseDeltas(t *testing.T) {
+	ra := sampleRun(7, 0)
+	ra.PhaseCosts = []PhaseCost{
+		{UnixNs: 1, Phase: "channel_sum", Ns: 2_000_000, Calls: 10},
+		{UnixNs: 1, Phase: "path_trace", Ns: 1_000_000, Calls: 5},
+	}
+	rb := sampleRun(7, 0)
+	rb.PhaseCosts = []PhaseCost{
+		{UnixNs: 1, Phase: "channel_sum", Ns: 3_000_000, Calls: 10},
+		{UnixNs: 1, Phase: "estimate", Ns: 500_000, Calls: 10},
+	}
+	d := Diff(Summarize(ra), Summarize(rb))
+	find := func(name string) FieldDelta {
+		for _, f := range d.Fields {
+			if f.Name == name {
+				return f
+			}
+		}
+		t.Fatalf("field %q missing from diff: %+v", name, d.Fields)
+		return FieldDelta{}
+	}
+	if f := find("phase.channel_sum.ms"); f.A != 2 || f.B != 3 || f.Delta != 1 {
+		t.Errorf("channel_sum ms = %+v", f)
+	}
+	// Union semantics: a phase on only one side still appears.
+	if f := find("phase.path_trace.ms"); f.A != 1 || f.B != 0 {
+		t.Errorf("path_trace ms = %+v", f)
+	}
+	if f := find("phase.estimate.calls"); f.A != 0 || f.B != 10 {
+		t.Errorf("estimate calls = %+v", f)
+	}
+}
+
 func TestVerifyClean(t *testing.T) {
 	a, b := sampleRun(7, 0), sampleRun(7, 0)
 	v := Verify(a, b, 1e-9)

@@ -353,6 +353,29 @@ func (r *Recorder) RecordRuntime(s RuntimeSample) {
 	r.commit(KindRuntime)
 }
 
+// RecordPhaseCost logs one cumulative per-phase work-accounting sample.
+// A zero UnixNs is stamped with the current time.
+func (r *Recorder) RecordPhaseCost(p PhaseCost) {
+	e := r.begin()
+	if e == nil {
+		return
+	}
+	if p.UnixNs == 0 {
+		p.UnixNs = time.Now().UnixNano()
+	}
+	e.i64(p.UnixNs)
+	e.str(p.Phase)
+	e.i64(p.Ns)
+	e.i64(p.Calls)
+	e.i64(p.Bytes)
+	e.u32(uint32(len(p.Aux)))
+	for _, a := range p.Aux {
+		e.str(a.Name)
+		e.i64(a.Value)
+	}
+	r.commit(KindPhaseCost)
+}
+
 // RecordDecision logs one search evaluation: the measured config, its
 // score, and whether it improved the best-so-far.
 func (r *Recorder) RecordDecision(eval uint64, score float64, improved bool, cfg []int) {

@@ -38,18 +38,23 @@ func TestRecorderGoldenRoundTrip(t *testing.T) {
 		HeapLiveBytes: 4 << 20, HeapGoalBytes: 8 << 20, Goroutines: 9,
 		GCCycles: 12, GCPauseP50: 25e-6, GCPauseP99: 180e-6, SchedLatP99: 90e-6,
 	})
+	rec.RecordPhaseCost(PhaseCost{
+		Phase: "channel_sum", Ns: 1_500_000, Calls: 64, Bytes: 4096,
+		Aux: []AuxCount{{Name: "subcarrier_evals", Value: 3328}, {Name: "path_terms", Value: 99840}},
+	})
+	rec.RecordPhaseCost(PhaseCost{Phase: "actuate", Ns: 250_000, Calls: 64})
 	if err := rec.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if got := rec.Records(); got != 8 {
-		t.Errorf("Records() = %d, want 8", got)
+	if got := rec.Records(); got != 10 {
+		t.Errorf("Records() = %d, want 10", got)
 	}
 
 	run, err := ReadRun(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if run.Stats.Corrupt != 0 || run.Stats.TornTail || run.Stats.Frames != 8 {
+	if run.Stats.Corrupt != 0 || run.Stats.TornTail || run.Stats.Frames != 10 {
 		t.Errorf("decode stats = %+v", run.Stats)
 	}
 
@@ -116,6 +121,17 @@ func TestRecorderGoldenRoundTrip(t *testing.T) {
 		rt.HeapGoalBytes != 8<<20 || rt.Goroutines != 9 || rt.GCCycles != 12 ||
 		rt.GCPauseP50 != 25e-6 || rt.GCPauseP99 != 180e-6 || rt.SchedLatP99 != 90e-6 {
 		t.Errorf("runtime sample = %+v", rt)
+	}
+	if len(run.PhaseCosts) != 2 {
+		t.Fatalf("phase costs = %+v", run.PhaseCosts)
+	}
+	if p := run.PhaseCosts[0]; p.UnixNs == 0 || p.Phase != "channel_sum" ||
+		p.Ns != 1_500_000 || p.Calls != 64 || p.Bytes != 4096 ||
+		!reflect.DeepEqual(p.Aux, []AuxCount{{Name: "subcarrier_evals", Value: 3328}, {Name: "path_terms", Value: 99840}}) {
+		t.Errorf("phase cost[0] = %+v", p)
+	}
+	if p := run.PhaseCosts[1]; p.Phase != "actuate" || p.Ns != 250_000 || p.Calls != 64 || len(p.Aux) != 0 {
+		t.Errorf("phase cost[1] = %+v", p)
 	}
 }
 

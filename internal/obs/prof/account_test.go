@@ -1,0 +1,171 @@
+package prof
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPhaseNamesAndRoots(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Phase(0); p < NumPhases; p++ {
+		name := p.Name()
+		if name == "" || name == "unknown" {
+			t.Errorf("phase %d has no name", p)
+		}
+		if seen[name] {
+			t.Errorf("duplicate phase name %q", name)
+		}
+		seen[name] = true
+		back, ok := PhaseByName(name)
+		if !ok || back != p {
+			t.Errorf("PhaseByName(%q) = %v, %v", name, back, ok)
+		}
+	}
+	if Phase(200).Name() != "unknown" {
+		t.Errorf("out-of-range name = %q", Phase(200).Name())
+	}
+	if _, ok := PhaseByName("nope"); ok {
+		t.Error("PhaseByName accepted unknown name")
+	}
+	if !PhaseSweep.Root() || !PhaseSearch.Root() {
+		t.Error("sweep/search must be roots")
+	}
+	if PhaseTrace.Root() || PhaseChannelSum.Root() || PhaseActuate.Root() {
+		t.Error("leaf phase reported as root")
+	}
+	if !RootPhaseName("sweep") || RootPhaseName("path_trace") || RootPhaseName("nope") {
+		t.Error("RootPhaseName misclassifies")
+	}
+}
+
+func TestCollectorAccumulates(t *testing.T) {
+	c := NewCollector()
+	s := c.Start(PhaseChannelSum)
+	time.Sleep(time.Millisecond)
+	s.End()
+	c.Add(PhaseChannelSum, AuxSubcarrierEvals, 52)
+	c.Add(PhaseChannelSum, AuxPathTerms, 520)
+	c.Add(PhaseChannelSum, AuxPathTerms, 0) // no-op
+
+	s2 := c.Start(PhaseChannelSum)
+	s2.End()
+
+	snap := c.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	pc := snap[0]
+	if pc.Phase != "channel_sum" || pc.Calls != 2 || pc.Ns < int64(time.Millisecond) {
+		t.Errorf("phase cost = %+v", pc)
+	}
+	want := map[string]int64{"subcarrier_evals": 52, "path_terms": 520}
+	if len(pc.Aux) != 2 {
+		t.Fatalf("aux = %+v", pc.Aux)
+	}
+	for _, a := range pc.Aux {
+		if want[a.Name] != a.Value {
+			t.Errorf("aux %s = %d, want %d", a.Name, a.Value, want[a.Name])
+		}
+	}
+	if c.Uptime() <= 0 {
+		t.Error("uptime not advancing")
+	}
+}
+
+func TestRootPhaseAccountsBytes(t *testing.T) {
+	c := NewCollector()
+	s := c.Start(PhaseSweep)
+	sink = make([]byte, 1<<20)
+	s.End()
+	snap := c.Snapshot()
+	if len(snap) != 1 || snap[0].Phase != "sweep" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// The span allocated a megabyte; the process-wide counter must have
+	// seen at least that.
+	if snap[0].Bytes < 1<<20 {
+		t.Errorf("sweep bytes = %d, want >= %d", snap[0].Bytes, 1<<20)
+	}
+}
+
+var sink []byte
+
+func TestNilCollectorIsInert(t *testing.T) {
+	var c *Collector
+	s := c.Start(PhaseTrace)
+	s.End()
+	c.Add(PhaseTrace, AuxPathsKept, 5)
+	if snap := c.Snapshot(); snap != nil {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+	if c.Uptime() != 0 {
+		t.Error("nil uptime != 0")
+	}
+}
+
+// TestAccountingZeroAllocs is the allocation-regression gate for the
+// hot-path hooks: span open/close and aux adds must not allocate, with
+// the collector enabled or nil — mirroring the nil-registry tests in
+// internal/obs.
+func TestAccountingZeroAllocs(t *testing.T) {
+	c := NewCollector()
+	cases := []struct {
+		name string
+		coll *Collector
+	}{
+		{"enabled", c},
+		{"nil", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name+"/leaf_span", func(t *testing.T) {
+			if n := testing.AllocsPerRun(200, func() {
+				s := tc.coll.Start(PhaseChannelSum)
+				s.End()
+			}); n != 0 {
+				t.Errorf("leaf span = %v allocs/op, want 0", n)
+			}
+		})
+		t.Run(tc.name+"/root_span", func(t *testing.T) {
+			if n := testing.AllocsPerRun(200, func() {
+				s := tc.coll.Start(PhaseSweep)
+				s.End()
+			}); n != 0 {
+				t.Errorf("root span = %v allocs/op, want 0", n)
+			}
+		})
+		t.Run(tc.name+"/add", func(t *testing.T) {
+			if n := testing.AllocsPerRun(200, func() {
+				tc.coll.Add(PhaseChannelSum, AuxSubcarrierEvals, 52)
+			}); n != 0 {
+				t.Errorf("Add = %v allocs/op, want 0", n)
+			}
+		})
+	}
+}
+
+func TestConcurrentSpansDoNotRace(t *testing.T) {
+	c := NewCollector()
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				s := c.Start(PhaseSweep) // root: exercises the memBuf CAS
+				c.Add(PhaseSweep, AuxConfigs, 1)
+				s.End()
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	snap := c.Snapshot()
+	if len(snap) != 1 || snap[0].Calls != 2000 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	for _, a := range snap[0].Aux {
+		if a.Name == "configs" && a.Value != 2000 {
+			t.Errorf("configs = %d, want 2000", a.Value)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"press/internal/obs"
+	"press/internal/obs/perf"
+)
+
+// flushInterval is how often the background flusher writes cumulative
+// phase-cost snapshots to the flight log. Samples are cumulative, so a
+// slow cadence costs only recency, never totals (Finish writes a final
+// snapshot regardless).
+const flushInterval = 5 * time.Second
+
+// CLI extends perf.CLI with the cost-attribution layer: phase-scoped
+// work accounting (-phase-accounting, auto-enabled whenever a flight
+// recorder is on so every recorded run carries its cost breakdown), the
+// continuous sampling profiler (-profile-interval), and the /profz
+// endpoint on the live telemetry server. Drop-in replacement for
+// perf.CLI:
+//
+//	var tele prof.CLI
+//	tele.Register(fs)
+//	// after fs.Parse:
+//	if err := tele.Start(os.Stderr); err != nil { ... }
+//	defer tele.Finish(os.Stdout)
+//
+// The collector is handed to the physics/control layers by the caller
+// (via tele.Prof()); a nil collector keeps every hook a single pointer
+// check.
+type CLI struct {
+	perf.CLI
+
+	// PhaseAccounting enables the work-accounting collector explicitly
+	// (it is implied by -flight-dir or -telemetry-addr, which give the
+	// totals somewhere to go).
+	PhaseAccounting bool
+	// ProfileInterval is the continuous profiler's capture period. Zero
+	// disables it.
+	ProfileInterval time.Duration
+	// ProfileWindow is each capture's CPU-profile duration.
+	ProfileWindow time.Duration
+	// ProfileTopN is the /profz hotspot table depth.
+	ProfileTopN int
+
+	collector *Collector
+	profiler  *Profiler
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// Register installs the perf telemetry flags plus the prof flags.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	c.CLI.Register(fs)
+	fs.BoolVar(&c.PhaseAccounting, "phase-accounting", false,
+		"accumulate per-phase work counters (ns, calls, domain units); implied by -flight-dir or -telemetry-addr")
+	fs.DurationVar(&c.ProfileInterval, "profile-interval", 0,
+		"capture a windowed CPU profile and delta heap profile at this period into the /profz hotspot table (0 = off)")
+	fs.DurationVar(&c.ProfileWindow, "profile-window", DefaultProfileWindow,
+		"duration of each continuous-profiler CPU capture window")
+	fs.IntVar(&c.ProfileTopN, "profile-top", DefaultTopN,
+		"functions kept in the /profz hotspot table")
+}
+
+// Start brings up the perf/flight/health/obs stack, then the collector,
+// the continuous profiler, the /profz route, and the phase-cost flusher.
+func (c *CLI) Start(logw io.Writer) error {
+	if c.ProfileInterval < 0 {
+		return fmt.Errorf("prof: negative -profile-interval %v", c.ProfileInterval)
+	}
+	if c.ProfileWindow < 0 {
+		return fmt.Errorf("prof: negative -profile-window %v", c.ProfileWindow)
+	}
+	if err := c.CLI.Start(logw); err != nil {
+		return err
+	}
+	if c.PhaseAccounting || c.Flight() != nil || c.Server() != nil {
+		c.collector = NewCollector()
+	}
+	if c.ProfileInterval > 0 {
+		c.profiler = NewProfiler(c.ProfileInterval, c.ProfileWindow, c.ProfileTopN)
+		c.profiler.Start()
+		if log := c.Logger(); log.Enabled(obs.LevelInfo) {
+			log.Info("continuous profiler started",
+				"interval", c.ProfileInterval, "window", c.ProfileWindow)
+		}
+	}
+	if srv := c.Server(); srv != nil {
+		RegisterRoutes(srv, c.collector, c.profiler)
+	}
+	if c.collector != nil && c.Flight() != nil {
+		c.flushStop = make(chan struct{})
+		c.flushDone = make(chan struct{})
+		go c.flushLoop()
+	}
+	return nil
+}
+
+// flushLoop periodically writes cumulative phase-cost snapshots so a
+// crashed run still carries cost data up to the last flush.
+func (c *CLI) flushLoop() {
+	defer close(c.flushDone)
+	t := time.NewTicker(flushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.flushStop:
+			return
+		case <-t.C:
+			c.flushPhaseCosts()
+		}
+	}
+}
+
+func (c *CLI) flushPhaseCosts() {
+	rec := c.Flight()
+	if rec == nil {
+		return
+	}
+	for _, pc := range c.collector.Snapshot() {
+		rec.RecordPhaseCost(pc)
+	}
+}
+
+// Prof returns the work-accounting collector, nil when accounting is
+// off — callers hand it to the physics/control layers unconditionally.
+func (c *CLI) Prof() *Collector { return c.collector }
+
+// Profiler returns the continuous profiler, nil when -profile-interval
+// was not given.
+func (c *CLI) Profiler() *Profiler { return c.profiler }
+
+// Finish writes the final phase-cost snapshot, stops the profiler, and
+// tears down the perf/flight/health/obs layers.
+func (c *CLI) Finish(stdout io.Writer) error {
+	if c.flushStop != nil {
+		close(c.flushStop)
+		<-c.flushDone
+		c.flushStop, c.flushDone = nil, nil
+	}
+	if c.collector != nil {
+		c.flushPhaseCosts() // final cumulative totals before the recorder closes
+	}
+	if c.profiler != nil {
+		c.profiler.Stop()
+		c.profiler = nil
+	}
+	err := c.CLI.Finish(stdout)
+	c.collector = nil
+	return err
+}

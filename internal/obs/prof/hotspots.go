@@ -1,0 +1,188 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"press/internal/obs/flight"
+)
+
+// CostReport is the phase-cost breakdown of one recorded run — what
+// `pressctl hotspots RUNDIR` renders. Shares are computed against the
+// wall clock spent in root phases (sweep, search_eval), which is the
+// denominator the ROADMAP's 10× incremental-evaluation target is
+// measured against.
+type CostReport struct {
+	RunID    string `json:"run_id,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+	Binary   string `json:"binary,omitempty"`
+
+	// WallNs is the total time inside root phases; AttributedNs the total
+	// inside leaf phases; Coverage their ratio — how much of the run's
+	// work the instrumentation explains.
+	WallNs       int64   `json:"wall_ns"`
+	AttributedNs int64   `json:"attributed_ns"`
+	Coverage     float64 `json:"coverage"`
+
+	Phases []PhaseCostLine `json:"phases"`
+
+	// Configs is the root work-unit count (configurations measured or
+	// scored); CostPerConfigNs divides root wall clock by it.
+	Configs         int64   `json:"configs,omitempty"`
+	CostPerConfigNs float64 `json:"cost_per_config_ns,omitempty"`
+	// SubcarrierEvals and CostPerSubcarrierNs break out the
+	// channel-summation inner loop.
+	SubcarrierEvals     int64   `json:"subcarrier_evals,omitempty"`
+	CostPerSubcarrierNs float64 `json:"cost_per_subcarrier_ns,omitempty"`
+}
+
+// PhaseCostLine is one phase's row in the report, leaf shares computed
+// against root wall clock.
+type PhaseCostLine struct {
+	Phase     string           `json:"phase"`
+	Root      bool             `json:"root,omitempty"`
+	Ns        int64            `json:"ns"`
+	Calls     int64            `json:"calls"`
+	Bytes     int64            `json:"bytes,omitempty"`
+	Share     float64          `json:"share"`
+	NsPerCall float64          `json:"ns_per_call,omitempty"`
+	Aux       map[string]int64 `json:"aux,omitempty"`
+}
+
+// BuildReport computes the cost breakdown from a decoded run. It errors
+// when the run recorded no phase-cost samples (pre-prof recordings, or
+// accounting disabled).
+func BuildReport(run *flight.Run) (*CostReport, error) {
+	if len(run.PhaseCosts) == 0 {
+		return nil, fmt.Errorf("prof: run has no phase-cost records (was phase accounting enabled?)")
+	}
+	s := flight.Summarize(run)
+	rep := &CostReport{RunID: s.RunID, Scenario: s.Scenario, Binary: s.Binary}
+
+	aux := func(ps flight.PhaseSummary, name string) int64 {
+		for _, a := range ps.Aux {
+			if a.Name == name {
+				return a.Value
+			}
+		}
+		return 0
+	}
+	for _, ps := range s.Phases {
+		if RootPhaseName(ps.Phase) {
+			rep.WallNs += ps.Ns
+		} else {
+			rep.AttributedNs += ps.Ns
+		}
+	}
+	for _, ps := range s.Phases {
+		line := PhaseCostLine{
+			Phase: ps.Phase, Root: RootPhaseName(ps.Phase),
+			Ns: ps.Ns, Calls: ps.Calls, Bytes: ps.Bytes,
+		}
+		if rep.WallNs > 0 {
+			line.Share = float64(ps.Ns) / float64(rep.WallNs)
+		}
+		if ps.Calls > 0 {
+			line.NsPerCall = float64(ps.Ns) / float64(ps.Calls)
+		}
+		if len(ps.Aux) > 0 {
+			line.Aux = make(map[string]int64, len(ps.Aux))
+			for _, a := range ps.Aux {
+				line.Aux[a.Name] = a.Value
+			}
+		}
+		rep.Phases = append(rep.Phases, line)
+
+		switch ps.Phase {
+		case PhaseSweep.Name():
+			rep.Configs += aux(ps, "configs")
+		case PhaseSearch.Name():
+			rep.Configs += aux(ps, "configs_scored")
+		case PhaseChannelSum.Name():
+			rep.SubcarrierEvals = aux(ps, "subcarrier_evals")
+			if rep.SubcarrierEvals > 0 {
+				rep.CostPerSubcarrierNs = float64(ps.Ns) / float64(rep.SubcarrierEvals)
+			}
+		}
+	}
+	if rep.WallNs > 0 {
+		rep.Coverage = float64(rep.AttributedNs) / float64(rep.WallNs)
+	}
+	if rep.Configs > 0 {
+		rep.CostPerConfigNs = float64(rep.WallNs) / float64(rep.Configs)
+	}
+	return rep, nil
+}
+
+// WriteText renders the report as an aligned table, roots first.
+func (rep *CostReport) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "run %s (binary %s, scenario %s)\n",
+		orDash(rep.RunID), orDash(rep.Binary), orDash(rep.Scenario)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"wall clock in root phases %.3f ms; %.3f ms attributed to leaf phases (coverage %.1f%%)\n\n",
+		float64(rep.WallNs)/1e6, float64(rep.AttributedNs)/1e6, rep.Coverage*100); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-13s %7s %12s %10s %12s  %s\n",
+		"phase", "share", "ms", "calls", "ns/call", "detail"); err != nil {
+		return err
+	}
+	write := func(roots bool) error {
+		for _, l := range rep.Phases {
+			if l.Root != roots {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%-13s %6.1f%% %12.3f %10d %12.0f  %s\n",
+				l.Phase, l.Share*100, float64(l.Ns)/1e6, l.Calls, l.NsPerCall, auxDetail(l.Aux)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write(true); err != nil {
+		return err
+	}
+	if err := write(false); err != nil {
+		return err
+	}
+	if rep.Configs > 0 {
+		if _, err := fmt.Fprintf(w, "\ncost per config     %12.3f ms  (%d configs)\n",
+			rep.CostPerConfigNs/1e6, rep.Configs); err != nil {
+			return err
+		}
+	}
+	if rep.SubcarrierEvals > 0 {
+		if _, err := fmt.Fprintf(w, "cost per subcarrier %12.0f ns  (%d evaluations)\n",
+			rep.CostPerSubcarrierNs, rep.SubcarrierEvals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// auxDetail renders aux counters as "k=v" pairs in the order the phase
+// defines them (falling back to nothing for unknown phases).
+func auxDetail(aux map[string]int64) string {
+	if len(aux) == 0 {
+		return ""
+	}
+	var parts []string
+	for p := Phase(0); p < NumPhases; p++ {
+		for _, name := range auxNames[p] {
+			if v, ok := aux[name]; ok && name != "" {
+				parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+			}
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

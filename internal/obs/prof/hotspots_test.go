@@ -1,0 +1,88 @@
+package prof
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"press/internal/obs/flight"
+)
+
+func costRun() *flight.Run {
+	return &flight.Run{
+		Manifest: &flight.Manifest{RunID: "r1", Binary: "pressim", Scenario: "fig4"},
+		PhaseCosts: []flight.PhaseCost{
+			// An early flush followed by the final cumulative totals: the
+			// report must use only the final sample per phase.
+			{UnixNs: 1, Phase: "sweep", Ns: 50_000_000, Calls: 1,
+				Aux: []flight.AuxCount{{Name: "configs", Value: 32}}},
+			{UnixNs: 2, Phase: "sweep", Ns: 100_000_000, Calls: 2,
+				Aux: []flight.AuxCount{{Name: "configs", Value: 64}}},
+			{UnixNs: 2, Phase: "path_trace", Ns: 40_000_000, Calls: 64,
+				Aux: []flight.AuxCount{{Name: "images_enumerated", Value: 1200}, {Name: "paths_kept", Value: 800}, {Name: "paths_culled", Value: 400}}},
+			{UnixNs: 2, Phase: "channel_sum", Ns: 50_000_000, Calls: 64,
+				Aux: []flight.AuxCount{{Name: "subcarrier_evals", Value: 3328}, {Name: "path_terms", Value: 99840}}},
+			{UnixNs: 2, Phase: "actuate", Ns: 5_000_000, Calls: 64,
+				Aux: []flight.AuxCount{{Name: "actuations", Value: 64}}},
+		},
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	rep, err := BuildReport(costRun())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RunID != "r1" || rep.Scenario != "fig4" {
+		t.Errorf("identity = %+v", rep)
+	}
+	if rep.WallNs != 100_000_000 {
+		t.Errorf("wall = %d", rep.WallNs)
+	}
+	if rep.AttributedNs != 95_000_000 {
+		t.Errorf("attributed = %d", rep.AttributedNs)
+	}
+	if rep.Coverage < 0.94 || rep.Coverage > 0.96 {
+		t.Errorf("coverage = %v", rep.Coverage)
+	}
+	if rep.Configs != 64 {
+		t.Errorf("configs = %d", rep.Configs)
+	}
+	if want := 100_000_000.0 / 64; rep.CostPerConfigNs != want {
+		t.Errorf("cost/config = %v, want %v", rep.CostPerConfigNs, want)
+	}
+	if rep.SubcarrierEvals != 3328 {
+		t.Errorf("subcarrier evals = %d", rep.SubcarrierEvals)
+	}
+	if want := 50_000_000.0 / 3328; rep.CostPerSubcarrierNs != want {
+		t.Errorf("cost/subcarrier = %v, want %v", rep.CostPerSubcarrierNs, want)
+	}
+
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"path_trace", "channel_sum", "coverage 95.0%", "cost per config", "cost per subcarrier", "paths_kept=800"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report text missing %q:\n%s", want, out)
+		}
+	}
+
+	// JSON round-trips with the documented field names.
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"wall_ns"`, `"coverage"`, `"cost_per_config_ns"`, `"cost_per_subcarrier_ns"`, `"path_trace"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("report JSON missing %s", want)
+		}
+	}
+}
+
+func TestBuildReportNoPhaseData(t *testing.T) {
+	if _, err := BuildReport(&flight.Run{}); err == nil {
+		t.Error("empty run accepted")
+	}
+}

@@ -1,0 +1,355 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Minimal pprof-proto reader. The runtime emits profiles as
+// gzip-compressed profile.proto messages; the module is stdlib-only, so
+// instead of importing a protobuf library we walk the handful of fields
+// the hotspot aggregation needs: sample types, samples (stack + values),
+// locations, functions, and the string table. Unknown fields are
+// skipped, which also keeps the reader forward-compatible.
+
+// pprofProfile is the decoded subset of one profile.
+type pprofProfile struct {
+	// sampleTypes names each parallel value column ("cpu"/"nanoseconds",
+	// "alloc_space"/"bytes", ...).
+	sampleTypes []pprofValueType
+	samples     []pprofSample
+	// locFuncs maps location id → function ids, innermost (deepest
+	// inline) first.
+	locFuncs map[uint64][]uint64
+	// funcNames maps function id → fully qualified name.
+	funcNames map[uint64]string
+}
+
+type pprofValueType struct{ typ, unit string }
+
+type pprofSample struct {
+	// locs is the stack, leaf first.
+	locs []uint64
+	vals []int64
+}
+
+// valueIndex returns the column whose type or unit matches, -1 if none.
+func (p *pprofProfile) valueIndex(typ, unit string) int {
+	for i, st := range p.sampleTypes {
+		if (typ == "" || st.typ == typ) && (unit == "" || st.unit == unit) {
+			return i
+		}
+	}
+	return -1
+}
+
+// protoReader walks one wire-format message.
+type protoReader struct {
+	b   []byte
+	off int
+	err bool
+}
+
+func (r *protoReader) fail() uint64 { r.err = true; return 0 }
+
+func (r *protoReader) varint() uint64 {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if r.off >= len(r.b) {
+			return r.fail()
+		}
+		c := r.b[r.off]
+		r.off++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v
+		}
+	}
+	return r.fail()
+}
+
+// field reads the next field header; done is true at a clean end.
+func (r *protoReader) field() (num int, wire int, done bool) {
+	if r.err || r.off >= len(r.b) {
+		return 0, 0, true
+	}
+	tag := r.varint()
+	if r.err {
+		return 0, 0, true
+	}
+	return int(tag >> 3), int(tag & 7), false
+}
+
+// bytes reads a length-delimited payload (wire type 2).
+func (r *protoReader) bytes() []byte {
+	n := r.varint()
+	if r.err || n > uint64(len(r.b)-r.off) {
+		r.fail()
+		return nil
+	}
+	out := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return out
+}
+
+// skip discards one field of the given wire type.
+func (r *protoReader) skip(wire int) {
+	switch wire {
+	case 0:
+		r.varint()
+	case 1:
+		r.off += 8
+	case 2:
+		r.bytes()
+	case 5:
+		r.off += 4
+	default:
+		r.fail()
+	}
+	if r.off > len(r.b) {
+		r.fail()
+	}
+}
+
+// uint64s appends a repeated-uint64 field value: packed (wire 2) or a
+// single varint (wire 0).
+func uint64s(r *protoReader, wire int, dst []uint64) []uint64 {
+	if wire == 0 {
+		return append(dst, r.varint())
+	}
+	p := &protoReader{b: r.bytes()}
+	for !r.err && p.off < len(p.b) {
+		dst = append(dst, p.varint())
+		if p.err {
+			r.fail()
+		}
+	}
+	return dst
+}
+
+// int64s is uint64s for int64 columns (plain varint, not zigzag — pprof
+// values are non-negative in practice and encoded two's-complement).
+func int64s(r *protoReader, wire int, dst []int64) []int64 {
+	if wire == 0 {
+		return append(dst, int64(r.varint()))
+	}
+	p := &protoReader{b: r.bytes()}
+	for !r.err && p.off < len(p.b) {
+		dst = append(dst, int64(p.varint()))
+		if p.err {
+			r.fail()
+		}
+	}
+	return dst
+}
+
+// parsePprof decodes one (possibly gzip-compressed) pprof profile.
+func parsePprof(data []byte) (*pprofProfile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		data = raw
+	}
+
+	p := &pprofProfile{
+		locFuncs:  make(map[uint64][]uint64),
+		funcNames: make(map[uint64]string),
+	}
+	var strtab []string
+	// String-table indices resolved after the full pass, since entries
+	// may follow their first reference.
+	type vtRef struct{ typ, unit uint64 }
+	var vtRefs []vtRef
+	type fnRef struct {
+		id   uint64
+		name uint64
+	}
+	var fnRefs []fnRef
+
+	r := &protoReader{b: data}
+	for {
+		num, wire, done := r.field()
+		if done {
+			break
+		}
+		switch num {
+		case 1: // sample_type: ValueType{1:type, 2:unit}
+			vr := &protoReader{b: r.bytes()}
+			var ref vtRef
+			for {
+				n, w, d := vr.field()
+				if d {
+					break
+				}
+				switch n {
+				case 1:
+					ref.typ = vr.varint()
+				case 2:
+					ref.unit = vr.varint()
+				default:
+					vr.skip(w)
+				}
+			}
+			if vr.err {
+				return nil, fmt.Errorf("prof: malformed sample_type")
+			}
+			vtRefs = append(vtRefs, ref)
+		case 2: // sample: Sample{1:location_id*, 2:value*}
+			sr := &protoReader{b: r.bytes()}
+			var s pprofSample
+			for {
+				n, w, d := sr.field()
+				if d {
+					break
+				}
+				switch n {
+				case 1:
+					s.locs = uint64s(sr, w, s.locs)
+				case 2:
+					s.vals = int64s(sr, w, s.vals)
+				default:
+					sr.skip(w)
+				}
+			}
+			if sr.err {
+				return nil, fmt.Errorf("prof: malformed sample")
+			}
+			p.samples = append(p.samples, s)
+		case 4: // location: Location{1:id, 4:line* Line{1:function_id}}
+			lr := &protoReader{b: r.bytes()}
+			var id uint64
+			var fns []uint64
+			for {
+				n, w, d := lr.field()
+				if d {
+					break
+				}
+				switch n {
+				case 1:
+					id = lr.varint()
+				case 4:
+					liner := &protoReader{b: lr.bytes()}
+					for {
+						ln, lw, ld := liner.field()
+						if ld {
+							break
+						}
+						if ln == 1 {
+							fns = append(fns, liner.varint())
+						} else {
+							liner.skip(lw)
+						}
+					}
+					if liner.err {
+						lr.fail()
+					}
+				default:
+					lr.skip(w)
+				}
+			}
+			if lr.err {
+				return nil, fmt.Errorf("prof: malformed location")
+			}
+			p.locFuncs[id] = fns
+		case 5: // function: Function{1:id, 2:name}
+			fr := &protoReader{b: r.bytes()}
+			var ref fnRef
+			for {
+				n, w, d := fr.field()
+				if d {
+					break
+				}
+				switch n {
+				case 1:
+					ref.id = fr.varint()
+				case 2:
+					ref.name = fr.varint()
+				default:
+					fr.skip(w)
+				}
+			}
+			if fr.err {
+				return nil, fmt.Errorf("prof: malformed function")
+			}
+			fnRefs = append(fnRefs, ref)
+		case 6: // string_table
+			strtab = append(strtab, string(r.bytes()))
+		default:
+			r.skip(wire)
+		}
+		if r.err {
+			return nil, fmt.Errorf("prof: malformed profile")
+		}
+	}
+
+	str := func(i uint64) string {
+		if i < uint64(len(strtab)) {
+			return strtab[i]
+		}
+		return ""
+	}
+	for _, ref := range vtRefs {
+		p.sampleTypes = append(p.sampleTypes, pprofValueType{typ: str(ref.typ), unit: str(ref.unit)})
+	}
+	for _, ref := range fnRefs {
+		p.funcNames[ref.id] = str(ref.name)
+	}
+	return p, nil
+}
+
+// flatCum aggregates one value column per function: flat is the value of
+// samples whose leaf is the function, cum counts the function anywhere
+// on the stack (once per sample, so recursion doesn't double-count).
+func (p *pprofProfile) flatCum(valueIdx int) map[string]*funcCost {
+	out := make(map[string]*funcCost)
+	get := func(name string) *funcCost {
+		fc := out[name]
+		if fc == nil {
+			fc = &funcCost{}
+			out[name] = fc
+		}
+		return fc
+	}
+	seen := make(map[string]bool)
+	for _, s := range p.samples {
+		if valueIdx >= len(s.vals) {
+			continue
+		}
+		v := s.vals[valueIdx]
+		if v == 0 || len(s.locs) == 0 {
+			continue
+		}
+		clear(seen)
+		for li, loc := range s.locs {
+			fns := p.locFuncs[loc]
+			for fi, fn := range fns {
+				name := p.funcNames[fn]
+				if name == "" {
+					continue
+				}
+				if li == 0 && fi == 0 {
+					get(name).flat += v
+				}
+				if !seen[name] {
+					seen[name] = true
+					get(name).cum += v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// funcCost is one function's flat/cumulative value in a profile.
+type funcCost struct{ flat, cum int64 }

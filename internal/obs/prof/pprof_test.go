@@ -1,0 +1,79 @@
+package prof
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"testing"
+)
+
+// TestParseHeapProfile feeds the parser a real profile emitted by the
+// runtime — the strongest end-to-end check the wire walker can get
+// without a protobuf dependency.
+func TestParseHeapProfile(t *testing.T) {
+	waste := make([][]byte, 64)
+	for i := range waste {
+		waste[i] = make([]byte, 16<<10)
+	}
+	_ = waste
+
+	var buf bytes.Buffer
+	heap := pprof.Lookup("allocs")
+	if heap == nil {
+		t.Fatal("no allocs profile")
+	}
+	if err := heap.WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := parsePprof(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := p.valueIndex("alloc_space", "")
+	if idx < 0 {
+		t.Fatalf("no alloc_space column; types = %+v", p.sampleTypes)
+	}
+	if len(p.samples) == 0 || len(p.funcNames) == 0 {
+		t.Fatalf("samples=%d funcs=%d", len(p.samples), len(p.funcNames))
+	}
+	agg := p.flatCum(idx)
+	if len(agg) == 0 {
+		t.Fatal("empty aggregation")
+	}
+	var total int64
+	sawThisTest := false
+	for name, fc := range agg {
+		if fc.flat < 0 || fc.cum < fc.flat {
+			t.Errorf("%s: flat %d cum %d inconsistent", name, fc.flat, fc.cum)
+		}
+		total += fc.flat
+		if bytes.Contains([]byte(name), []byte("TestParseHeapProfile")) {
+			sawThisTest = true
+		}
+	}
+	if total <= 0 {
+		t.Error("no flat allocation attributed")
+	}
+	if !sawThisTest {
+		t.Error("test function missing from allocation stacks")
+	}
+}
+
+func TestParsePprofRejectsGarbage(t *testing.T) {
+	if _, err := parsePprof([]byte{0x1f, 0x8b, 0x00}); err == nil {
+		t.Error("truncated gzip accepted")
+	}
+	// Wire-valid-looking garbage: field 2 (sample), wire 2, absurd length.
+	if _, err := parsePprof([]byte{0x12, 0x7f, 0x01}); err == nil {
+		t.Error("truncated message accepted")
+	}
+}
+
+func TestParsePprofEmpty(t *testing.T) {
+	p, err := parsePprof(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.samples) != 0 || p.valueIndex("", "nanoseconds") != -1 {
+		t.Errorf("empty profile = %+v", p)
+	}
+}

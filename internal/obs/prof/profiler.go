@@ -1,0 +1,269 @@
+package prof
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Profiler defaults.
+const (
+	// DefaultProfileWindow is how long each periodic CPU capture runs.
+	DefaultProfileWindow = 250 * time.Millisecond
+	// DefaultTopN is the hotspot table depth.
+	DefaultTopN = 15
+	// profileKeepWindows is the rolling horizon: hotspot tables aggregate
+	// the last this-many capture windows.
+	profileKeepWindows = 8
+	// heapSampleType is the pprof value column the allocation table
+	// differences (cumulative bytes allocated since process start).
+	heapSampleType = "alloc_space"
+)
+
+// Profiler periodically captures a windowed CPU profile and a delta heap
+// profile, parses the pprof protos in-process, and keeps a rolling
+// aggregate exposed as a top-N per-function hotspot table. It is the
+// sampling half of the package: approximate and unattributed to domain
+// phases, but it names functions nobody thought to instrument.
+type Profiler struct {
+	interval time.Duration
+	window   time.Duration
+	topN     int
+
+	mu        sync.Mutex
+	windows   [profileKeepWindows]profileWindow
+	count     int // total windows captured
+	prevAlloc map[string]int64
+	lastErr   string
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// profileWindow is one capture period's aggregates.
+type profileWindow struct {
+	endUnixNs int64
+	cpuOK     bool
+	cpuNs     map[string]*funcCost
+	cpuTotal  int64
+	alloc     map[string]int64
+}
+
+// NewProfiler builds a profiler ticking every interval with the given
+// CPU capture window and table depth (0 ⇒ defaults). The window is
+// clamped below the interval so captures never overlap.
+func NewProfiler(interval, window time.Duration, topN int) *Profiler {
+	if window <= 0 {
+		window = DefaultProfileWindow
+	}
+	if interval > 0 && window > interval/2 {
+		window = interval / 2
+	}
+	if topN <= 0 {
+		topN = DefaultTopN
+	}
+	return &Profiler{
+		interval:  interval,
+		window:    window,
+		topN:      topN,
+		prevAlloc: make(map[string]int64),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Start launches the capture loop. Safe to call once; nil-safe.
+func (p *Profiler) Start() {
+	if p == nil || p.interval <= 0 {
+		return
+	}
+	p.startOnce.Do(func() { go p.loop() })
+}
+
+// Stop halts the loop and waits for an in-flight capture to finish.
+// Safe to call more than once and on a nil or never-started profiler.
+func (p *Profiler) Stop() {
+	if p == nil {
+		return
+	}
+	p.stopOnce.Do(func() { close(p.stop) })
+	if p.interval <= 0 {
+		return
+	}
+	p.startOnce.Do(func() { close(p.done) }) // never started: unblock the wait
+	<-p.done
+}
+
+func (p *Profiler) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.CaptureOnce()
+		}
+	}
+}
+
+// CaptureOnce runs one capture window synchronously: a windowed CPU
+// profile (skipped gracefully when another CPU profile — e.g. the
+// -cpuprofile flag — is already running) plus a delta heap profile.
+// Exported for tests and for a final capture at shutdown.
+func (p *Profiler) CaptureOnce() {
+	if p == nil {
+		return
+	}
+	w := profileWindow{}
+
+	var cpuBuf bytes.Buffer
+	if err := pprof.StartCPUProfile(&cpuBuf); err == nil {
+		timer := time.NewTimer(p.window)
+		select {
+		case <-p.stop:
+		case <-timer.C:
+		}
+		timer.Stop()
+		pprof.StopCPUProfile()
+		if prof, err := parsePprof(cpuBuf.Bytes()); err != nil {
+			p.setErr("cpu: " + err.Error())
+		} else if idx := prof.valueIndex("", "nanoseconds"); idx >= 0 {
+			w.cpuOK = true
+			w.cpuNs = prof.flatCum(idx)
+			for _, fc := range w.cpuNs {
+				w.cpuTotal += fc.flat
+			}
+		}
+	}
+
+	if heap := pprof.Lookup("allocs"); heap != nil {
+		var heapBuf bytes.Buffer
+		if err := heap.WriteTo(&heapBuf, 0); err != nil {
+			p.setErr("heap: " + err.Error())
+		} else if prof, err := parsePprof(heapBuf.Bytes()); err != nil {
+			p.setErr("heap: " + err.Error())
+		} else if idx := prof.valueIndex(heapSampleType, ""); idx >= 0 {
+			cur := make(map[string]int64)
+			for name, fc := range prof.flatCum(idx) {
+				cur[name] = fc.flat
+			}
+			p.mu.Lock()
+			w.alloc = make(map[string]int64)
+			for name, b := range cur {
+				if d := b - p.prevAlloc[name]; d > 0 {
+					w.alloc[name] = d
+				}
+			}
+			p.prevAlloc = cur
+			p.mu.Unlock()
+		}
+	}
+
+	w.endUnixNs = time.Now().UnixNano()
+	p.mu.Lock()
+	p.windows[p.count%profileKeepWindows] = w
+	p.count++
+	p.mu.Unlock()
+}
+
+func (p *Profiler) setErr(msg string) {
+	p.mu.Lock()
+	p.lastErr = msg
+	p.mu.Unlock()
+}
+
+// FuncHotspot is one function's CPU cost over the rolling horizon.
+type FuncHotspot struct {
+	Function string `json:"function"`
+	FlatNs   int64  `json:"flat_ns"`
+	CumNs    int64  `json:"cum_ns"`
+	// Share is FlatNs over the horizon's total sampled CPU time.
+	Share float64 `json:"share,omitempty"`
+}
+
+// AllocHotspot is one function's heap allocation over the horizon.
+type AllocHotspot struct {
+	Function string `json:"function"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// HotspotTable is the rolling aggregate /profz serves.
+type HotspotTable struct {
+	// Windows is how many capture windows the table aggregates;
+	// CPUWindows how many of them captured CPU (captures are skipped when
+	// another CPU profile holds the runtime's single profiling slot).
+	Windows    int            `json:"windows"`
+	CPUWindows int            `json:"cpu_windows"`
+	SampledNs  int64          `json:"cpu_sampled_ns"`
+	CPU        []FuncHotspot  `json:"cpu,omitempty"`
+	Alloc      []AllocHotspot `json:"alloc,omitempty"`
+	LastError  string         `json:"last_error,omitempty"`
+}
+
+// Hotspots merges the rolling windows into a top-N table. Nil-safe.
+func (p *Profiler) Hotspots() HotspotTable {
+	if p == nil {
+		return HotspotTable{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := HotspotTable{LastError: p.lastErr}
+	cpu := make(map[string]*funcCost)
+	alloc := make(map[string]int64)
+	n := min(p.count, profileKeepWindows)
+	t.Windows = n
+	for i := 0; i < n; i++ {
+		w := &p.windows[i]
+		if w.cpuOK {
+			t.CPUWindows++
+			t.SampledNs += w.cpuTotal
+			for name, fc := range w.cpuNs {
+				agg := cpu[name]
+				if agg == nil {
+					agg = &funcCost{}
+					cpu[name] = agg
+				}
+				agg.flat += fc.flat
+				agg.cum += fc.cum
+			}
+		}
+		for name, b := range w.alloc {
+			alloc[name] += b
+		}
+	}
+	for name, fc := range cpu {
+		h := FuncHotspot{Function: name, FlatNs: fc.flat, CumNs: fc.cum}
+		if t.SampledNs > 0 {
+			h.Share = float64(fc.flat) / float64(t.SampledNs)
+		}
+		t.CPU = append(t.CPU, h)
+	}
+	sort.Slice(t.CPU, func(i, j int) bool {
+		if t.CPU[i].FlatNs != t.CPU[j].FlatNs {
+			return t.CPU[i].FlatNs > t.CPU[j].FlatNs
+		}
+		return t.CPU[i].Function < t.CPU[j].Function
+	})
+	if len(t.CPU) > p.topN {
+		t.CPU = t.CPU[:p.topN]
+	}
+	for name, b := range alloc {
+		t.Alloc = append(t.Alloc, AllocHotspot{Function: name, Bytes: b})
+	}
+	sort.Slice(t.Alloc, func(i, j int) bool {
+		if t.Alloc[i].Bytes != t.Alloc[j].Bytes {
+			return t.Alloc[i].Bytes > t.Alloc[j].Bytes
+		}
+		return t.Alloc[i].Function < t.Alloc[j].Function
+	})
+	if len(t.Alloc) > p.topN {
+		t.Alloc = t.Alloc[:p.topN]
+	}
+	return t
+}

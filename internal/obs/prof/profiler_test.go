@@ -1,0 +1,78 @@
+package prof
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProfilerCaptureOnce(t *testing.T) {
+	p := NewProfiler(0, 20*time.Millisecond, 10)
+	// Burn some CPU during the window so the profile has samples.
+	stop := make(chan struct{})
+	go func() {
+		x := 0.0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for i := 0; i < 1000; i++ {
+					x += float64(i) * 1.0001
+				}
+			}
+		}
+	}()
+	p.CaptureOnce()
+	p.CaptureOnce()
+	close(stop)
+
+	tab := p.Hotspots()
+	if tab.Windows != 2 {
+		t.Fatalf("windows = %d, want 2", tab.Windows)
+	}
+	// CPU capture may be unavailable (another profile active); the heap
+	// side must still work.
+	if tab.CPUWindows > 0 && tab.SampledNs <= 0 {
+		t.Errorf("cpu windows %d but sampled ns %d", tab.CPUWindows, tab.SampledNs)
+	}
+	for i := 1; i < len(tab.CPU); i++ {
+		if tab.CPU[i].FlatNs > tab.CPU[i-1].FlatNs {
+			t.Errorf("cpu table not sorted at %d", i)
+		}
+	}
+	if len(tab.CPU) > 10 || len(tab.Alloc) > 10 {
+		t.Errorf("topN not enforced: cpu=%d alloc=%d", len(tab.CPU), len(tab.Alloc))
+	}
+}
+
+func TestProfilerStartStop(t *testing.T) {
+	p := NewProfiler(30*time.Millisecond, 10*time.Millisecond, 5)
+	p.Start()
+	time.Sleep(80 * time.Millisecond)
+	p.Stop()
+	p.Stop() // idempotent
+	if p.Hotspots().Windows == 0 {
+		t.Error("no windows captured by the loop")
+	}
+}
+
+func TestProfilerStopWithoutStart(t *testing.T) {
+	NewProfiler(time.Second, 0, 0).Stop()
+	var nilP *Profiler
+	nilP.Start()
+	nilP.Stop()
+	if nilP.Hotspots().Windows != 0 {
+		t.Error("nil profiler reported windows")
+	}
+	nilP.CaptureOnce()
+}
+
+func TestProfilerWindowClamped(t *testing.T) {
+	p := NewProfiler(100*time.Millisecond, time.Hour, 0)
+	if p.window > 50*time.Millisecond {
+		t.Errorf("window %v not clamped below interval", p.window)
+	}
+	if p.topN != DefaultTopN {
+		t.Errorf("topN = %d", p.topN)
+	}
+}

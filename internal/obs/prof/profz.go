@@ -1,0 +1,77 @@
+package prof
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"press/internal/obs"
+)
+
+// ProfzDoc is the /profz response: the phase-accounting totals (exact,
+// instrumented) next to the sampling profiler's rolling hotspot table
+// (approximate, exhaustive) — the two views of "where does the time go".
+type ProfzDoc struct {
+	// UptimeSeconds is how long the collector has been accumulating.
+	UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
+	// Phases is the cumulative per-phase work accounting (absent when
+	// accounting is off).
+	Phases []PhaseStatus `json:"phases,omitempty"`
+	// Profiler is the sampling profiler's rolling aggregate (absent when
+	// continuous profiling is off).
+	Profiler *HotspotTable `json:"profiler,omitempty"`
+}
+
+// PhaseStatus is one phase's totals with derived per-call cost.
+type PhaseStatus struct {
+	Phase string `json:"phase"`
+	Root  bool   `json:"root,omitempty"`
+	Ns    int64  `json:"ns"`
+	Calls int64  `json:"calls"`
+	Bytes int64  `json:"bytes,omitempty"`
+	// NsPerCall is Ns/Calls, the headline unit cost.
+	NsPerCall float64          `json:"ns_per_call,omitempty"`
+	Aux       map[string]int64 `json:"aux,omitempty"`
+}
+
+// ProfzHandler serves the /profz document for a collector and profiler
+// (either may be nil). JSON gets the same gzip + Cache-Control: no-store
+// treatment as every other JSON endpoint on the telemetry server.
+func ProfzHandler(c *Collector, p *Profiler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		doc := ProfzDoc{}
+		if c != nil {
+			doc.UptimeSeconds = c.Uptime().Seconds()
+			for _, pc := range c.Snapshot() {
+				st := PhaseStatus{
+					Phase: pc.Phase, Root: RootPhaseName(pc.Phase),
+					Ns: pc.Ns, Calls: pc.Calls, Bytes: pc.Bytes,
+				}
+				if pc.Calls > 0 {
+					st.NsPerCall = float64(pc.Ns) / float64(pc.Calls)
+				}
+				if len(pc.Aux) > 0 {
+					st.Aux = make(map[string]int64, len(pc.Aux))
+					for _, a := range pc.Aux {
+						st.Aux[a.Name] = a.Value
+					}
+				}
+				doc.Phases = append(doc.Phases, st)
+			}
+		}
+		if p != nil {
+			t := p.Hotspots()
+			doc.Profiler = &t
+		}
+		obs.ServeJSON(w, r, func(out io.Writer) error {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(doc)
+		})
+	}
+}
+
+// RegisterRoutes adds the /profz endpoint to a telemetry server.
+func RegisterRoutes(srv *obs.Server, c *Collector, p *Profiler) {
+	srv.HandleFunc("/profz", ProfzHandler(c, p))
+}

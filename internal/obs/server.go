@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -226,20 +227,27 @@ func ServeJSON(w http.ResponseWriter, r *http.Request, write func(io.Writer) err
 	_ = write(w)
 }
 
-// acceptsGzip reports whether the request advertises gzip support. A
-// token-level check (split on commas, strip q-values) rather than a
-// substring match, so "identity;q=1, gzip;q=0" is still (approximately)
-// honoured for the common cases.
+// acceptsGzip reports whether the request advertises gzip support: a
+// token-level parse of Accept-Encoding that walks each coding's
+// parameter list and honours a numeric q-value ("gzip;q=0" and
+// "gzip;Q=0.000" decline, "gzip;q=0.5" accepts). A malformed q falls
+// back to the header's default of acceptance, matching the previous
+// lenient behaviour.
 func acceptsGzip(r *http.Request) bool {
 	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
-		enc, q, hasQ := strings.Cut(strings.TrimSpace(part), ";")
-		if !strings.EqualFold(strings.TrimSpace(enc), "gzip") {
+		params := strings.Split(part, ";")
+		if !strings.EqualFold(strings.TrimSpace(params[0]), "gzip") {
 			continue
 		}
-		if hasQ {
-			if v := strings.TrimSpace(q); v == "q=0" || v == "q=0.0" || v == "q=0.00" || v == "q=0.000" {
-				return false
+		for _, p := range params[1:] {
+			k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+			if !ok || !strings.EqualFold(strings.TrimSpace(k), "q") {
+				continue
 			}
+			if q, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+				return q > 0
+			}
+			return true
 		}
 		return true
 	}

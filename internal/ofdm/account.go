@@ -1,0 +1,19 @@
+package ofdm
+
+import "press/internal/obs/prof"
+
+// EstimateProf is Estimate with estimate-phase work accounting: the
+// least-squares solve is timed under prof.PhaseEstimate and the
+// subcarrier count accumulated. A nil collector is exactly Estimate.
+func EstimateProf(c *prof.Collector, g Grid, rx [][]complex128, tx []complex128, txPowerW, noiseW float64) (*CSI, error) {
+	if c == nil {
+		return Estimate(g, rx, tx, txPowerW, noiseW)
+	}
+	sp := c.Start(prof.PhaseEstimate)
+	csi, err := Estimate(g, rx, tx, txPowerW, noiseW)
+	if err == nil {
+		c.Add(prof.PhaseEstimate, prof.AuxSubcarriers, int64(g.NumUsed()))
+	}
+	sp.End()
+	return csi, err
+}

@@ -8,6 +8,7 @@ import (
 
 	"press/internal/geom"
 	"press/internal/obs"
+	"press/internal/obs/prof"
 	"press/internal/rfphys"
 )
 
@@ -75,6 +76,10 @@ type Environment struct {
 	// Obs, when set, receives the tracer's telemetry (traces run, paths
 	// produced). The nil default costs one pointer check per trace.
 	Obs *obs.Registry
+	// Prof, when set, accounts tracing work (time, images enumerated,
+	// paths kept/culled) to the path_trace phase. Nil costs one pointer
+	// check per trace.
+	Prof *prof.Collector
 }
 
 // NewEnvironment returns an environment for a room of the given size with

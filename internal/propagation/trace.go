@@ -5,6 +5,7 @@ import (
 	"math/cmplx"
 
 	"press/internal/geom"
+	"press/internal/obs/prof"
 	"press/internal/rfphys"
 )
 
@@ -15,17 +16,23 @@ import (
 // are controlled, not ambient; internal/element adds them via
 // BistaticPath.
 func TracePaths(env *Environment, tx, rx Node, lambdaM float64) []Path {
+	sp := env.Prof.Start(prof.PhaseTrace)
 	var paths []Path
+	attempts := 1 // the direct-path candidate
 
 	if p, ok := directPath(env, tx, rx, lambdaM); ok {
 		paths = append(paths, p)
 	}
 	if env.MaxOrder >= 1 {
-		paths = append(paths, wallPaths(env, tx, rx, lambdaM, nil)...)
+		ps, n := wallPaths(env, tx, rx, lambdaM, nil)
+		paths = append(paths, ps...)
+		attempts += n
 	}
 	if env.MaxOrder >= 2 {
 		for _, w1 := range geom.Walls() {
-			paths = append(paths, wallPaths(env, tx, rx, lambdaM, []geom.Wall{w1})...)
+			ps, n := wallPaths(env, tx, rx, lambdaM, []geom.Wall{w1})
+			paths = append(paths, ps...)
+			attempts += n
 		}
 	}
 	if env.MaxOrder >= 3 {
@@ -34,10 +41,13 @@ func TracePaths(env *Environment, tx, rx Node, lambdaM float64) []Path {
 				if w2 == w1 {
 					continue
 				}
-				paths = append(paths, wallPaths(env, tx, rx, lambdaM, []geom.Wall{w1, w2})...)
+				ps, n := wallPaths(env, tx, rx, lambdaM, []geom.Wall{w1, w2})
+				paths = append(paths, ps...)
+				attempts += n
 			}
 		}
 	}
+	attempts += len(env.Scatterers)
 	for _, s := range env.Scatterers {
 		if p, ok := scatterPath(env, tx, rx, s, lambdaM); ok {
 			paths = append(paths, p)
@@ -45,6 +55,10 @@ func TracePaths(env *Environment, tx, rx Node, lambdaM float64) []Path {
 	}
 	env.Obs.Counter("propagation_traces_total").Inc()
 	env.Obs.Counter("propagation_paths_traced_total").Add(int64(len(paths)))
+	env.Prof.Add(prof.PhaseTrace, prof.AuxImages, int64(attempts))
+	env.Prof.Add(prof.PhaseTrace, prof.AuxPathsKept, int64(len(paths)))
+	env.Prof.Add(prof.PhaseTrace, prof.AuxPathsCulled, int64(attempts-len(paths)))
+	sp.End()
 	return paths
 }
 
@@ -79,19 +93,22 @@ func directPath(env *Environment, tx, rx Node, lambdaM float64) (Path, bool) {
 // sequence prefix followed by one final wall each (i.e. with prefix nil it
 // returns all single-bounce paths; with a one-wall prefix all double
 // bounces starting there). Consecutive repeats of the same wall are
-// geometrically impossible and skipped.
-func wallPaths(env *Environment, tx, rx Node, lambdaM float64, prefix []geom.Wall) []Path {
+// geometrically impossible and skipped. The second return is how many
+// image candidates were enumerated, for work accounting.
+func wallPaths(env *Environment, tx, rx Node, lambdaM float64, prefix []geom.Wall) ([]Path, int) {
 	var out []Path
+	attempts := 0
 	for _, last := range geom.Walls() {
 		if len(prefix) > 0 && prefix[len(prefix)-1] == last {
 			continue
 		}
+		attempts++
 		seq := append(append([]geom.Wall(nil), prefix...), last)
 		if p, ok := imagePath(env, tx, rx, lambdaM, seq); ok {
 			out = append(out, p)
 		}
 	}
-	return out
+	return out, attempts
 }
 
 // imagePath constructs the specular path bouncing off the given wall

@@ -10,6 +10,7 @@ import (
 	"press/internal/geom"
 	"press/internal/mimo"
 	"press/internal/obs"
+	"press/internal/obs/prof"
 	"press/internal/ofdm"
 	"press/internal/propagation"
 	"press/internal/rfphys"
@@ -33,6 +34,9 @@ type MIMOLink struct {
 	NumTraining int
 	// Obs, when set, receives channel-solve telemetry like Link.Obs.
 	Obs *obs.Registry
+	// Prof, when set, accounts per-pair tracing and response evaluation
+	// like Link.Prof.
+	Prof *prof.Collector
 
 	rng      *rand.Rand
 	envPaths [][][]propagation.Path // [rx][tx] cached environment paths
@@ -89,13 +93,28 @@ func (m *MIMOLink) TrueChannel(cfg element.Config, t float64) (*mimo.Channel, er
 		for j, tx := range m.TXAnts {
 			paths := m.envPaths[i][j]
 			if m.Array != nil {
-				paths = append(append([]propagation.Path(nil), paths...),
-					m.Array.Paths(m.Env, tx, rx, cfg, lambda)...)
+				tsp := m.Prof.Start(prof.PhaseTrace)
+				ep := m.Array.Paths(m.Env, tx, rx, cfg, lambda)
+				m.Prof.Add(prof.PhaseTrace, prof.AuxImages, int64(m.Array.N()))
+				m.Prof.Add(prof.PhaseTrace, prof.AuxPathsKept, int64(len(ep)))
+				m.Prof.Add(prof.PhaseTrace, prof.AuxPathsCulled, int64(m.Array.N()-len(ep)))
+				tsp.End()
+				paths = append(append([]propagation.Path(nil), paths...), ep...)
 			}
+			csp := m.Prof.Start(prof.PhaseChannelSum)
 			resp[i][j] = propagation.Response(paths, freqs, t)
+			m.Prof.Add(prof.PhaseChannelSum, prof.AuxSubcarrierEvals, int64(len(freqs)))
+			m.Prof.Add(prof.PhaseChannelSum, prof.AuxPathTerms, int64(len(paths)*len(freqs)))
+			csp.End()
 		}
 	}
-	return mimo.FromResponses(resp)
+	ssp := m.Prof.Start(prof.PhaseSolve)
+	ch, err := mimo.FromResponses(resp)
+	if err == nil {
+		m.Prof.Add(prof.PhaseSolve, prof.AuxSolves, int64(len(ch.Matrices)))
+	}
+	ssp.End()
+	return ch, err
 }
 
 // MeasureChannel returns one noisy channel snapshot under cfg at time t:

@@ -15,6 +15,7 @@ import (
 
 	"press/internal/element"
 	"press/internal/obs"
+	"press/internal/obs/prof"
 	"press/internal/ofdm"
 	"press/internal/propagation"
 	"press/internal/rfphys"
@@ -72,6 +73,11 @@ type Link struct {
 	// CSI-measurement counters, channel-solve latency histograms, and
 	// sweep spans. The nil default adds one pointer check per measurement.
 	Obs *obs.Registry
+	// Prof, when set, accounts the measurement pipeline's work to phases
+	// (array path enumeration → path_trace, response evaluation →
+	// channel_sum, sounding-frame synthesis → frame_synth, estimation →
+	// estimate, sweeps → sweep). Nil costs one pointer check per phase.
+	Prof *prof.Collector
 	// OnCSI, when set, receives each successful channel estimate's
 	// per-subcarrier SNR curve — the hook internal/obs/health uses to
 	// watch live channel state without radio depending on it. The slice
@@ -116,12 +122,17 @@ func (l *Link) Paths(cfg element.Config) []propagation.Path {
 	if l.Array == nil {
 		return l.envPaths
 	}
+	sp := l.Prof.Start(prof.PhaseTrace)
 	var ep []propagation.Path
 	if len(l.Faults) > 0 {
 		ep = l.Array.PathsWithFaults(l.Env, l.TX.Node, l.RX.Node, cfg, l.Faults, l.Wavelength())
 	} else {
 		ep = l.Array.Paths(l.Env, l.TX.Node, l.RX.Node, cfg, l.Wavelength())
 	}
+	l.Prof.Add(prof.PhaseTrace, prof.AuxImages, int64(l.Array.N()))
+	l.Prof.Add(prof.PhaseTrace, prof.AuxPathsKept, int64(len(ep)))
+	l.Prof.Add(prof.PhaseTrace, prof.AuxPathsCulled, int64(l.Array.N()-len(ep)))
+	sp.End()
 	out := make([]propagation.Path, 0, len(l.envPaths)+len(ep))
 	out = append(out, l.envPaths...)
 	out = append(out, ep...)
@@ -131,7 +142,14 @@ func (l *Link) Paths(cfg element.Config) []propagation.Path {
 // TrueResponse returns the noiseless channel response under cfg at time t
 // — ground truth for tests and for quantifying estimator error.
 func (l *Link) TrueResponse(cfg element.Config, t float64) []complex128 {
-	return propagation.Response(l.Paths(cfg), l.Grid.Frequencies(), t)
+	paths := l.Paths(cfg)
+	freqs := l.Grid.Frequencies()
+	sp := l.Prof.Start(prof.PhaseChannelSum)
+	h := propagation.Response(paths, freqs, t)
+	l.Prof.Add(prof.PhaseChannelSum, prof.AuxSubcarrierEvals, int64(len(h)))
+	l.Prof.Add(prof.PhaseChannelSum, prof.AuxPathTerms, int64(len(paths)*len(h)))
+	sp.End()
+	return h
 }
 
 // perSubcarrierTxPowerW returns the transmit power allocated to each used
@@ -171,10 +189,20 @@ func (l *Link) MeasureCSIContinuous(phases element.ContinuousConfig, t float64) 
 	}
 	paths := l.envPaths
 	if l.Array != nil {
+		tsp := l.Prof.Start(prof.PhaseTrace)
 		ep := l.Array.ContinuousPaths(l.Env, l.TX.Node, l.RX.Node, phases, l.Wavelength())
+		l.Prof.Add(prof.PhaseTrace, prof.AuxImages, int64(l.Array.N()))
+		l.Prof.Add(prof.PhaseTrace, prof.AuxPathsKept, int64(len(ep)))
+		l.Prof.Add(prof.PhaseTrace, prof.AuxPathsCulled, int64(l.Array.N()-len(ep)))
+		tsp.End()
 		paths = append(append([]propagation.Path(nil), paths...), ep...)
 	}
-	h := propagation.Response(paths, l.Grid.Frequencies(), t)
+	freqs := l.Grid.Frequencies()
+	csp := l.Prof.Start(prof.PhaseChannelSum)
+	h := propagation.Response(paths, freqs, t)
+	l.Prof.Add(prof.PhaseChannelSum, prof.AuxSubcarrierEvals, int64(len(h)))
+	l.Prof.Add(prof.PhaseChannelSum, prof.AuxPathTerms, int64(len(paths)*len(h)))
+	csp.End()
 	if l.Obs != nil {
 		l.Obs.Histogram("radio_channel_solve_seconds", obs.LatencyBuckets).
 			ObserveDuration(time.Since(start))
@@ -196,6 +224,7 @@ func (l *Link) measureResponse(h []complex128) (*ofdm.CSI, error) {
 	if nSym < 1 {
 		nSym = 1
 	}
+	sp := l.Prof.Start(prof.PhaseFrameSynth)
 	rx := make([][]complex128, nSym)
 	for s := range rx {
 		rx[s] = make([]complex128, len(h))
@@ -204,7 +233,9 @@ func (l *Link) measureResponse(h []complex128) (*ofdm.CSI, error) {
 			rx[s][k] = amp*h[k]*tx[k] + n
 		}
 	}
-	csi, err := ofdm.Estimate(l.Grid, rx, tx, txPw, noise)
+	l.Prof.Add(prof.PhaseFrameSynth, prof.AuxSymbols, int64(nSym))
+	sp.End()
+	csi, err := ofdm.EstimateProf(l.Prof, l.Grid, rx, tx, txPw, noise)
 	if err == nil && l.OnCSI != nil {
 		l.OnCSI(csi.SNRdB)
 	}
@@ -244,6 +275,7 @@ func (l *Link) Sweep(timing Timing, start time.Duration) ([]Measurement, error) 
 		return nil, fmt.Errorf("radio: Sweep needs a PRESS array on the link")
 	}
 	sp := obs.StartSpan(l.Obs, "radio/sweep")
+	psp := l.Prof.Start(prof.PhaseSweep)
 	wall := time.Time{}
 	if l.Obs != nil {
 		wall = time.Now()
@@ -273,6 +305,8 @@ func (l *Link) Sweep(timing Timing, start time.Duration) ([]Measurement, error) 
 		at += timing.PerMeasurement + timing.SwitchLatency
 		return true
 	})
+	l.Prof.Add(prof.PhaseSweep, prof.AuxConfigs, int64(len(out)))
+	psp.End()
 	sp.End()
 	if sweepErr != nil {
 		return nil, sweepErr

@@ -56,7 +56,7 @@ import (
 	"press/internal/obs"
 	"press/internal/obs/flight"
 	"press/internal/obs/health"
-	"press/internal/obs/perf"
+	"press/internal/obs/prof"
 	"press/internal/ofdm"
 	"press/internal/propagation"
 	"press/internal/radio"
@@ -415,9 +415,15 @@ type (
 	// flags and their lifecycle for command-line binaries, extended with
 	// the channel-health layer (-alert-rules, -health-interval, /alerts,
 	// /health.json, /dashboard), the flight-recorder layer (-flight-dir,
-	// -flight-segment-mb, /runs), and the performance-radar layer
-	// (-runtime-metrics-interval, -bench-baselines, /perfz).
-	TelemetryCLI = perf.CLI
+	// -flight-segment-mb, /runs), the performance-radar layer
+	// (-runtime-metrics-interval, -bench-baselines, /perfz), and the
+	// cost-attribution layer (-phase-accounting, -profile-interval,
+	// /profz).
+	TelemetryCLI = prof.CLI
+	// ProfCollector accumulates phase-scoped work accounting (wall time,
+	// calls, bytes, domain counters per named phase). A nil collector is
+	// the zero-cost disabled default.
+	ProfCollector = prof.Collector
 	// FlightRecorder appends a durable, crash-safe run log (manifest,
 	// actuations, CSI/KPI samples, alerts, search decisions) to
 	// size-rotated CRC-framed segment files. A nil recorder discards
@@ -515,6 +521,13 @@ func InstrumentSearcherHealth(s Searcher, reg *Registry, log *Logger, h *HealthM
 // record for post-hoc audit and replay.
 func InstrumentSearcherFlight(s Searcher, reg *Registry, log *Logger, h *HealthMonitor, rec *FlightRecorder) Searcher {
 	return control.InstrumentFlight(s, reg, log, h, rec)
+}
+
+// InstrumentSearcherProf is InstrumentSearcherFlight plus a
+// work-accounting collector that attributes every evaluation's cost to
+// the search_eval phase for `pressctl hotspots` reports.
+func InstrumentSearcherProf(s Searcher, reg *Registry, log *Logger, h *HealthMonitor, rec *FlightRecorder, pc *ProfCollector) Searcher {
+	return control.InstrumentProf(s, reg, log, h, rec, pc)
 }
 
 // NewFlightManifest starts a run manifest stamped with the current time
