@@ -31,7 +31,6 @@ import (
 
 	"press"
 	"press/internal/obs/flight"
-	"press/internal/obs/health"
 )
 
 // demoRestarts is the greedy restart count used by the demo — recorded
@@ -49,24 +48,6 @@ func demoParams(speed float64, perMeas, switchLat time.Duration, budget, restart
 		{Key: "budget", Value: strconv.Itoa(budget)},
 		{Key: "restarts", Value: strconv.Itoa(restarts)},
 	}
-}
-
-// demoCSIHook chains the health monitor and flight recorder onto a
-// link's CSI stream; with neither enabled it returns nil and the
-// measurement path stays zero-overhead.
-func demoCSIHook(h *health.Monitor, rec *flight.Recorder) func([]float64) {
-	switch {
-	case h != nil && rec != nil:
-		return func(snrDB []float64) {
-			h.ObserveSNR(snrDB)
-			rec.RecordCSI(snrDB)
-		}
-	case h != nil:
-		return h.ObserveSNR
-	case rec != nil:
-		return rec.RecordCSI
-	}
-	return nil
 }
 
 func main() {
@@ -146,15 +127,17 @@ func runDemo(args []string) error {
 	if err := tele.Start(os.Stderr); err != nil {
 		return err
 	}
+	// The whole demo is one telemetry session: the flag-built stack,
+	// adopted as a single scope, observes the link, agent, controller,
+	// and searcher alike.
+	sc := press.ScopeFromTelemetry("demo", &tele)
 
-	space, err := buildScenario(*seed, tele.Prof())
+	space, err := buildScenario(*seed, sc.Prof())
 	if err != nil {
 		return err
 	}
 	link := space.Link("ap-client")
-	link.Obs = tele.Registry()
-	link.Prof = tele.Prof()
-	link.OnCSI = demoCSIHook(tele.Health(), tele.Flight())
+	link.AttachScope(sc)
 
 	// Element-side agent on a TCP loopback listener.
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -162,11 +145,10 @@ func runDemo(args []string) error {
 		return err
 	}
 	agent := press.NewAgent(1, space.Array)
-	agent.Obs = tele.Registry()
-	agent.Health = tele.Health()
+	agent.AttachScope(sc)
 	var mu sync.Mutex
 	applied := space.Applied()
-	rec := tele.Flight()
+	rec := sc.Flight()
 	agent.OnApply = func(cfg press.Config) {
 		mu.Lock()
 		applied = cfg
@@ -184,12 +166,10 @@ func runDemo(args []string) error {
 	}
 	defer nc.Close()
 	ctrl := press.NewController(press.NewStreamConn(nc))
-	ctrl.Obs = tele.Registry()
-	ctrl.Log = tele.Logger()
-	ctrl.Prof = tele.Prof()
+	ctrl.AttachScope(sc)
 	hctx, hcancel := context.WithTimeout(ctx, 5*time.Second)
 	defer hcancel()
-	hsp := press.StartSpan(tele.Registry(), "demo/handshake")
+	hsp := press.StartSpan(sc.Registry(), "demo/handshake")
 	if err := ctrl.Handshake(hctx); err != nil {
 		return err
 	}
@@ -214,7 +194,7 @@ func runDemo(args []string) error {
 	if rec != nil {
 		man := press.NewFlightManifest("pressctl", "demo", *seed)
 		man.SetParams(demoParams(*speed, *perMeas, rtt, budget, demoRestarts))
-		rec.RecordManifest(man)
+		sc.RecordManifest(man)
 	}
 
 	// Baseline.
@@ -246,9 +226,8 @@ func runDemo(args []string) error {
 		return objective.Score(csi), nil
 	}
 
-	searcher := press.InstrumentSearcherProf(
-		press.Greedy{Rng: rand.New(rand.NewPCG(*seed, 2)), Restarts: demoRestarts},
-		tele.Registry(), tele.Logger(), tele.Health(), rec, tele.Prof())
+	searcher := press.InstrumentSearcherScope(
+		press.Greedy{Rng: rand.New(rand.NewPCG(*seed, 2)), Restarts: demoRestarts}, sc)
 	res, err := searcher.Search(space.Array, eval, budget)
 	if err != nil && !errors.Is(err, press.ErrBudgetExhausted) {
 		return err
@@ -258,7 +237,7 @@ func runDemo(args []string) error {
 	}
 
 	// Actuate the winner and report.
-	asp := press.StartSpan(tele.Registry(), "demo/actuate")
+	asp := press.StartSpan(sc.Registry(), "demo/actuate")
 	actx, acancel := context.WithTimeout(ctx, 2*time.Second)
 	defer acancel()
 	if err := ctrl.SetConfig(actx, res.Best); err != nil {
@@ -294,14 +273,13 @@ func runAgent(args []string) error {
 	for i := range elems {
 		elems[i] = press.NewOmniElement(press.V(float64(i), 1, 1.5))
 	}
+	sc := press.ScopeFromTelemetry("agent", &tele)
 	agent := press.NewAgent(uint32(*id), press.NewArray(elems...))
-	agent.Obs = tele.Registry()
-	agent.Log = tele.Logger()
-	agent.Health = tele.Health()
-	if rec := tele.Flight(); rec != nil {
+	agent.AttachScope(sc)
+	if rec := sc.Flight(); rec != nil {
 		man := press.NewFlightManifest("pressctl", "agent", *id)
 		man.SetParams([]flight.Param{{Key: "elements", Value: strconv.Itoa(*elements)}})
-		rec.RecordManifest(man)
+		sc.RecordManifest(man)
 		agent.OnApply = func(cfg press.Config) { rec.RecordActuation(flight.SourceAgent, 0, cfg) }
 	}
 	l, err := net.Listen("tcp", *listen)
@@ -336,8 +314,7 @@ func runPing(args []string) error {
 	}
 	defer nc.Close()
 	ctrl := press.NewController(press.NewStreamConn(nc))
-	ctrl.Obs = tele.Registry()
-	ctrl.Log = tele.Logger()
+	ctrl.AttachScope(press.ScopeFromTelemetry("ping", &tele))
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := ctrl.Handshake(ctx); err != nil {

@@ -21,25 +21,53 @@ import (
 	"press"
 	"press/internal/experiments"
 	"press/internal/obs/flight"
+	"press/internal/obs/scope"
 )
+
+// resolveRunDir turns either a positional RUNDIR or a -flight-dir +
+// -session pair into a concrete run directory. Session-scoped runs tag
+// their manifests (flight.SessionParamKey), so a shared flight root
+// holding many sessions' runs stays addressable by room.
+func resolveRunDir(arg, flightDir, session string) (string, error) {
+	switch {
+	case arg != "" && flightDir == "":
+		return arg, nil
+	case arg == "" && flightDir != "":
+		if session == "" {
+			return "", errors.New("-flight-dir needs -session (or a session/scenario name) to pick a run")
+		}
+		dir, _, err := flight.FindRun(flightDir, session)
+		return dir, err
+	case arg != "" && flightDir != "":
+		return "", errors.New("give either RUNDIR or -flight-dir, not both")
+	default:
+		return "", errors.New("no run selected")
+	}
+}
 
 func runReplay(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	tol := fs.Float64("tolerance", 1e-9, "per-subcarrier KPI tolerance in dB")
 	jsonOut := fs.Bool("json", false, "emit the verification report as JSON")
 	keep := fs.String("out", "", "directory to write the regenerated run log into (default: a discarded temp dir)")
+	flightDir := fs.String("flight-dir", "", "shared flight root to search instead of a positional RUNDIR")
+	session := fs.String("session", "", "session ID (or scenario name) selecting a run under -flight-dir; newest match wins")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		return errors.New("usage: pressctl replay [flags] RUNDIR")
+	if fs.NArg() > 1 || (fs.NArg() != 1 && *flightDir == "") {
+		return errors.New("usage: pressctl replay [flags] RUNDIR  |  pressctl replay -flight-dir DIR -session ID [flags]")
 	}
-	recorded, err := flight.ReadRun(fs.Arg(0))
+	runDir, err := resolveRunDir(fs.Arg(0), *flightDir, *session)
+	if err != nil {
+		return err
+	}
+	recorded, err := flight.ReadRun(runDir)
 	if err != nil {
 		return err
 	}
 	if recorded.Manifest == nil {
-		return fmt.Errorf("replay: %s has no manifest record", fs.Arg(0))
+		return fmt.Errorf("replay: %s has no manifest record", runDir)
 	}
 	man := recorded.Manifest
 
@@ -175,8 +203,8 @@ func replayDemo(man *flight.Manifest, rec *flight.Recorder) error {
 }
 
 // replayPressim re-executes a recorded pressim run: the manifest params
-// round-trip through experiments.RunSpec, and the process-wide flight
-// observer re-records the measurement stream the harnesses produce.
+// round-trip through experiments.RunSpec, and an ambient flight-only
+// scope re-records the measurement stream the harnesses produce.
 func replayPressim(man *flight.Manifest, rec *flight.Recorder) error {
 	spec, err := experiments.SpecFromManifest(man)
 	if err != nil {
@@ -185,25 +213,36 @@ func replayPressim(man *flight.Manifest, rec *flight.Recorder) error {
 	regen := press.NewFlightManifest("pressim", man.Scenario, man.Seed)
 	regen.Params = man.Params
 	rec.RecordManifest(regen)
-	experiments.SetFlight(rec)
-	defer experiments.SetFlight(nil)
+	experiments.SetScope(scope.Adopt(man.Session(), nil, nil, nil, rec, nil))
+	defer experiments.SetScope(nil)
 	return spec.Run()
 }
 
 func runDiffCmd(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rundiff", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit the diff as JSON")
+	flightDir := fs.String("flight-dir", "", "shared flight root to search instead of positional RUNDIRs")
+	sessionA := fs.String("session-a", "", "session ID selecting run A under -flight-dir")
+	sessionB := fs.String("session-b", "", "session ID selecting run B under -flight-dir")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 2 {
-		return errors.New("usage: pressctl rundiff [flags] RUNDIR_A RUNDIR_B")
+	if fs.NArg() > 2 || (fs.NArg() != 2 && *flightDir == "") {
+		return errors.New("usage: pressctl rundiff [flags] RUNDIR_A RUNDIR_B  |  pressctl rundiff -flight-dir DIR -session-a A -session-b B")
 	}
-	runA, err := flight.ReadRun(fs.Arg(0))
+	dirA, err := resolveRunDir(fs.Arg(0), *flightDir, *sessionA)
+	if err != nil {
+		return fmt.Errorf("run A: %w", err)
+	}
+	dirB, err := resolveRunDir(fs.Arg(1), *flightDir, *sessionB)
+	if err != nil {
+		return fmt.Errorf("run B: %w", err)
+	}
+	runA, err := flight.ReadRun(dirA)
 	if err != nil {
 		return err
 	}
-	runB, err := flight.ReadRun(fs.Arg(1))
+	runB, err := flight.ReadRun(dirB)
 	if err != nil {
 		return err
 	}

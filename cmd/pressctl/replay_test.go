@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"press/internal/experiments"
 	"press/internal/obs/flight"
 )
 
@@ -126,5 +127,71 @@ func TestReplayUsageErrors(t *testing.T) {
 	}
 	if err := runReplay([]string{t.TempDir()}, &bytes.Buffer{}); err == nil {
 		t.Error("replay of empty dir accepted")
+	}
+	if err := runReplay([]string{"-flight-dir", t.TempDir(), "positional"}, &bytes.Buffer{}); err == nil {
+		t.Error("replay with both RUNDIR and -flight-dir accepted")
+	}
+	if err := runReplay([]string{"-flight-dir", t.TempDir()}, &bytes.Buffer{}); err == nil {
+		t.Error("replay -flight-dir without -session accepted")
+	}
+	if err := runReplay([]string{"-flight-dir", t.TempDir(), "-session", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("replay of unknown session accepted")
+	}
+}
+
+// TestReplayBySession drives the concurrent multi-room experiment into a
+// shared flight root, then selects individual rooms' runs by session ID
+// for replay and cross-run diffing — the workflow session tagging
+// exists for.
+func TestReplayBySession(t *testing.T) {
+	root := t.TempDir()
+	res, err := experiments.RunConcurrent(experiments.ConcurrentOptions{
+		Sessions: 3, Budget: 12, Workers: 2, FlightRoot: root,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reconciled() {
+		t.Fatalf("roll-up mismatch: %+v", res)
+	}
+
+	var out bytes.Buffer
+	if err := runReplay([]string{"-flight-dir", root, "-session", "room-01"}, &out); err != nil {
+		t.Fatalf("replay -session: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "REPLAY OK") {
+		t.Errorf("replay output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := runDiffCmd([]string{"-flight-dir", root, "-session-a", "room-00", "-session-b", "room-02"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var d flight.RunDiff
+	text := out.String()
+	out.Reset()
+	if err := runDiffCmd([]string{"-json", "-flight-dir", root, "-session-a", "room-00", "-session-b", "room-02"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(out.Bytes(), &d); err != nil {
+		t.Fatalf("rundiff -json not JSON: %v\n%s", err, out.String())
+	}
+	if d.A.Seed != 442 || d.B.Seed != 444 {
+		t.Errorf("session selection picked wrong runs: %+v\n%s", d, text)
+	}
+}
+
+// TestDemoRunIsSessionTagged: the demo adopts its telemetry stack as
+// one "demo" session, so its recording is selectable from a shared
+// flight root by session ID too.
+func TestDemoRunIsSessionTagged(t *testing.T) {
+	root := t.TempDir()
+	runDir := recordDemo(t, root)
+	dir, man, err := flight.FindRun(root, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir != runDir || man.Session() != "demo" {
+		t.Errorf("FindRun = %s (session %q), want %s", dir, man.Session(), runDir)
 	}
 }

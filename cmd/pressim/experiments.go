@@ -183,6 +183,30 @@ func runOne(name string, opt options, out io.Writer) error {
 		res.Print(out)
 		return nil
 
+	case "concurrent":
+		o := experiments.DefaultConcurrent()
+		o.Seed = opt.seed
+		o.Sessions = opt.sessions
+		o.Budget = opt.budget
+		o.FlightRoot = opt.tele.FlightDir
+		res, err := experiments.RunConcurrent(o)
+		if res != nil {
+			res.Print(out)
+		}
+		return err
+
+	case "session":
+		seed := opt.seed
+		if seed == 0 {
+			seed = 442
+		}
+		res, err := experiments.RunSession("session", seed, opt.budget, experiments.CurrentScope())
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		return nil
+
 	case "record":
 		if opt.recordPath == "" {
 			return fmt.Errorf("record needs -record FILE")

@@ -10,7 +10,7 @@
 //	pressim -exp ablation
 //
 // Experiments: los, fig4, fig5, fig6, fig7, fig8, coherence, ablation,
-// all.
+// concurrent (multi-room sessions with per-room telemetry scopes), all.
 package main
 
 import (
@@ -25,6 +25,7 @@ import (
 	"press/internal/obs"
 	"press/internal/obs/flight"
 	"press/internal/obs/prof"
+	"press/internal/obs/scope"
 )
 
 func main() {
@@ -38,6 +39,7 @@ type options struct {
 	exp        string
 	trials     int
 	placements int
+	sessions   int
 	seed       uint64
 	snapshots  int
 	reps       int
@@ -59,13 +61,14 @@ func (o *options) spec() experiments.RunSpec {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pressim", flag.ContinueOnError)
 	var opt options
-	fs.StringVar(&opt.exp, "exp", "all", "experiment: los|fig4|fig5|fig6|fig7|fig8|coherence|staleness|ablation|all")
+	fs.StringVar(&opt.exp, "exp", "all", "experiment: los|fig4|fig5|fig6|fig7|fig8|coherence|staleness|ablation|concurrent|all")
 	fs.IntVar(&opt.trials, "trials", 10, "sweep repetitions for fig4/fig5/fig6")
 	fs.IntVar(&opt.placements, "placements", 8, "random element placements for fig4")
 	fs.Uint64Var(&opt.seed, "seed", 0, "seed override (0 = the calibrated defaults)")
 	fs.IntVar(&opt.snapshots, "snapshots", 50, "channel measurements averaged per config for fig8")
 	fs.IntVar(&opt.reps, "reps", 5, "sweep repetitions for fig8")
 	fs.IntVar(&opt.budget, "budget", 200, "measurement budget for the search ablation")
+	fs.IntVar(&opt.sessions, "sessions", 12, "rooms driven by -exp concurrent (each gets its own telemetry scope)")
 	fs.StringVar(&opt.csvDir, "csv", "", "directory to write raw CSV series into (created if missing)")
 	fs.StringVar(&opt.recordPath, "record", "", "JSON sweep-record path for the record/replay experiments")
 	opt.tele.Register(fs)
@@ -81,14 +84,10 @@ func run(args []string, out io.Writer) error {
 	if err := opt.tele.Start(os.Stderr); err != nil {
 		return err
 	}
-	experiments.SetObserver(opt.tele.Registry(), opt.tele.Logger())
-	defer experiments.SetObserver(nil, nil)
-	experiments.SetHealth(opt.tele.Health())
-	defer experiments.SetHealth(nil)
-	experiments.SetFlight(opt.tele.Flight())
-	defer experiments.SetFlight(nil)
-	experiments.SetProf(opt.tele.Prof())
-	defer experiments.SetProf(nil)
+	// The whole invocation is one telemetry session: adopt the flag-built
+	// process stack as the ambient scope (teardown stays with tele.Finish).
+	experiments.SetScope(scope.FromTelemetry("", &opt.tele))
+	defer experiments.SetScope(nil)
 	if rec := opt.tele.Flight(); rec != nil {
 		man := flight.NewManifest("pressim", opt.exp, opt.seed)
 		man.SetParams(opt.spec().Params())

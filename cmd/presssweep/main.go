@@ -23,6 +23,7 @@ import (
 	"press/internal/obs"
 	"press/internal/obs/flight"
 	"press/internal/obs/prof"
+	"press/internal/obs/scope"
 	"press/internal/radio"
 )
 
@@ -50,24 +51,18 @@ func run(args []string) error {
 }
 
 // startTelemetry brings up the parsed telemetry flags and installs the
-// experiments observer. The returned finish func tears both down and
-// emits the snapshot ("-" goes to stdout, after the CSV).
+// ambient experiments scope. The returned finish func tears both down
+// and emits the snapshot ("-" goes to stdout, after the CSV).
 func startTelemetry(tele *prof.CLI, scenario string, seed uint64) (finish func() error, err error) {
 	if err := tele.Start(os.Stderr); err != nil {
 		return nil, err
 	}
-	experiments.SetObserver(tele.Registry(), tele.Logger())
-	experiments.SetHealth(tele.Health())
-	experiments.SetFlight(tele.Flight())
-	experiments.SetProf(tele.Prof())
+	experiments.SetScope(scope.FromTelemetry("", tele))
 	if rec := tele.Flight(); rec != nil {
 		rec.RecordManifest(flight.NewManifest("presssweep", scenario, seed))
 	}
 	return func() error {
-		experiments.SetObserver(nil, nil)
-		experiments.SetHealth(nil)
-		experiments.SetFlight(nil)
-		experiments.SetProf(nil)
+		experiments.SetScope(nil)
 		return tele.Finish(os.Stdout)
 	}, nil
 }

@@ -9,6 +9,7 @@ import (
 	"press/internal/obs/flight"
 	"press/internal/obs/health"
 	"press/internal/obs/prof"
+	"press/internal/obs/scope"
 )
 
 // Instrumented wraps any Searcher with telemetry: a per-strategy span
@@ -60,6 +61,13 @@ func InstrumentProf(s Searcher, reg *obs.Registry, log *obs.Logger, h *health.Mo
 		return s
 	}
 	return Instrumented{Searcher: s, Obs: reg, Log: log, Health: h, Flight: rec, Prof: pc}
+}
+
+// InstrumentScope wraps s with every sink a telemetry scope carries —
+// the session-oriented form of the Instrument* chain. A nil (or fully
+// disabled) scope returns s unchanged.
+func InstrumentScope(s Searcher, sc *scope.Scope) Searcher {
+	return InstrumentProf(s, sc.Registry(), sc.Logger(), sc.Health(), sc.Flight(), sc.Prof())
 }
 
 // Name implements Searcher.

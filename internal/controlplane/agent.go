@@ -11,6 +11,7 @@ import (
 	"press/internal/element"
 	"press/internal/obs"
 	"press/internal/obs/health"
+	"press/internal/obs/scope"
 )
 
 // Agent is the element-side endpoint: it owns a PRESS array, applies
@@ -41,6 +42,14 @@ type Agent struct {
 // NewAgent builds an agent with every element initially in state 0.
 func NewAgent(id uint32, arr *element.Array) *Agent {
 	return &Agent{ID: id, Array: arr, current: make(element.Config, arr.N())}
+}
+
+// AttachScope points the agent's telemetry at a session scope: frame
+// counters, the structured log, and the channel-health actuation feed.
+func (a *Agent) AttachScope(sc *scope.Scope) {
+	a.Obs = sc.Registry()
+	a.Log = sc.Logger()
+	a.Health = sc.Health()
 }
 
 // Current returns a copy of the applied configuration.

@@ -10,6 +10,7 @@ import (
 	"press/internal/element"
 	"press/internal/obs"
 	"press/internal/obs/prof"
+	"press/internal/obs/scope"
 )
 
 // Stats counts controller-side protocol events, for the latency/loss
@@ -64,6 +65,15 @@ type Controller struct {
 // NewController wraps a connection. Call Handshake before actuating.
 func NewController(conn Conn) *Controller {
 	return &Controller{conn: conn, Timeout: 100 * time.Millisecond, Retries: 4}
+}
+
+// AttachScope points the controller's telemetry at a session scope:
+// registry (protocol counters, latency histograms, trace spans),
+// structured log, and actuation phase accounting.
+func (c *Controller) AttachScope(sc *scope.Scope) {
+	c.Obs = sc.Registry()
+	c.Log = sc.Logger()
+	c.Prof = sc.Prof()
 }
 
 // ErrRejected means the agent refused the configuration.

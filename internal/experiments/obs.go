@@ -8,120 +8,68 @@ import (
 	"press/internal/obs/flight"
 	"press/internal/obs/health"
 	"press/internal/obs/prof"
+	"press/internal/obs/scope"
 	"press/internal/radio"
-	"press/internal/stats"
 )
 
-// observerState carries the telemetry sinks an embedding CLI installs.
-type observerState struct {
-	reg *obs.Registry
-	log *obs.Logger
-}
+// currentScope is the ambient telemetry scope for harnesses that are
+// not handed one explicitly. The one-shot CLIs adopt their flag-built
+// process-wide stack as a single scope; session-oriented callers (the
+// concurrent experiment, the future pressd daemon) pass per-session
+// scopes through scenario parameters instead and leave this alone.
+var currentScope atomic.Pointer[scope.Scope]
 
-var currentObserver atomic.Pointer[observerState]
-
-// SetObserver installs a process-wide telemetry registry and logger for
-// every harness in this package: scenario Builds attach the registry to
-// the links and environments they create, and search call sites wrap
-// their searchers with control.Instrument. Pass nil, nil to clear.
+// SetScope installs the ambient telemetry scope for every harness in
+// this package: scenario Builds attach its registry, health monitor,
+// flight recorder, and phase collector to the links and environments
+// they create, and search call sites wrap their searchers with
+// control.InstrumentScope. Pass nil to clear.
 //
-// A package-level observer (rather than per-harness parameters) keeps
-// the dozens of Run* signatures stable; the harnesses run one at a time
-// from the CLIs, so a single process-wide sink is the right granularity.
-func SetObserver(reg *obs.Registry, log *obs.Logger) {
-	if reg == nil && log == nil {
-		currentObserver.Store(nil)
-		return
-	}
-	currentObserver.Store(&observerState{reg: reg, log: log})
-}
+// An ambient scope (rather than per-harness parameters) keeps the
+// dozens of Run* signatures stable; harnesses that need per-session
+// telemetry take an explicit *scope.Scope via their scenario instead.
+func SetScope(s *scope.Scope) { currentScope.Store(s) }
 
-// obsRegistry returns the installed registry, or nil when telemetry is
+// CurrentScope returns the ambient scope, nil when telemetry is off
+// (every accessor on a nil scope is a valid disabled sink).
+func CurrentScope() *scope.Scope { return currentScope.Load() }
+
+// obsRegistry returns the ambient registry, or nil when telemetry is
 // off — safe to assign to Link.Obs / Environment.Obs either way.
-func obsRegistry() *obs.Registry {
-	if o := currentObserver.Load(); o != nil {
-		return o.reg
-	}
-	return nil
-}
+func obsRegistry() *obs.Registry { return CurrentScope().Registry() }
 
-// obsLogger returns the installed logger, or nil.
-func obsLogger() *obs.Logger {
-	if o := currentObserver.Load(); o != nil {
-		return o.log
-	}
-	return nil
-}
+// obsLogger returns the ambient logger, or nil.
+func obsLogger() *obs.Logger { return CurrentScope().Logger() }
 
-// instrument wraps s with the installed observer, health monitor,
-// flight recorder, and work-accounting collector; with none of them it
-// returns s unchanged.
+// healthMon returns the ambient channel-health monitor, or nil (every
+// consumer is nil-safe).
+func healthMon() *health.Monitor { return CurrentScope().Health() }
+
+// flightRec returns the ambient flight recorder, or nil (every consumer
+// is nil-safe).
+func flightRec() *flight.Recorder { return CurrentScope().Flight() }
+
+// profC returns the ambient work-accounting collector, or nil (every
+// consumer is nil-safe).
+func profC() *prof.Collector { return CurrentScope().Prof() }
+
+// instrument wraps s with the ambient scope's observer, health monitor,
+// flight recorder, and work-accounting collector; with all of them off
+// it returns s unchanged.
 func instrument(s control.Searcher) control.Searcher {
-	return control.InstrumentProf(s, obsRegistry(), obsLogger(), healthMon(), flightRec(), profC())
+	return control.InstrumentScope(s, CurrentScope())
 }
 
-var currentHealth atomic.Pointer[health.Monitor]
-
-// SetHealth installs a process-wide channel-health monitor: scenario
-// Builds hook it to every link's CSI stream, search call sites feed it
-// best-objective updates, and the MIMO harnesses push condition-number
-// profiles. Pass nil to clear. The same single-process rationale as
-// SetObserver applies.
-func SetHealth(h *health.Monitor) { currentHealth.Store(h) }
-
-// healthMon returns the installed monitor, or nil when health telemetry
-// is off (every consumer is nil-safe).
-func healthMon() *health.Monitor { return currentHealth.Load() }
-
-var currentFlight atomic.Pointer[flight.Recorder]
-
-// SetFlight installs a process-wide flight recorder: scenario Builds
-// chain it onto every link's CSI stream, search call sites persist
-// per-evaluation decisions, and the MIMO harnesses log condition-number
-// KPI samples. Pass nil to clear. The same single-process rationale as
-// SetObserver applies.
-func SetFlight(rec *flight.Recorder) { currentFlight.Store(rec) }
-
-// flightRec returns the installed recorder, or nil when run logging is
-// off (every consumer is nil-safe).
-func flightRec() *flight.Recorder { return currentFlight.Load() }
-
-var currentProf atomic.Pointer[prof.Collector]
-
-// SetProf installs a process-wide work-accounting collector: scenario
-// Builds attach it to the environments and links they create, and search
-// call sites account their evaluation loops to the search_eval phase.
-// Pass nil to clear. The same single-process rationale as SetObserver
-// applies.
-func SetProf(c *prof.Collector) { currentProf.Store(c) }
-
-// profC returns the installed collector, or nil when phase accounting is
-// off (every consumer is nil-safe).
-func profC() *prof.Collector { return currentProf.Load() }
-
-// attachObservers points a link's CSI hook at the installed health
-// monitor and flight recorder. With neither the hook stays nil and
-// measurement stays zero-overhead.
+// attachObservers points a link's CSI hook at the ambient scope's
+// health monitor and flight recorder. With neither the hook stays nil
+// and measurement stays zero-overhead.
 func attachObservers(link *radio.Link) {
-	h, rec := healthMon(), flightRec()
-	switch {
-	case h != nil && rec != nil:
-		link.OnCSI = func(snrDB []float64) {
-			h.ObserveSNR(snrDB)
-			rec.RecordCSI(snrDB)
-		}
-	case h != nil:
-		link.OnCSI = h.ObserveSNR
-	case rec != nil:
-		link.OnCSI = rec.RecordCSI
+	if hook := CurrentScope().CSIHook(); hook != nil {
+		link.OnCSI = hook
 	}
 }
 
 // observeCondProfile fans a per-subcarrier condition-number profile (dB)
-// out to the health monitor and, as its median, the flight log.
-func observeCondProfile(condDB []float64) {
-	healthMon().ObserveCondProfile(condDB)
-	if rec := flightRec(); rec != nil && len(condDB) > 0 {
-		rec.RecordKPI(flight.KPICondDBMedian, stats.Median(condDB))
-	}
-}
+// out to the ambient scope's health monitor and, as its median, the
+// flight log.
+func observeCondProfile(condDB []float64) { CurrentScope().ObserveCondProfile(condDB) }

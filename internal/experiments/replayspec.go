@@ -102,8 +102,8 @@ func (s RunSpec) seedOr(def uint64) uint64 {
 
 // Run re-executes every experiment in the spec, discarding printed
 // results: the point is the measurement side effects, which the
-// installed observers (SetObserver/SetHealth/SetFlight) capture. The
-// dispatch must stay in lockstep with cmd/pressim's runOne.
+// ambient telemetry scope (SetScope) captures. The dispatch must stay
+// in lockstep with cmd/pressim's runOne.
 func (s RunSpec) Run() error {
 	for _, name := range s.Experiments() {
 		if err := s.runOne(name); err != nil {
@@ -193,6 +193,12 @@ func (s RunSpec) runOne(name string) error {
 		return err
 	case "faults":
 		_, err := RunFaultTolerance(s.seedOr(442))
+		return err
+	case "session":
+		// One room of the concurrent experiment: session manifests carry
+		// exp=session plus the session's absolute seed and budget, so the
+		// ambient (flight-adopting) scope re-records the same streams.
+		_, err := RunSession("session", s.seedOr(442), s.Budget, CurrentScope())
 		return err
 	default:
 		return fmt.Errorf("experiments: unknown or non-replayable experiment %q", name)

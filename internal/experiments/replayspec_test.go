@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"press/internal/obs/flight"
+	"press/internal/obs/scope"
 )
 
 func TestRunSpecParamsRoundTrip(t *testing.T) {
@@ -70,8 +71,8 @@ func TestRunSpecReplayDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		SetFlight(rec)
-		defer SetFlight(nil)
+		SetScope(scope.Adopt("", nil, nil, nil, rec, nil))
+		defer SetScope(nil)
 		if err := spec.Run(); err != nil {
 			t.Fatal(err)
 		}

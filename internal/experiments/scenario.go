@@ -12,6 +12,7 @@ import (
 
 	"press/internal/element"
 	"press/internal/geom"
+	"press/internal/obs/scope"
 	"press/internal/ofdm"
 	"press/internal/propagation"
 	"press/internal/radio"
@@ -42,6 +43,10 @@ type SISOScenario struct {
 	// Bigger rooms mean longer bounce paths, hence more frequency nulls
 	// inside the 20 MHz band.
 	RoomX, RoomY float64
+	// Scope, when set, receives this scenario's telemetry instead of the
+	// package-ambient scope — how per-session harnesses (pressim -exp
+	// concurrent, the pressd arc) observe each room independently.
+	Scope *scope.Scope
 }
 
 // DefaultSISO returns the paper's §3.2 setup for a given seed: three
@@ -70,9 +75,12 @@ func (s SISOScenario) Build() (*radio.Link, error) {
 	if ry2 <= 0 {
 		ry2 = 9
 	}
+	sc := s.Scope
+	if sc == nil {
+		sc = CurrentScope()
+	}
 	env := propagation.NewEnvironment(rx2, ry2, 3)
-	env.Obs = obsRegistry()
-	env.Prof = profC()
+	env.AttachScope(sc)
 	env.AddScatterers(rand.New(rand.NewPCG(s.Seed, 0xa11ce)), s.NumScatterers, s.ScattererAmp)
 
 	cx, cy := rx2/2, ry2/2
@@ -118,9 +126,7 @@ func (s SISOScenario) Build() (*radio.Link, error) {
 	if err != nil {
 		return nil, err
 	}
-	link.Obs = obsRegistry()
-	link.Prof = profC()
-	attachObservers(link)
+	link.AttachScope(sc)
 	return link, nil
 }
 
@@ -139,6 +145,9 @@ type MIMOScenario struct {
 	// larger values probe the §3.2.3 prediction that PRESS's impact
 	// grows with MIMO dimension).
 	Dim int
+	// Scope, when set, overrides the package-ambient telemetry scope —
+	// same session-orientation as SISOScenario.Scope.
+	Scope *scope.Scope
 }
 
 // DefaultMIMO returns the §3.2.3 setup.
@@ -148,9 +157,12 @@ func DefaultMIMO(seed uint64) MIMOScenario {
 
 // Build assembles the Dim×Dim link.
 func (s MIMOScenario) Build() (*radio.MIMOLink, error) {
+	sc := s.Scope
+	if sc == nil {
+		sc = CurrentScope()
+	}
 	env := propagation.NewEnvironment(14, 10, 3)
-	env.Obs = obsRegistry()
-	env.Prof = profC()
+	env.AttachScope(sc)
 	env.AddScatterers(rand.New(rand.NewPCG(s.Seed, 0xa11ce)), 16, 40)
 	env.Blockers = append(env.Blockers,
 		geom.NewBlocker(geom.V(6.6, 4.7, 0), geom.V(6.9, 5.5, 2.2), 35))
@@ -183,8 +195,7 @@ func (s MIMOScenario) Build() (*radio.MIMOLink, error) {
 		return nil, err
 	}
 	ml.NumTraining = 4
-	ml.Obs = obsRegistry()
-	ml.Prof = profC()
+	ml.AttachScope(sc)
 	return ml, nil
 }
 

@@ -139,6 +139,49 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return err
 }
 
+// WriteTextLabeled writes the snapshot in the Prometheus text format
+// with one constant label pair attached to every sample — the
+// per-session exposition behind /sessions/{id}/metrics, where the
+// session ID rides on a `session` label. The label value is escaped per
+// the text-format spec (EscapeLabelValue); histograms merge the label
+// with their `le` label.
+func (r *Registry) WriteTextLabeled(w io.Writer, label, value string) error {
+	snap := r.Snapshot()
+	lk := SanitizeMetricName(label)
+	lv := EscapeLabelValue(value)
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, name := range sortedKeys(snap.Counters) {
+		n := SanitizeMetricName(name)
+		p("# TYPE %s counter\n%s{%s=\"%s\"} %d\n", n, n, lk, lv, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		n := SanitizeMetricName(name)
+		p("# TYPE %s gauge\n%s{%s=\"%s\"} %s\n", n, n, lk, lv, formatFloat(snap.Gauges[name]))
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		n := SanitizeMetricName(name)
+		h := snap.Histograms[name]
+		p("# TYPE %s histogram\n", n)
+		for _, b := range h.Buckets {
+			p("%s_bucket{%s=\"%s\",le=\"%s\"} %d\n", n, lk, lv, EscapeLabelValue(b.LE), b.Count)
+		}
+		p("%s_sum{%s=\"%s\"} %s\n%s_count{%s=\"%s\"} %d\n",
+			n, lk, lv, formatFloat(h.Sum), n, lk, lv, h.Count)
+	}
+	for _, name := range sortedKeys(snap.Spans) {
+		n := SanitizeMetricName(name) + "_seconds"
+		s := snap.Spans[name]
+		p("# TYPE %s summary\n%s_sum{%s=\"%s\"} %s\n%s_count{%s=\"%s\"} %d\n",
+			n, n, lk, lv, formatFloat(s.TotalSeconds), n, lk, lv, s.Count)
+	}
+	return err
+}
+
 // SanitizeMetricName maps an internal metric or span name onto the
 // Prometheus name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
 func SanitizeMetricName(name string) string {

@@ -183,3 +183,38 @@ func ListRuns(root string) ([]*Manifest, error) {
 	sort.Slice(out, func(i, j int) bool { return out[i].StartUnixNs > out[j].StartUnixNs })
 	return out, nil
 }
+
+// FindRun locates the newest run under root belonging to the given
+// session: a run whose manifest session tag (SessionParamKey) equals
+// session, falling back to a scenario-name match for untagged runs. It
+// returns the run directory and its manifest — how `pressctl replay
+// -session` and `rundiff -session` pick one session's run out of a
+// shared -flight-dir.
+func FindRun(root, session string) (string, *Manifest, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return "", nil, err
+	}
+	var bestDir string
+	var best *Manifest
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		m, err := ReadManifest(dir)
+		if err != nil {
+			continue
+		}
+		if m.Session() != session && m.Scenario != session {
+			continue
+		}
+		if best == nil || m.StartUnixNs > best.StartUnixNs {
+			best, bestDir = m, dir
+		}
+	}
+	if best == nil {
+		return "", nil, fmt.Errorf("flight: no run for session %q under %s", session, root)
+	}
+	return bestDir, best, nil
+}

@@ -98,6 +98,37 @@ func (m *Manifest) Param(key string) (string, bool) {
 	return "", false
 }
 
+// SessionParamKey is the manifest parameter that tags a run with the
+// telemetry session (room) it belongs to. It rides in Params rather
+// than a dedicated manifest field so the binary format (and every
+// already-recorded run log) stays valid.
+const SessionParamKey = "session"
+
+// SetSession tags the manifest with a session ID, replacing any
+// existing tag. Empty id removes the tag.
+func (m *Manifest) SetSession(id string) {
+	for i, p := range m.Params {
+		if p.Key == SessionParamKey {
+			if id == "" {
+				m.Params = append(m.Params[:i], m.Params[i+1:]...)
+			} else {
+				m.Params[i].Value = id
+			}
+			return
+		}
+	}
+	if id == "" {
+		return
+	}
+	m.SetParams(append(m.Params, Param{Key: SessionParamKey, Value: id}))
+}
+
+// Session returns the manifest's session tag, "" when untagged.
+func (m *Manifest) Session() string {
+	v, _ := m.Param(SessionParamKey)
+	return v
+}
+
 // ComputeFingerprint hashes the run configuration (binary, scenario,
 // seed, sorted params — not timestamps or build info) so identically
 // configured runs share a fingerprint across hosts and days.

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"press/internal/obs"
 )
 
 // Defaults for the recorder's tuning knobs.
@@ -52,9 +54,7 @@ type Recorder struct {
 	err        error // sticky first I/O error
 	closed     bool
 
-	stopOnce sync.Once
-	stop     chan struct{}
-	done     chan struct{}
+	life obs.Lifecycle
 }
 
 // Open creates (if needed) the run directory dir and starts a recorder
@@ -75,15 +75,13 @@ func open(dir string, segBytes int64) (*Recorder, error) {
 		dir:      dir,
 		runID:    filepath.Base(dir),
 		segBytes: segBytes,
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
 	}
 	f, err := os.Create(filepath.Join(dir, segmentName(0)))
 	if err != nil {
 		return nil, err
 	}
 	r.f = f
-	go r.loop()
+	r.life.Start(nil, r.loop)
 	return r, nil
 }
 
@@ -124,13 +122,12 @@ func (r *Recorder) Records() uint64 {
 	return r.records
 }
 
-func (r *Recorder) loop() {
-	defer close(r.done)
+func (r *Recorder) loop(stop <-chan struct{}) {
 	t := time.NewTicker(DefaultFlushInterval)
 	defer t.Stop()
 	for {
 		select {
-		case <-r.stop:
+		case <-stop:
 			return
 		case <-t.C:
 			r.mu.Lock()
@@ -235,8 +232,7 @@ func (r *Recorder) Close() error {
 	if r == nil {
 		return nil
 	}
-	r.stopOnce.Do(func() { close(r.stop) })
-	<-r.done
+	r.life.Stop()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {

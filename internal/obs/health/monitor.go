@@ -54,10 +54,7 @@ type Monitor struct {
 	lastSampleMs   int64
 	sampledSamples int64
 
-	startOnce sync.Once
-	stopOnce  sync.Once
-	stop      chan struct{}
-	done      chan struct{}
+	life obs.Lifecycle
 }
 
 // NewMonitor returns a monitor sampling KPIs every interval into series
@@ -79,8 +76,6 @@ func NewMonitor(reg *obs.Registry, rules []Rule, interval time.Duration, capacit
 		series:   make(map[string]*Series, len(KPINames)),
 		spec:     newSpectrogram(capacity),
 		eng:      newEngine(rules),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
 	}
 	for _, name := range KPINames {
 		m.series[name] = newSeries(capacity)
@@ -146,9 +141,7 @@ func (m *Monitor) Start() {
 	if m == nil {
 		return
 	}
-	m.startOnce.Do(func() {
-		go m.loop()
-	})
+	m.life.Start(func() { m.Sample() }, m.loop) // immediate first sample so short runs still record
 }
 
 // Stop halts the sampler and waits for it to exit. Safe to call
@@ -157,19 +150,15 @@ func (m *Monitor) Stop() {
 	if m == nil {
 		return
 	}
-	m.stopOnce.Do(func() { close(m.stop) })
-	m.startOnce.Do(func() { close(m.done) }) // never started: unblock the wait
-	<-m.done
+	m.life.Stop()
 }
 
-func (m *Monitor) loop() {
-	defer close(m.done)
-	m.Sample() // immediate first sample so short runs still record
+func (m *Monitor) loop(stop <-chan struct{}) {
 	t := time.NewTicker(m.interval)
 	defer t.Stop()
 	for {
 		select {
-		case <-m.stop:
+		case <-stop:
 			return
 		case <-t.C:
 			m.Sample()

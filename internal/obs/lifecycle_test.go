@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLifecycleStartStop(t *testing.T) {
+	var l Lifecycle
+	var setups, runs atomic.Int64
+	started := l.Start(func() { setups.Add(1) }, func(stop <-chan struct{}) {
+		runs.Add(1)
+		<-stop
+	})
+	if !started {
+		t.Fatal("first Start should report started")
+	}
+	if l.Start(func() { setups.Add(1) }, nil) {
+		t.Fatal("second Start should be a no-op")
+	}
+	l.Stop()
+	l.Stop() // idempotent
+	if got := setups.Load(); got != 1 {
+		t.Fatalf("setup ran %d times, want 1", got)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("run ran %d times, want 1", got)
+	}
+}
+
+func TestLifecycleSetupSynchronous(t *testing.T) {
+	var l Lifecycle
+	var order []string
+	var mu sync.Mutex
+	l.Start(
+		func() {
+			mu.Lock()
+			order = append(order, "setup")
+			mu.Unlock()
+		},
+		func(stop <-chan struct{}) { <-stop },
+	)
+	mu.Lock()
+	if len(order) != 1 || order[0] != "setup" {
+		t.Fatalf("setup must complete before Start returns, got %v", order)
+	}
+	mu.Unlock()
+	l.Stop()
+}
+
+func TestLifecycleStopWithoutStart(t *testing.T) {
+	var l Lifecycle
+	doneCh := make(chan struct{})
+	go func() {
+		l.Stop()
+		l.Stop()
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop without Start hung")
+	}
+}
+
+func TestLifecycleStartAfterStop(t *testing.T) {
+	var l Lifecycle
+	l.Stop()
+	var ran atomic.Bool
+	if l.Start(func() { ran.Store(true) }, nil) {
+		t.Fatal("Start after Stop should not report started")
+	}
+	if ran.Load() {
+		t.Fatal("setup must not run after Stop")
+	}
+	l.Stop() // still safe
+}
+
+func TestLifecycleStopWaitsForRun(t *testing.T) {
+	var l Lifecycle
+	var finished atomic.Bool
+	l.Start(nil, func(stop <-chan struct{}) {
+		<-stop
+		time.Sleep(10 * time.Millisecond)
+		finished.Store(true)
+	})
+	l.Stop()
+	if !finished.Load() {
+		t.Fatal("Stop returned before run exited")
+	}
+}
+
+func TestLifecycleConcurrent(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		var l Lifecycle
+		var setups, runs atomic.Int64
+		var wg sync.WaitGroup
+		for j := 0; j < 4; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				l.Start(func() { setups.Add(1) }, func(stop <-chan struct{}) {
+					runs.Add(1)
+					<-stop
+				})
+			}()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				l.Stop()
+			}()
+		}
+		wg.Wait()
+		l.Stop()
+		if s := setups.Load(); s > 1 {
+			t.Fatalf("setup ran %d times, want ≤1", s)
+		}
+		if r := runs.Load(); r > 1 {
+			t.Fatalf("run ran %d times, want ≤1", r)
+		}
+	}
+}

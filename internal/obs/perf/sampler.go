@@ -97,8 +97,7 @@ type Sampler struct {
 	cGC, cAllocs                      *obs.Counter
 	hPause, hSched                    *obs.Histogram
 
-	startOnce, stopOnce sync.Once
-	stop, done          chan struct{}
+	life obs.Lifecycle
 }
 
 // NewSampler builds a sampler over reg (nil: registry mirroring off)
@@ -113,8 +112,6 @@ func NewSampler(reg *obs.Registry, rec *flight.Recorder, interval time.Duration)
 		reg:      reg,
 		rec:      rec,
 		interval: interval,
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
 
 		gHeapLive:   reg.Gauge(GaugeHeapLiveBytes),
 		gHeapGoal:   reg.Gauge(GaugeHeapGoalBytes),
@@ -183,21 +180,17 @@ func (s *Sampler) Start() {
 	if s == nil {
 		return
 	}
-	s.startOnce.Do(func() {
-		s.SampleOnce()
-		go func() {
-			defer close(s.done)
-			t := time.NewTicker(s.interval)
-			defer t.Stop()
-			for {
-				select {
-				case <-t.C:
-					s.SampleOnce()
-				case <-s.stop:
-					return
-				}
+	s.life.Start(func() { s.SampleOnce() }, func(stop <-chan struct{}) {
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.SampleOnce()
+			case <-stop:
+				return
 			}
-		}()
+		}
 	})
 }
 
@@ -207,9 +200,7 @@ func (s *Sampler) Stop() {
 	if s == nil {
 		return
 	}
-	s.stopOnce.Do(func() { close(s.stop) })
-	s.startOnce.Do(func() { close(s.done) }) // never started: nothing to wait for
-	<-s.done
+	s.life.Stop()
 }
 
 // Last returns the most recent snapshot (zero before the first tick or

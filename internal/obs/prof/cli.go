@@ -49,8 +49,7 @@ type CLI struct {
 
 	collector *Collector
 	profiler  *Profiler
-	flushStop chan struct{}
-	flushDone chan struct{}
+	flushLife *obs.Lifecycle
 }
 
 // Register installs the perf telemetry flags plus the prof flags.
@@ -93,22 +92,20 @@ func (c *CLI) Start(logw io.Writer) error {
 		RegisterRoutes(srv, c.collector, c.profiler)
 	}
 	if c.collector != nil && c.Flight() != nil {
-		c.flushStop = make(chan struct{})
-		c.flushDone = make(chan struct{})
-		go c.flushLoop()
+		c.flushLife = &obs.Lifecycle{}
+		c.flushLife.Start(nil, c.flushLoop)
 	}
 	return nil
 }
 
 // flushLoop periodically writes cumulative phase-cost snapshots so a
 // crashed run still carries cost data up to the last flush.
-func (c *CLI) flushLoop() {
-	defer close(c.flushDone)
+func (c *CLI) flushLoop(stop <-chan struct{}) {
 	t := time.NewTicker(flushInterval)
 	defer t.Stop()
 	for {
 		select {
-		case <-c.flushStop:
+		case <-stop:
 			return
 		case <-t.C:
 			c.flushPhaseCosts()
@@ -137,10 +134,9 @@ func (c *CLI) Profiler() *Profiler { return c.profiler }
 // Finish writes the final phase-cost snapshot, stops the profiler, and
 // tears down the perf/flight/health/obs layers.
 func (c *CLI) Finish(stdout io.Writer) error {
-	if c.flushStop != nil {
-		close(c.flushStop)
-		<-c.flushDone
-		c.flushStop, c.flushDone = nil, nil
+	if c.flushLife != nil {
+		c.flushLife.Stop()
+		c.flushLife = nil
 	}
 	if c.collector != nil {
 		c.flushPhaseCosts() // final cumulative totals before the recorder closes

@@ -32,10 +32,7 @@ type Recorder struct {
 	subs  map[int]chan Sample
 	subID int
 
-	startOnce sync.Once
-	stopOnce  sync.Once
-	stop      chan struct{}
-	done      chan struct{}
+	life Lifecycle
 }
 
 // DefaultSampleInterval is the recorder cadence when the CLI flag is
@@ -57,8 +54,6 @@ func NewRecorder(reg *Registry, interval time.Duration, capacity int) *Recorder 
 		interval: interval,
 		ring:     make([]Sample, capacity),
 		subs:     map[int]chan Sample{},
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
 	}
 }
 
@@ -66,32 +61,24 @@ func NewRecorder(reg *Registry, interval time.Duration, capacity int) *Recorder 
 // immediately, so a scrape right after Start already sees one record.
 // Start is idempotent.
 func (r *Recorder) Start() {
-	r.startOnce.Do(func() {
-		r.sampleOnce()
-		go func() {
-			defer close(r.done)
-			t := time.NewTicker(r.interval)
-			defer t.Stop()
-			for {
-				select {
-				case <-t.C:
-					r.sampleOnce()
-				case <-r.stop:
-					return
-				}
+	r.life.Start(r.sampleOnce, func(stop <-chan struct{}) {
+		t := time.NewTicker(r.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.sampleOnce()
+			case <-stop:
+				return
 			}
-		}()
+		}
 	})
 }
 
 // Stop halts sampling and waits for the goroutine to exit. Subscribers
 // keep their channels (closed by their own cancel funcs). Stop is
 // idempotent and safe even if Start was never called.
-func (r *Recorder) Stop() {
-	r.stopOnce.Do(func() { close(r.stop) })
-	r.startOnce.Do(func() { close(r.done) }) // never started: nothing to wait for
-	<-r.done
-}
+func (r *Recorder) Stop() { r.life.Stop() }
 
 // Interval returns the sampling cadence.
 func (r *Recorder) Interval() time.Duration { return r.interval }

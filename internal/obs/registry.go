@@ -36,6 +36,12 @@ type Registry struct {
 	hists    map[string]*Histogram
 	spans    map[string]*spanStat
 
+	// parent, when set, receives every write made through this registry's
+	// handles as well: the handles are chained at creation time, so the
+	// hot path stays lock-free (one extra atomic op per level). This is
+	// how per-session scopes roll up into the process-wide registry.
+	parent *Registry
+
 	// trace, when set, additionally receives every completed span as a
 	// timeline event (see TraceLog).
 	trace atomic.Pointer[TraceLog]
@@ -51,6 +57,29 @@ func NewRegistry() *Registry {
 	}
 }
 
+// NewRegistryWithParent returns a registry whose metric handles
+// dual-write into parent: incrementing a counter obtained from the
+// child also increments the same-named counter in the parent (and so on
+// up the chain), so the parent's exposition is always the roll-up of
+// every child plus its own direct writes. Gauges chain with last-write-
+// wins semantics across children — meaningful for per-process readings,
+// approximate when many sessions write the same gauge name. Spans and
+// histograms roll up exactly. A nil parent is equivalent to
+// NewRegistry.
+func NewRegistryWithParent(parent *Registry) *Registry {
+	r := NewRegistry()
+	r.parent = parent
+	return r
+}
+
+// Parent returns the roll-up target, nil for a root (or nil) registry.
+func (r *Registry) Parent() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.parent
+}
+
 // Counter returns the named counter, creating it on first use. A nil
 // registry returns a nil (no-op) counter.
 func (r *Registry) Counter(name string) *Counter {
@@ -63,10 +92,16 @@ func (r *Registry) Counter(name string) *Counter {
 	if c != nil {
 		return c
 	}
+	// Resolve the parent's handle outside our own lock (the parent may
+	// itself need its write lock); idempotent if we lose the race below.
+	var next *Counter
+	if r.parent != nil {
+		next = r.parent.Counter(name)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if c = r.counters[name]; c == nil {
-		c = &Counter{}
+		c = &Counter{next: next}
 		r.counters[name] = c
 	}
 	return c
@@ -84,10 +119,14 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if g != nil {
 		return g
 	}
+	var next *Gauge
+	if r.parent != nil {
+		next = r.parent.Gauge(name)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if g = r.gauges[name]; g == nil {
-		g = &Gauge{}
+		g = &Gauge{next: next}
 		r.gauges[name] = g
 	}
 	return g
@@ -108,31 +147,42 @@ func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
 	if h != nil {
 		return h
 	}
+	var next *Histogram
+	if r.parent != nil {
+		next = r.parent.Histogram(name, buckets)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h = r.hists[name]; h == nil {
 		h = newHistogram(buckets)
+		h.next = next
 		r.hists[name] = h
 	}
 	return h
 }
 
 // Counter is a monotonically increasing int64. The zero value is ready;
-// a nil *Counter discards every operation.
+// a nil *Counter discards every operation. A counter handed out by a
+// child registry (NewRegistryWithParent) carries a link to the parent's
+// same-named counter and mirrors every write into it.
 type Counter struct {
-	v atomic.Int64
+	v    atomic.Int64
+	next *Counter // parent chain; nil for a root registry's counter
 }
 
 // Inc adds one.
 func (c *Counter) Inc() {
-	if c != nil {
+	for ; c != nil; c = c.next {
 		c.v.Add(1)
 	}
 }
 
 // Add adds n (negative deltas are ignored: counters only go up).
 func (c *Counter) Add(n int64) {
-	if c != nil && n > 0 {
+	if n <= 0 {
+		return
+	}
+	for ; c != nil; c = c.next {
 		c.v.Add(n)
 	}
 }
@@ -146,28 +196,31 @@ func (c *Counter) Value() int64 {
 }
 
 // Gauge is an instantaneous float64. The zero value is ready; a nil
-// *Gauge discards every operation.
+// *Gauge discards every operation. A child registry's gauge mirrors
+// writes into its parent's same-named gauge (last writer wins across
+// children).
 type Gauge struct {
 	bits atomic.Uint64
+	next *Gauge // parent chain; nil for a root registry's gauge
 }
 
 // Set replaces the value.
 func (g *Gauge) Set(v float64) {
-	if g != nil {
-		g.bits.Store(math.Float64bits(v))
+	bits := math.Float64bits(v)
+	for ; g != nil; g = g.next {
+		g.bits.Store(bits)
 	}
 }
 
 // Add shifts the value by d.
 func (g *Gauge) Add(d float64) {
-	if g == nil {
-		return
-	}
-	for {
-		old := g.bits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + d)
-		if g.bits.CompareAndSwap(old, next) {
-			return
+	for ; g != nil; g = g.next {
+		for {
+			old := g.bits.Load()
+			next := math.Float64bits(math.Float64frombits(old) + d)
+			if g.bits.CompareAndSwap(old, next) {
+				break
+			}
 		}
 	}
 }
@@ -188,6 +241,7 @@ type Histogram struct {
 	buckets []atomic.Int64
 	count   atomic.Int64
 	sumBits atomic.Uint64
+	next    *Histogram // parent chain; nil for a root registry's histogram
 }
 
 // DefBuckets suits generic positive magnitudes (scores, path counts).
@@ -257,9 +311,12 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sumBits.CompareAndSwap(old, next) {
-			return
+			break
 		}
 	}
+	// Parent buckets may differ (first-create wins per registry), so the
+	// roll-up re-observes rather than copying the bucket index.
+	h.next.Observe(v)
 }
 
 // ObserveDuration records a duration in seconds.
@@ -288,9 +345,10 @@ func (h *Histogram) ObserveN(v float64, n int64) {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
 		if h.sumBits.CompareAndSwap(old, next) {
-			return
+			break
 		}
 	}
+	h.next.ObserveN(v, n)
 }
 
 // Count returns the number of observations (0 for nil).
@@ -367,4 +425,9 @@ func (r *Registry) observeSpan(name string, start time.Time, d time.Duration) {
 		s.max = d
 	}
 	s.mu.Unlock()
+	// Spans roll up too, so the process registry's span summaries cover
+	// every session. The parent's own trace log (if any) also sees the
+	// span — sessions rarely attach separate trace logs, so in practice
+	// exactly one level records timeline events.
+	r.parent.observeSpan(name, start, d)
 }

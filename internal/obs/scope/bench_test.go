@@ -1,0 +1,79 @@
+package scope
+
+import (
+	"testing"
+
+	"press/internal/obs"
+)
+
+// BenchmarkNilScopeCounter is the disabled-path contract: telemetry off
+// means one pointer check and 0 allocs/op on the producer hot path.
+// Enforced in CI via BENCH_scope.json + `pressbench gate`.
+func BenchmarkNilScopeCounter(b *testing.B) {
+	var s *Scope
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Registry().Counter("bench_evals_total").Inc()
+	}
+}
+
+// BenchmarkNilScopeCSIHook covers the other nil-scope producer path.
+func BenchmarkNilScopeCSIHook(b *testing.B) {
+	var s *Scope
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if hook := s.CSIHook(); hook != nil {
+			b.Fatal("nil scope produced a hook")
+		}
+	}
+}
+
+// BenchmarkScopedCounterInc measures the roll-up tax: one extra atomic
+// add per parent level over a root-registry increment.
+func BenchmarkScopedCounterInc(b *testing.B) {
+	parent := obs.NewRegistry()
+	s, err := New("bench", parent, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	c := s.Registry().Counter("bench_evals_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkRootCounterInc is the baseline the scoped increment is
+// compared against.
+func BenchmarkRootCounterInc(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("bench_evals_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkScopeOpenClose measures session churn: create a scope in a
+// set (registry child only — the daemon's cheapest session shape) and
+// tear it down.
+func BenchmarkScopeOpenClose(b *testing.B) {
+	parent := obs.NewRegistry()
+	set := NewSet(parent, 4)
+	defer set.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := set.Open("bench", Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Registry().Counter("bench_churn_total").Inc()
+		if err := set.Remove("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package scope
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"press/internal/obs"
+	"press/internal/obs/health"
+)
+
+// sessionsPayload is the /sessions response body.
+type sessionsPayload struct {
+	Sessions []Info `json:"sessions"`
+	Cap      int    `json:"cap"`
+	Active   int    `json:"active"`
+	Opened   int64  `json:"opened_total"`
+	Evicted  int64  `json:"evicted_total"`
+}
+
+// healthzPayload is the /sessions/{id}/healthz response body.
+type healthzPayload struct {
+	Session string                 `json:"session"`
+	OK      bool                   `json:"ok"`
+	Firing  int                    `json:"firing"`
+	Alerts  *health.AlertsSnapshot `json:"alerts,omitempty"`
+}
+
+// RegisterRoutes exposes the set on a telemetry server:
+//
+//	GET /sessions                     live-session listing + cap/eviction stats
+//	GET /sessions/{id}/metrics.json   the session's registry as JSON
+//	GET /sessions/{id}/metrics        Prometheus text with a session label
+//	GET /sessions/{id}/healthz        the session's alert state
+//
+// and installs the resolver behind session-filtered /events?session=
+// streams. JSON routes share ServeJSON's contract (gzip when accepted,
+// Cache-Control: no-store). Routes may be registered while the server
+// is already serving.
+func (t *Set) RegisterRoutes(srv *obs.Server) error {
+	if t == nil || srv == nil {
+		return nil
+	}
+	t.AttachServer(srv)
+	srv.SetSessionResolver(func(id string) *obs.Recorder {
+		return t.Get(id).Recorder()
+	})
+	if err := srv.TryHandle("/sessions", func(w http.ResponseWriter, r *http.Request) {
+		obs.ServeJSON(w, r, func(out io.Writer) error {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			list := t.List()
+			return enc.Encode(sessionsPayload{
+				Sessions: list,
+				Cap:      t.Cap(),
+				Active:   len(list),
+				Opened:   t.opened.Value(),
+				Evicted:  t.evicted.Value(),
+			})
+		})
+	}); err != nil {
+		return err
+	}
+	handle := func(pattern string, f func(s *Scope, w http.ResponseWriter, r *http.Request)) error {
+		return srv.TryHandle(pattern, func(w http.ResponseWriter, r *http.Request) {
+			id := r.PathValue("id")
+			s := t.Get(id)
+			if s == nil {
+				http.Error(w, "unknown session "+id, http.StatusNotFound)
+				return
+			}
+			f(s, w, r)
+		})
+	}
+	if err := handle("/sessions/{id}/metrics.json", func(s *Scope, w http.ResponseWriter, r *http.Request) {
+		obs.ServeJSON(w, r, s.Registry().WriteJSON)
+	}); err != nil {
+		return err
+	}
+	if err := handle("/sessions/{id}/metrics", func(s *Scope, w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
+		_ = s.Registry().WriteTextLabeled(w, "session", s.ID())
+	}); err != nil {
+		return err
+	}
+	return handle("/sessions/{id}/healthz", func(s *Scope, w http.ResponseWriter, r *http.Request) {
+		obs.ServeJSON(w, r, func(out io.Writer) error {
+			p := healthzPayload{Session: s.ID(), OK: true}
+			if mon := s.Health(); mon != nil {
+				alerts := mon.Alerts()
+				p.Alerts = &alerts
+				p.Firing = alerts.Firing
+				p.OK = p.Firing == 0
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(p)
+		})
+	})
+}

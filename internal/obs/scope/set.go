@@ -1,0 +1,248 @@
+package scope
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"press/internal/obs"
+)
+
+// DefaultMaxScopes bounds the number of live scopes (hence the
+// cardinality of the `session` label and the per-scope memory) when the
+// Set is built with cap ≤ 0.
+const DefaultMaxScopes = 1024
+
+// Metric names the Set maintains in the parent (process) registry.
+const (
+	CounterScopesOpened  = "obs_sessions_opened_total"
+	CounterScopesEvicted = "obs_sessions_evicted_total"
+	GaugeScopesActive    = "obs_sessions_active"
+)
+
+// Set is the process-level directory of live scopes: bounded
+// cardinality with LRU eviction, a metrics budget the daemon arc can
+// rely on. All methods are safe for concurrent use.
+type Set struct {
+	parent *obs.Registry
+	srv    *obs.Server // optional: session events publish here
+	cap    int
+
+	opened  *obs.Counter
+	evicted *obs.Counter
+	active  *obs.Gauge
+
+	mu     sync.Mutex
+	seq    uint64
+	scopes map[string]*entry
+}
+
+type entry struct {
+	scope   *Scope
+	created time.Time
+	lastUse uint64 // Set.seq stamp; smallest = least recently used
+}
+
+// NewSet builds a scope directory parented on parent (nil: scopes
+// observe standalone) holding at most cap scopes (≤ 0:
+// DefaultMaxScopes). Opening past the cap evicts the least recently
+// used scope, closing it and counting the eviction in the parent
+// registry.
+func NewSet(parent *obs.Registry, cap int) *Set {
+	if cap <= 0 {
+		cap = DefaultMaxScopes
+	}
+	return &Set{
+		parent:  parent,
+		cap:     cap,
+		opened:  parent.Counter(CounterScopesOpened),
+		evicted: parent.Counter(CounterScopesEvicted),
+		active:  parent.Gauge(GaugeScopesActive),
+		scopes:  map[string]*entry{},
+	}
+}
+
+// AttachServer points session telemetry at a live server: health events
+// from scopes opened after this call publish as session-tagged SSE
+// events, and RegisterRoutes' resolver work. Call before Open.
+func (t *Set) AttachServer(srv *obs.Server) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.srv = srv
+	t.mu.Unlock()
+}
+
+// Cap returns the scope cap.
+func (t *Set) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return t.cap
+}
+
+// Open creates, registers, and starts a new owned scope. A duplicate ID
+// is an error (Get the existing scope instead). When the set is full
+// the least recently used scope is closed and evicted first.
+func (t *Set) Open(id string, cfg Config) (*Scope, error) {
+	if t == nil {
+		return nil, fmt.Errorf("scope: nil set")
+	}
+	if id == "" {
+		return nil, fmt.Errorf("scope: empty session id")
+	}
+	s, err := New(id, t.parent, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	t.mu.Lock()
+	if _, dup := t.scopes[id]; dup {
+		t.mu.Unlock()
+		closeDiscard(s)
+		return nil, fmt.Errorf("scope: session %q already open", id)
+	}
+	var evict []*Scope
+	for len(t.scopes) >= t.cap {
+		victim := t.lruLocked()
+		if victim == "" {
+			break
+		}
+		evict = append(evict, t.scopes[victim].scope)
+		delete(t.scopes, victim)
+	}
+	t.seq++
+	t.scopes[id] = &entry{scope: s, created: time.Now(), lastUse: t.seq}
+	srv := t.srv
+	t.active.Set(float64(len(t.scopes)))
+	t.mu.Unlock()
+
+	t.opened.Inc()
+	for _, v := range evict {
+		t.evicted.Inc()
+		_ = v.Close()
+	}
+
+	// Wire session-tagged SSE before the monitor's first sample.
+	if srv != nil && s.mon != nil {
+		sid := id
+		s.mon.Notify = func(event string, v any) {
+			srv.PublishSession(sid, event, v)
+		}
+	}
+	s.start()
+	return s, nil
+}
+
+// lruLocked returns the least-recently-used scope ID ("" when empty).
+func (t *Set) lruLocked() string {
+	var victim string
+	var oldest uint64
+	for id, e := range t.scopes {
+		if victim == "" || e.lastUse < oldest {
+			victim, oldest = id, e.lastUse
+		}
+	}
+	return victim
+}
+
+// closeDiscard closes a scope that never made it into the set.
+func closeDiscard(s *Scope) { _ = s.Close() }
+
+// Get returns the scope for id (nil when unknown) and marks it
+// most-recently-used.
+func (t *Set) Get(id string) *Scope {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.scopes[id]
+	if e == nil {
+		return nil
+	}
+	t.seq++
+	e.lastUse = t.seq
+	return e.scope
+}
+
+// Remove closes and deregisters the scope for id (a deliberate
+// teardown, not counted as an eviction). Unknown IDs are a no-op.
+func (t *Set) Remove(id string) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	e := t.scopes[id]
+	delete(t.scopes, id)
+	t.active.Set(float64(len(t.scopes)))
+	t.mu.Unlock()
+	if e == nil {
+		return nil
+	}
+	return e.scope.Close()
+}
+
+// Len returns the number of live scopes.
+func (t *Set) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.scopes)
+}
+
+// Info describes one live scope in the /sessions listing.
+type Info struct {
+	ID            string `json:"id"`
+	CreatedUnixMs int64  `json:"created_unix_ms"`
+	Sampling      bool   `json:"sampling"`
+	Health        bool   `json:"health"`
+	Flight        bool   `json:"flight"`
+	FlightDir     string `json:"flight_dir,omitempty"`
+}
+
+// List returns the live scopes sorted by ID.
+func (t *Set) List() []Info {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Info, 0, len(t.scopes))
+	for id, e := range t.scopes {
+		s := e.scope
+		out = append(out, Info{
+			ID:            id,
+			CreatedUnixMs: e.created.UnixMilli(),
+			Sampling:      s.rec != nil,
+			Health:        s.mon != nil,
+			Flight:        s.fl != nil,
+			FlightDir:     s.fl.Dir(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Close closes every scope and empties the set.
+func (t *Set) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	scopes := t.scopes
+	t.scopes = map[string]*entry{}
+	t.active.Set(0)
+	t.mu.Unlock()
+	var first error
+	for _, e := range scopes {
+		if err := e.scope.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -37,19 +38,37 @@ type Server struct {
 	reg *Registry
 	rec *Recorder
 
-	mux *http.ServeMux
+	// muxMu guards mux and patterns: routes are registered by higher
+	// layers (health, flight, prof, scope) *after* Start has the server
+	// serving, so registration and dispatch must synchronize explicitly
+	// rather than relying on ServeMux internals.
+	muxMu    sync.RWMutex
+	mux      *http.ServeMux
+	patterns map[string]struct{}
+
 	srv *http.Server
 	ln  net.Listener
 
 	pubMu sync.Mutex
 	pubs  map[int]chan sseEvent
 	pubID int
+
+	// sessions, when set, resolves a session ID to its scope's recorder —
+	// the hook behind session-filtered /events streams (the scope layer
+	// installs it without obs depending on scope).
+	sessions atomic.Pointer[SessionResolver]
 }
 
-// sseEvent is one published named event, pre-marshalled.
+// SessionResolver maps a session ID to that session's sample recorder
+// (nil when the session does not exist).
+type SessionResolver func(id string) *Recorder
+
+// sseEvent is one published named event, pre-marshalled. session is ""
+// for process-wide events, else the scope the event belongs to.
 type sseEvent struct {
-	name string
-	data []byte
+	name    string
+	session string
+	data    []byte
 }
 
 // NewServer builds a server over reg. rec may be nil, in which case
@@ -57,52 +76,98 @@ type sseEvent struct {
 func NewServer(reg *Registry, rec *Recorder) *Server {
 	s := &Server{reg: reg, rec: rec, pubs: map[int]chan sseEvent{}}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	s.patterns = map[string]struct{}{}
+	s.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.Header().Set("Cache-Control", "no-store")
 		_ = s.reg.WriteText(w)
 	})
-	s.mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+	s.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		ServeJSON(w, r, s.reg.WriteJSON)
 	})
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		b := ReadBuild()
 		fmt.Fprintf(w, "ok\ngo %s\nrev %s\n", b.GoVersion, b.ShortRevision())
 	})
-	s.mux.HandleFunc("/buildz", func(w http.ResponseWriter, r *http.Request) {
+	s.HandleFunc("/buildz", func(w http.ResponseWriter, r *http.Request) {
 		ServeJSON(w, r, func(out io.Writer) error {
 			enc := json.NewEncoder(out)
 			enc.SetIndent("", "  ")
 			return enc.Encode(ReadBuild())
 		})
 	})
-	s.mux.HandleFunc("/events", s.serveEvents)
-	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
-	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.srv = &http.Server{Handler: s.mux}
+	s.HandleFunc("/events", s.serveEvents)
+	s.HandleFunc("/debug/pprof/", pprof.Index)
+	s.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: http.HandlerFunc(s.serveHTTP)}
 	return s
+}
+
+// serveHTTP dispatches under the registration read-lock, so a route
+// being added by one goroutine can never race a request being routed by
+// another.
+func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	s.muxMu.RLock()
+	mux := s.mux
+	s.muxMu.RUnlock()
+	mux.ServeHTTP(w, r)
 }
 
 // Handler returns the server's route table, usable standalone (tests,
 // embedding into an existing mux).
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.serveHTTP) }
 
 // HandleFunc registers an additional route on the server — the hook
-// higher layers (internal/obs/health) use to expose their endpoints on
-// the same listener without obs depending on them.
+// higher layers (internal/obs/health, internal/obs/scope) use to expose
+// their endpoints on the same listener without obs depending on them.
+// Registration is safe concurrently with serving (the health/flight/
+// prof layers register their routes after Start has the listener open).
+// A duplicate pattern panics, matching http.ServeMux; use TryHandle to
+// get an error instead.
 func (s *Server) HandleFunc(pattern string, handler http.HandlerFunc) {
+	if err := s.TryHandle(pattern, handler); err != nil {
+		panic(err)
+	}
+}
+
+// TryHandle registers an additional route like HandleFunc, but reports
+// a duplicate pattern as an error instead of panicking.
+func (s *Server) TryHandle(pattern string, handler http.HandlerFunc) error {
+	s.muxMu.Lock()
+	defer s.muxMu.Unlock()
+	if _, dup := s.patterns[pattern]; dup {
+		return fmt.Errorf("obs: duplicate route pattern %q", pattern)
+	}
+	s.patterns[pattern] = struct{}{}
 	s.mux.HandleFunc(pattern, handler)
+	return nil
+}
+
+// SetSessionResolver installs the session-ID → recorder lookup behind
+// /events?session= (nil uninstalls it). Safe for concurrent use.
+func (s *Server) SetSessionResolver(f SessionResolver) {
+	if f == nil {
+		s.sessions.Store(nil)
+		return
+	}
+	s.sessions.Store(&f)
 }
 
 // Publish marshals v and fans it out to every /events subscriber as a
 // named SSE event ("event: <name>"). Slow subscribers drop the event
 // rather than blocking the publisher. Safe for concurrent use; a nil
 // server discards the event.
-func (s *Server) Publish(name string, v any) {
+func (s *Server) Publish(name string, v any) { s.PublishSession("", name, v) }
+
+// PublishSession is Publish with a session tag: an unfiltered /events
+// stream sees every event, while /events?session=ID streams only that
+// session's events (plus its recorder samples). An empty session means
+// process-wide. A nil server discards the event.
+func (s *Server) PublishSession(session, name string, v any) {
 	if s == nil {
 		return
 	}
@@ -110,7 +175,7 @@ func (s *Server) Publish(name string, v any) {
 	if err != nil {
 		return
 	}
-	ev := sseEvent{name: name, data: data}
+	ev := sseEvent{name: name, session: session, data: data}
 	s.pubMu.Lock()
 	for _, ch := range s.pubs {
 		select {
@@ -143,9 +208,24 @@ func (s *Server) subscribePub(buf int) (<-chan sseEvent, func()) {
 // serveEvents streams recorder samples as Server-Sent Events: the most
 // recent buffered sample first (so a subscriber immediately sees state),
 // then every new sample until the client disconnects. Named events sent
-// through Publish are interleaved with their "event:" field set.
+// through Publish are interleaved with their "event:" field set. With
+// ?session=ID the stream narrows to that session's scope: its own
+// recorder's samples and only the events published under that session.
 func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request) {
-	if s.rec == nil {
+	rec := s.rec
+	session := r.URL.Query().Get("session")
+	if session != "" {
+		resolve := s.sessions.Load()
+		if resolve == nil {
+			http.Error(w, "session-scoped telemetry not enabled", http.StatusNotFound)
+			return
+		}
+		if rec = (*resolve)(session); rec == nil {
+			http.Error(w, "unknown session "+session, http.StatusNotFound)
+			return
+		}
+	}
+	if rec == nil {
 		http.Error(w, "no recorder: start the binary with -telemetry-addr", http.StatusNotFound)
 		return
 	}
@@ -179,11 +259,11 @@ func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request) {
 		return write("", buf)
 	}
 
-	ch, cancel := s.rec.Subscribe(16)
+	ch, cancel := rec.Subscribe(16)
 	defer cancel()
 	pub, cancelPub := s.subscribePub(16)
 	defer cancelPub()
-	if backlog := s.rec.Samples(); len(backlog) > 0 {
+	if backlog := rec.Samples(); len(backlog) > 0 {
 		if !writeSample(backlog[len(backlog)-1]) {
 			return
 		}
@@ -200,6 +280,9 @@ func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request) {
 		case ev, ok := <-pub:
 			if !ok {
 				return
+			}
+			if session != "" && ev.session != session {
+				continue // another scope's event: not for this stream
 			}
 			if !write(ev.name, ev.data) {
 				return

@@ -9,6 +9,7 @@ import (
 	"press/internal/geom"
 	"press/internal/obs"
 	"press/internal/obs/prof"
+	"press/internal/obs/scope"
 	"press/internal/rfphys"
 )
 
@@ -80,6 +81,12 @@ type Environment struct {
 	// paths kept/culled) to the path_trace phase. Nil costs one pointer
 	// check per trace.
 	Prof *prof.Collector
+}
+
+// AttachScope points the environment's telemetry at a session scope.
+func (e *Environment) AttachScope(sc *scope.Scope) {
+	e.Obs = sc.Registry()
+	e.Prof = sc.Prof()
 }
 
 // NewEnvironment returns an environment for a room of the given size with

@@ -11,6 +11,7 @@ import (
 	"press/internal/mimo"
 	"press/internal/obs"
 	"press/internal/obs/prof"
+	"press/internal/obs/scope"
 	"press/internal/ofdm"
 	"press/internal/propagation"
 	"press/internal/rfphys"
@@ -40,6 +41,14 @@ type MIMOLink struct {
 
 	rng      *rand.Rand
 	envPaths [][][]propagation.Path // [rx][tx] cached environment paths
+}
+
+// AttachScope points the MIMO link's telemetry at a session scope
+// (registry and phase accounting; MIMO links have no per-curve CSI
+// hook — condition profiles flow through Scope.ObserveCondProfile).
+func (m *MIMOLink) AttachScope(sc *scope.Scope) {
+	m.Obs = sc.Registry()
+	m.Prof = sc.Prof()
 }
 
 // NewMIMOLink wires a MIMO link and pre-traces the environment for every

@@ -16,6 +16,7 @@ import (
 	"press/internal/element"
 	"press/internal/obs"
 	"press/internal/obs/prof"
+	"press/internal/obs/scope"
 	"press/internal/ofdm"
 	"press/internal/propagation"
 	"press/internal/rfphys"
@@ -86,6 +87,15 @@ type Link struct {
 
 	rng      *rand.Rand
 	envPaths []propagation.Path // cached: environment does not switch
+}
+
+// AttachScope points the link's telemetry at a session scope: registry,
+// phase accounting, and the CSI hook feeding the scope's health monitor
+// and flight log. A nil scope detaches (all sinks nil).
+func (l *Link) AttachScope(sc *scope.Scope) {
+	l.Obs = sc.Registry()
+	l.Prof = sc.Prof()
+	l.OnCSI = sc.CSIHook()
 }
 
 // NewLink wires up a link. The seed makes every measurement sequence

@@ -57,6 +57,7 @@ import (
 	"press/internal/obs/flight"
 	"press/internal/obs/health"
 	"press/internal/obs/prof"
+	"press/internal/obs/scope"
 	"press/internal/ofdm"
 	"press/internal/propagation"
 	"press/internal/radio"
@@ -454,6 +455,15 @@ type (
 	TraceLog = obs.TraceLog
 	// TraceSpan is one completed span in a TraceLog.
 	TraceSpan = obs.TraceSpan
+	// TelemetryScope bundles one session's registry, logger, health
+	// monitor, flight recorder, and phase collector behind a single
+	// nil-safe handle; scoped metrics roll up into the parent registry.
+	TelemetryScope = scope.Scope
+	// TelemetryScopeSet is a bounded process-level registry of live
+	// session scopes with LRU eviction and /sessions HTTP routes.
+	TelemetryScopeSet = scope.Set
+	// TelemetryScopeConfig parameterizes NewTelemetryScope.
+	TelemetryScopeConfig = scope.Config
 )
 
 // Logger severity levels and formats.
@@ -528,6 +538,34 @@ func InstrumentSearcherFlight(s Searcher, reg *Registry, log *Logger, h *HealthM
 // the search_eval phase for `pressctl hotspots` reports.
 func InstrumentSearcherProf(s Searcher, reg *Registry, log *Logger, h *HealthMonitor, rec *FlightRecorder, pc *ProfCollector) Searcher {
 	return control.InstrumentProf(s, reg, log, h, rec, pc)
+}
+
+// InstrumentSearcherScope wraps a searcher with every sink a telemetry
+// scope carries — the session-oriented form of the InstrumentSearcher*
+// chain. A nil (or fully disabled) scope returns s unchanged.
+func InstrumentSearcherScope(s Searcher, sc *TelemetryScope) Searcher {
+	return control.InstrumentScope(s, sc)
+}
+
+// NewTelemetryScope creates an owned session scope: a child registry
+// rolling up into parent plus whichever components cfg enables. Close
+// releases them. See internal/obs/scope for the session model.
+func NewTelemetryScope(id string, parent *Registry, cfg TelemetryScopeConfig) (*TelemetryScope, error) {
+	return scope.New(id, parent, cfg)
+}
+
+// NewTelemetryScopeSet builds a bounded registry of session scopes
+// parented on reg; maxScopes <= 0 picks the default cardinality budget.
+func NewTelemetryScopeSet(reg *Registry, maxScopes int) *TelemetryScopeSet {
+	return scope.NewSet(reg, maxScopes)
+}
+
+// ScopeFromTelemetry adopts a flag-built TelemetryCLI stack as one
+// session scope — how a one-shot binary becomes a single session
+// without changing its flags or teardown (Scope.Close leaves adopted
+// components to the CLI's Finish).
+func ScopeFromTelemetry(id string, t *TelemetryCLI) *TelemetryScope {
+	return scope.FromTelemetry(id, t)
 }
 
 // NewFlightManifest starts a run manifest stamped with the current time
