@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+
+	"press/internal/obs"
+	"press/internal/obs/flight"
+)
+
+// loopPhaseMean is the mean per-loop wall time of one top-level phase.
+type loopPhaseMean struct {
+	Name   string  `json:"name"`
+	MeanMs float64 `json:"mean_ms"`
+	// Share is the phase's fraction of the summed phase time.
+	Share float64 `json:"share"`
+}
+
+// slowLoop is one entry of the slowest-loops table.
+type slowLoop struct {
+	Seq       uint64  `json:"seq"`
+	Name      string  `json:"name"`
+	TraceID   string  `json:"trace_id"`
+	LatencyMs float64 `json:"latency_ms"`
+	SlackMs   float64 `json:"slack_ms"`
+	Missed    bool    `json:"missed"`
+}
+
+// loopReport aggregates a run's KindLoop frames: deadline-miss totals,
+// latency spread, the mean phase breakdown, and the slowest iterations
+// with the trace IDs that key into /tracez span trees.
+type loopReport struct {
+	Loops         int             `json:"loops"`
+	Misses        int             `json:"misses"`
+	MissRatio     float64         `json:"miss_ratio"`
+	DeadlineMs    float64         `json:"deadline_ms"`
+	MeanLatencyMs float64         `json:"mean_latency_ms"`
+	MaxLatencyMs  float64         `json:"max_latency_ms"`
+	Phases        []loopPhaseMean `json:"phases,omitempty"`
+	Slowest       []slowLoop      `json:"slowest,omitempty"`
+}
+
+// buildLoopReport folds the run's loop records into a report with the
+// top-N slowest iterations.
+func buildLoopReport(run *flight.Run, topN int) *loopReport {
+	rep := &loopReport{Loops: len(run.Loops)}
+	if len(run.Loops) == 0 {
+		return rep
+	}
+	var latSum int64
+	phaseSum := map[string]int64{}
+	var phaseOrder []string
+	for _, lr := range run.Loops {
+		if lr.Missed {
+			rep.Misses++
+		}
+		latSum += lr.LatencyNs
+		if ms := float64(lr.LatencyNs) / 1e6; ms > rep.MaxLatencyMs {
+			rep.MaxLatencyMs = ms
+		}
+		// The deadline can change mid-run (SetDeadline); report the last.
+		rep.DeadlineMs = float64(lr.DeadlineNs) / 1e6
+		for _, ph := range lr.Phases {
+			if _, seen := phaseSum[ph.Name]; !seen {
+				phaseOrder = append(phaseOrder, ph.Name)
+			}
+			phaseSum[ph.Name] += ph.Value
+		}
+	}
+	n := float64(len(run.Loops))
+	rep.MissRatio = float64(rep.Misses) / n
+	rep.MeanLatencyMs = float64(latSum) / n / 1e6
+	var phaseTotal int64
+	for _, v := range phaseSum {
+		phaseTotal += v
+	}
+	for _, name := range phaseOrder {
+		pm := loopPhaseMean{Name: name, MeanMs: float64(phaseSum[name]) / n / 1e6}
+		if phaseTotal > 0 {
+			pm.Share = float64(phaseSum[name]) / float64(phaseTotal)
+		}
+		rep.Phases = append(rep.Phases, pm)
+	}
+
+	byLatency := append([]flight.LoopRecord(nil), run.Loops...)
+	sort.SliceStable(byLatency, func(i, j int) bool { return byLatency[i].LatencyNs > byLatency[j].LatencyNs })
+	if topN > len(byLatency) {
+		topN = len(byLatency)
+	}
+	for _, lr := range byLatency[:topN] {
+		sl := slowLoop{
+			Seq: lr.Seq, Name: lr.Name, TraceID: obs.FormatTraceID(lr.TraceID),
+			LatencyMs: float64(lr.LatencyNs) / 1e6, Missed: lr.Missed,
+		}
+		if lr.DeadlineNs > 0 {
+			sl.SlackMs = float64(lr.DeadlineNs-lr.LatencyNs) / 1e6
+		}
+		rep.Slowest = append(rep.Slowest, sl)
+	}
+	return rep
+}
+
+// writeText renders the report for terminals.
+func (rep *loopReport) writeText(out io.Writer, dir string) error {
+	fmt.Fprintf(out, "Control-loop deadline profile: %s\n", dir)
+	if rep.Loops == 0 {
+		fmt.Fprintln(out, "no loop records (was the run recorded with loop tracing on?)")
+		return nil
+	}
+	fmt.Fprintf(out, "loops %d  misses %d  miss ratio %.2f", rep.Loops, rep.Misses, rep.MissRatio)
+	if rep.DeadlineMs > 0 {
+		fmt.Fprintf(out, "  deadline %.3fms", rep.DeadlineMs)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "latency: mean %.3fms  max %.3fms\n", rep.MeanLatencyMs, rep.MaxLatencyMs)
+	if len(rep.Phases) > 0 {
+		fmt.Fprintln(out, "\nphase breakdown (mean per loop):")
+		for _, ph := range rep.Phases {
+			fmt.Fprintf(out, "  %-10s %10.3fms  (%5.1f%%)\n", ph.Name, ph.MeanMs, ph.Share*100)
+		}
+	}
+	if len(rep.Slowest) > 0 {
+		fmt.Fprintln(out, "\nslowest loops:")
+		fmt.Fprintf(out, "  %4s  %-10s  %10s  %10s  %-6s  %s\n",
+			"seq", "name", "latency_ms", "slack_ms", "status", "trace")
+		for _, sl := range rep.Slowest {
+			status := "ok"
+			if sl.Missed {
+				status = "MISS"
+			}
+			fmt.Fprintf(out, "  %4d  %-10s  %10.3f  %10.3f  %-6s  %s\n",
+				sl.Seq, sl.Name, sl.LatencyMs, sl.SlackMs, status, sl.TraceID)
+		}
+	}
+	return nil
+}
+
+// runLoops renders the control-loop deadline profile of a recorded run
+// from its KindLoop frames — the flight-log counterpart of the live
+// /tracez endpoint.
+func runLoops(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loops", flag.ContinueOnError)
+	topN := fs.Int("top", 5, "slowest loops to list")
+	jsonOut := fs.Bool("json", false, "emit the loop report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: pressctl loops [flags] RUNDIR")
+	}
+	run, err := flight.ReadRun(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep := buildLoopReport(run, *topN)
+	if *jsonOut {
+		e := json.NewEncoder(out)
+		e.SetIndent("", "  ")
+		return e.Encode(rep)
+	}
+	return rep.writeText(out, fs.Arg(0))
+}

@@ -14,6 +14,7 @@
 //	pressctl replay runs/RUNID       # re-execute a run log, verify KPIs
 //	pressctl rundiff runs/A runs/B   # KPI deltas between two run logs
 //	pressctl hotspots runs/RUNID     # phase-cost breakdown of a run log
+//	pressctl loops runs/RUNID        # control-loop deadline profile of a run log
 package main
 
 import (
@@ -59,7 +60,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: pressctl demo|agent|ping|replay|rundiff|hotspots [flags]")
+		return errors.New("usage: pressctl demo|agent|ping|replay|rundiff|hotspots|loops [flags]")
 	}
 	switch args[0] {
 	case "demo":
@@ -74,8 +75,10 @@ func run(args []string) error {
 		return runDiffCmd(args[1:], os.Stdout)
 	case "hotspots":
 		return runHotspots(args[1:], os.Stdout)
+	case "loops":
+		return runLoops(args[1:], os.Stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want demo|agent|ping|replay|rundiff|hotspots)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want demo|agent|ping|replay|rundiff|hotspots|loops)", args[0])
 	}
 }
 
@@ -184,7 +187,7 @@ func runDemo(args []string) error {
 	timing := press.Timing{PerMeasurement: *perMeas, SwitchLatency: rtt}
 	budget := 0
 	if *speed > 0 {
-		budget = press.CoherenceBudgetAtSpeed(*speed, 2.462e9, timing)
+		budget = press.CoherenceBudgetAtSpeed(*speed, press.DefaultCarrierHz, timing)
 		fmt.Printf("coherence budget at %.1f mph: %d measurements\n", *speed, budget)
 	}
 

@@ -22,6 +22,7 @@ import (
 	"press/internal/experiments"
 	"press/internal/obs/flight"
 	"press/internal/obs/scope"
+	"press/internal/obs/slo"
 )
 
 // resolveRunDir turns either a positional RUNDIR or a -flight-dir +
@@ -204,7 +205,11 @@ func replayDemo(man *flight.Manifest, rec *flight.Recorder) error {
 
 // replayPressim re-executes a recorded pressim run: the manifest params
 // round-trip through experiments.RunSpec, and an ambient flight-only
-// scope re-records the measurement stream the harnesses produce.
+// scope re-records the measurement stream the harnesses produce. The
+// scope carries a flight-only loop tracer so loop-structured experiments
+// (-exp demo) regenerate KindLoop frames too — their latencies are this
+// host's wall clock, which is exactly the cross-run delta `pressctl
+// rundiff` reports (flight.Verify deliberately ignores them).
 func replayPressim(man *flight.Manifest, rec *flight.Recorder) error {
 	spec, err := experiments.SpecFromManifest(man)
 	if err != nil {
@@ -213,7 +218,9 @@ func replayPressim(man *flight.Manifest, rec *flight.Recorder) error {
 	regen := press.NewFlightManifest("pressim", man.Scenario, man.Seed)
 	regen.Params = man.Params
 	rec.RecordManifest(regen)
-	experiments.SetScope(scope.Adopt(man.Session(), nil, nil, nil, rec, nil))
+	sc := scope.Adopt(man.Session(), nil, nil, nil, rec, nil).
+		WithTracer(slo.NewTracer(nil, slo.Config{Flight: rec}))
+	experiments.SetScope(sc)
 	defer experiments.SetScope(nil)
 	return spec.Run()
 }

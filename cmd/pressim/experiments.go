@@ -93,6 +93,22 @@ func runOne(name string, opt options, out io.Writer) error {
 		experiments.RunCoherence().Print(out)
 		return nil
 
+	case "demo":
+		o := experiments.DefaultDemo()
+		if opt.seed != 0 {
+			o.Seed = opt.seed
+		}
+		o.Loops = opt.loops
+		o.SpeedMph = opt.speed
+		o.SlowPhase = opt.slowPhase
+		o.Budget = opt.budget
+		res, err := experiments.RunDemo(o)
+		if err != nil {
+			return err
+		}
+		res.Print(out)
+		return nil
+
 	case "controlplane":
 		seed := opt.seed
 		if seed == 0 {

@@ -20,12 +20,13 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"press/internal/experiments"
 	"press/internal/obs"
 	"press/internal/obs/flight"
-	"press/internal/obs/prof"
 	"press/internal/obs/scope"
+	"press/internal/obs/slo"
 )
 
 func main() {
@@ -44,9 +45,12 @@ type options struct {
 	snapshots  int
 	reps       int
 	budget     int
+	loops      int
+	speed      float64
+	slowPhase  time.Duration
 	csvDir     string
 	recordPath string
-	tele       prof.CLI
+	tele       slo.CLI
 }
 
 // spec captures the invocation as a replayable RunSpec — the exact
@@ -55,13 +59,14 @@ func (o *options) spec() experiments.RunSpec {
 	return experiments.RunSpec{
 		Exp: o.exp, Seed: o.seed, Trials: o.trials, Placements: o.placements,
 		Snapshots: o.snapshots, Reps: o.reps, Budget: o.budget,
+		Loops: o.loops, Speed: o.speed, SlowPhase: o.slowPhase,
 	}
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pressim", flag.ContinueOnError)
 	var opt options
-	fs.StringVar(&opt.exp, "exp", "all", "experiment: los|fig4|fig5|fig6|fig7|fig8|coherence|staleness|ablation|concurrent|all")
+	fs.StringVar(&opt.exp, "exp", "all", "experiment: los|fig4|fig5|fig6|fig7|fig8|coherence|staleness|ablation|concurrent|demo|all")
 	fs.IntVar(&opt.trials, "trials", 10, "sweep repetitions for fig4/fig5/fig6")
 	fs.IntVar(&opt.placements, "placements", 8, "random element placements for fig4")
 	fs.Uint64Var(&opt.seed, "seed", 0, "seed override (0 = the calibrated defaults)")
@@ -69,6 +74,9 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&opt.reps, "reps", 5, "sweep repetitions for fig8")
 	fs.IntVar(&opt.budget, "budget", 200, "measurement budget for the search ablation")
 	fs.IntVar(&opt.sessions, "sessions", 12, "rooms driven by -exp concurrent (each gets its own telemetry scope)")
+	fs.IntVar(&opt.loops, "loops", 20, "control-loop iterations for -exp demo")
+	fs.Float64Var(&opt.speed, "speed", 6, "endpoint speed in mph for -exp demo (sets the loop deadline; 0 = static)")
+	fs.DurationVar(&opt.slowPhase, "slow-phase", 0, "stall injected into every demo loop's sense phase (forces deadline misses)")
 	fs.StringVar(&opt.csvDir, "csv", "", "directory to write raw CSV series into (created if missing)")
 	fs.StringVar(&opt.recordPath, "record", "", "JSON sweep-record path for the record/replay experiments")
 	opt.tele.Register(fs)

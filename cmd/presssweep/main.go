@@ -18,12 +18,13 @@ import (
 	"strconv"
 	"time"
 
+	"press"
 	"press/internal/control"
 	"press/internal/experiments"
 	"press/internal/obs"
 	"press/internal/obs/flight"
-	"press/internal/obs/prof"
 	"press/internal/obs/scope"
+	"press/internal/obs/slo"
 	"press/internal/radio"
 )
 
@@ -53,7 +54,7 @@ func run(args []string) error {
 // startTelemetry brings up the parsed telemetry flags and installs the
 // ambient experiments scope. The returned finish func tears both down
 // and emits the snapshot ("-" goes to stdout, after the CSV).
-func startTelemetry(tele *prof.CLI, scenario string, seed uint64) (finish func() error, err error) {
+func startTelemetry(tele *slo.CLI, scenario string, seed uint64) (finish func() error, err error) {
 	if err := tele.Start(os.Stderr); err != nil {
 		return nil, err
 	}
@@ -79,7 +80,7 @@ func runConvergence(args []string) error {
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	elements := fs.Int("elements", 8, "array size (space 4^n)")
 	budget := fs.Int("budget", 300, "measurement budget per searcher")
-	var tele prof.CLI
+	var tele slo.CLI
 	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -132,7 +133,7 @@ func runBudget(args []string) error {
 	fs := flag.NewFlagSet("budget", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	perMeas := fs.Duration("per-measurement", 2*time.Millisecond, "measurement cost")
-	var tele prof.CLI
+	var tele slo.CLI
 	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -153,7 +154,7 @@ func runBudget(args []string) error {
 		if err != nil {
 			return err
 		}
-		budget := control.CoherenceBudgetAtSpeed(mph, 2.462e9, timing)
+		budget := press.CoherenceBudgetAtSpeed(mph, press.DefaultCarrierHz, timing)
 		ev := &control.LinkEvaluator{Link: link, Objective: control.MaxMinSNR{}, Timing: timing}
 		base, ok := link.Array.AllTerminated()
 		if !ok {
@@ -192,7 +193,7 @@ func runDensity(args []string) error {
 	fs := flag.NewFlagSet("density", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	maxN := fs.Int("max-elements", 6, "largest array size")
-	var tele prof.CLI
+	var tele slo.CLI
 	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err

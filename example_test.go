@@ -72,10 +72,10 @@ func ExampleParseState() {
 // configurations a controller may measure before the channel moves on.
 func ExampleCoherenceBudgetAtSpeed() {
 	fast := press.Timing{PerMeasurement: 1e6} // 1 ms in nanoseconds
-	fmt.Println("walking:", press.CoherenceBudgetAtSpeed(0.5, 2.462e9, fast))
-	fmt.Println("running:", press.CoherenceBudgetAtSpeed(6, 2.462e9, fast))
+	fmt.Println("walking:", press.CoherenceBudgetAtSpeed(0.5, press.DefaultCarrierHz, fast))
+	fmt.Println("running:", press.CoherenceBudgetAtSpeed(6, press.DefaultCarrierHz, fast))
 	fmt.Println("prototype at walking pace:",
-		press.CoherenceBudgetAtSpeed(0.5, 2.462e9, press.PrototypeTiming))
+		press.CoherenceBudgetAtSpeed(0.5, press.DefaultCarrierHz, press.PrototypeTiming))
 	// Output:
 	// walking: 97
 	// running: 8

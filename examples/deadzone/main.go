@@ -112,7 +112,7 @@ func main() {
 	// search gets a hard measurement budget (§2).
 	timing := press.Timing{PerMeasurement: 2 * time.Millisecond}
 	for _, mph := range []float64{0.5, 6} {
-		budget := press.CoherenceBudgetAtSpeed(mph, 2.462e9, timing)
+		budget := press.CoherenceBudgetAtSpeed(mph, press.DefaultCarrierHz, timing)
 		rng := rand.New(rand.NewPCG(442, uint64(mph*10)))
 		outM, err := space.Optimize(
 			[]press.Goal{{Link: "link", Objective: press.MaxMinSNR{}}},

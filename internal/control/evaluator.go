@@ -131,17 +131,26 @@ func CoherenceBudget(coherence time.Duration, timing radio.Timing) int {
 	return n
 }
 
-// CoherenceBudgetAtSpeed is CoherenceBudget for an endpoint moving at the
-// given speed (mph, the paper's unit) at carrier frequency fcHz.
-func CoherenceBudgetAtSpeed(speedMph, fcHz float64, timing radio.Timing) int {
+// CoherenceTimeAtSpeed returns the channel coherence time — the per-loop
+// deadline of the §2 control problem — for an endpoint moving at the
+// given speed (mph, the paper's unit) at carrier frequency fcHz. A zero
+// return means the channel is effectively static: no deadline.
+func CoherenceTimeAtSpeed(speedMph, fcHz float64) time.Duration {
 	lambda := rfphys.Wavelength(fcHz)
 	fd := rfphys.DopplerShiftHz(rfphys.MphToMps(speedMph), lambda)
 	tc := rfphys.CoherenceTime(fd)
-	if tc == 0 {
-		return 1
-	}
 	if tc > 1e6 { // effectively static
 		return 0
 	}
-	return CoherenceBudget(time.Duration(tc*float64(time.Second)), timing)
+	return time.Duration(tc * float64(time.Second))
+}
+
+// CoherenceBudgetAtSpeed is CoherenceBudget for an endpoint moving at the
+// given speed (mph, the paper's unit) at carrier frequency fcHz.
+func CoherenceBudgetAtSpeed(speedMph, fcHz float64, timing radio.Timing) int {
+	tc := CoherenceTimeAtSpeed(speedMph, fcHz)
+	if tc == 0 {
+		return 0 // effectively static: unlimited
+	}
+	return CoherenceBudget(tc, timing)
 }

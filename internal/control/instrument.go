@@ -10,6 +10,7 @@ import (
 	"press/internal/obs/health"
 	"press/internal/obs/prof"
 	"press/internal/obs/scope"
+	"press/internal/obs/slo"
 )
 
 // Instrumented wraps any Searcher with telemetry: a per-strategy span
@@ -34,6 +35,11 @@ type Instrumented struct {
 	// phase (wall time, configs scored) so hotspot reports can apportion
 	// the search loop's cost.
 	Prof *prof.Collector
+	// Tracer, when set, attaches the search to the loop iteration in
+	// flight: one "search" phase span per run with a per-measurement
+	// child span for every evaluation, so /tracez shows where a
+	// deadline-missing loop spent its coherence budget.
+	Tracer *slo.Tracer
 }
 
 // Instrument wraps s unless telemetry is fully disabled, in which case
@@ -57,17 +63,24 @@ func InstrumentFlight(s Searcher, reg *obs.Registry, log *obs.Logger, h *health.
 // InstrumentProf is InstrumentFlight plus a work-accounting collector
 // that attributes search-evaluation cost to the search_eval phase.
 func InstrumentProf(s Searcher, reg *obs.Registry, log *obs.Logger, h *health.Monitor, rec *flight.Recorder, pc *prof.Collector) Searcher {
-	if reg == nil && log == nil && h == nil && rec == nil && pc == nil {
+	return InstrumentTracer(s, reg, log, h, rec, pc, nil)
+}
+
+// InstrumentTracer is InstrumentProf plus a control-loop deadline
+// tracer that turns each search run into a phase span with
+// per-measurement children.
+func InstrumentTracer(s Searcher, reg *obs.Registry, log *obs.Logger, h *health.Monitor, rec *flight.Recorder, pc *prof.Collector, tr *slo.Tracer) Searcher {
+	if reg == nil && log == nil && h == nil && rec == nil && pc == nil && tr == nil {
 		return s
 	}
-	return Instrumented{Searcher: s, Obs: reg, Log: log, Health: h, Flight: rec, Prof: pc}
+	return Instrumented{Searcher: s, Obs: reg, Log: log, Health: h, Flight: rec, Prof: pc, Tracer: tr}
 }
 
 // InstrumentScope wraps s with every sink a telemetry scope carries —
 // the session-oriented form of the Instrument* chain. A nil (or fully
 // disabled) scope returns s unchanged.
 func InstrumentScope(s Searcher, sc *scope.Scope) Searcher {
-	return InstrumentProf(s, sc.Registry(), sc.Logger(), sc.Health(), sc.Flight(), sc.Prof())
+	return InstrumentTracer(s, sc.Registry(), sc.Logger(), sc.Health(), sc.Flight(), sc.Prof(), sc.Tracer())
 }
 
 // Name implements Searcher.
@@ -84,11 +97,15 @@ func (in Instrumented) Search(arr *element.Array, eval EvalFunc, budget int) (*R
 	bestGauge := in.Obs.Gauge("search_best_objective")
 	trajectory := in.Log.Enabled(obs.LevelDebug)
 
+	loop := in.Tracer.Current()
+
 	best := math.Inf(-1)
 	n := 0
 	wrapped := func(cfg element.Config) (float64, error) {
 		esp := in.Prof.Start(prof.PhaseSearch)
+		msp := loop.Child("measure")
 		score, err := eval(cfg)
+		msp.End()
 		if err != nil {
 			esp.End()
 			return score, err
@@ -112,7 +129,9 @@ func (in Instrumented) Search(arr *element.Array, eval EvalFunc, budget int) (*R
 	}
 
 	sp := obs.StartSpan(in.Obs, "search/"+name)
+	lsp := loop.Phase("search")
 	res, err := in.Searcher.Search(arr, wrapped, budget)
+	lsp.End()
 	wall := sp.End()
 
 	if res != nil {

@@ -11,6 +11,7 @@ import (
 	"press/internal/obs"
 	"press/internal/obs/prof"
 	"press/internal/obs/scope"
+	"press/internal/obs/slo"
 )
 
 // Stats counts controller-side protocol events, for the latency/loss
@@ -54,6 +55,12 @@ type Controller struct {
 	// Prof, when set, accounts actuation round trips (send → matching
 	// ack) to the actuate phase.
 	Prof *prof.Collector
+	// Tracer, when set, hooks actuation into the control-loop iteration
+	// in flight: SetConfig reuses the current loop's trace ID on the
+	// frame header (so controller/agent timeline spans and the loop's
+	// span tree share one key) and attaches "actuate" and "ack" child
+	// spans to the loop.
+	Tracer *slo.Tracer
 
 	seq atomic.Uint32
 	// agentID and numElements are learned from the agent's Hello.
@@ -74,6 +81,7 @@ func (c *Controller) AttachScope(sc *scope.Scope) {
 	c.Obs = sc.Registry()
 	c.Log = sc.Logger()
 	c.Prof = sc.Prof()
+	c.Tracer = sc.Tracer()
 }
 
 // ErrRejected means the agent refused the configuration.
@@ -186,9 +194,17 @@ func (c *Controller) SetConfigTraced(ctx context.Context, cfg element.Config) (u
 	msg := &SetConfig{States: states}
 	seq := c.seq.Add(1)
 	trace := obs.NewTraceID()
+	loop := c.Tracer.Current()
+	if loop != nil {
+		// Ride the loop's trace ID so the controller/agent timeline spans
+		// and the loop's span tree share one key.
+		trace = loop.Trace()
+	}
 	reqStart := time.Now()
 	psp := c.Prof.Start(prof.PhaseActuate)
 	defer psp.End()
+	lsp := loop.Phase("actuate")
+	defer lsp.End()
 
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
@@ -213,7 +229,9 @@ func (c *Controller) SetConfigTraced(ctx context.Context, cfg element.Config) (u
 		c.Stats.Sent.Add(1)
 		c.Obs.Counter("controlplane_frames_sent_total").Inc()
 
+		asp := lsp.Child("ack")
 		status, err := c.awaitAck(ctx, seq)
+		asp.End()
 		if err == nil {
 			if c.Obs != nil {
 				c.Obs.Histogram("controlplane_ack_latency_seconds", obs.LatencyBuckets).

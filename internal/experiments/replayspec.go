@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"press/internal/obs/flight"
 )
@@ -24,6 +25,13 @@ type RunSpec struct {
 	Snapshots  int
 	Reps       int
 	Budget     int
+	// Loops, Speed, and SlowPhase parameterize the deadline-tracing demo
+	// (exp=demo). They are recorded in every manifest going forward but
+	// tolerated as absent when replaying runs recorded before the demo
+	// existed.
+	Loops     int
+	Speed     float64
+	SlowPhase time.Duration
 }
 
 // AllExperiments is the expansion of -exp all, in execution order.
@@ -54,6 +62,9 @@ func (s RunSpec) Params() []flight.Param {
 		{Key: "snapshots", Value: itoa(s.Snapshots)},
 		{Key: "reps", Value: itoa(s.Reps)},
 		{Key: "budget", Value: itoa(s.Budget)},
+		{Key: "loops", Value: itoa(s.Loops)},
+		{Key: "speed", Value: strconv.FormatFloat(s.Speed, 'g', -1, 64)},
+		{Key: "slow_phase", Value: s.SlowPhase.String()},
 	}
 }
 
@@ -87,6 +98,27 @@ func SpecFromManifest(m *flight.Manifest) (RunSpec, error) {
 		if err := geti(key, dst); err != nil {
 			return RunSpec{}, err
 		}
+	}
+	// Demo params are optional: manifests recorded before the demo
+	// experiment existed simply lack them.
+	if _, ok := m.Param("loops"); ok {
+		if err := geti("loops", &s.Loops); err != nil {
+			return RunSpec{}, err
+		}
+	}
+	if v, ok := m.Param("speed"); ok {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return RunSpec{}, fmt.Errorf("experiments: bad speed param %q", v)
+		}
+		s.Speed = f
+	}
+	if v, ok := m.Param("slow_phase"); ok {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return RunSpec{}, fmt.Errorf("experiments: bad slow_phase param %q", v)
+		}
+		s.SlowPhase = d
 	}
 	return s, nil
 }
@@ -199,6 +231,23 @@ func (s RunSpec) runOne(name string) error {
 		// exp=session plus the session's absolute seed and budget, so the
 		// ambient (flight-adopting) scope re-records the same streams.
 		_, err := RunSession("session", s.seedOr(442), s.Budget, CurrentScope())
+		return err
+	case "demo":
+		// The deadline-tracing demo replays its searched configurations
+		// deterministically, but loop *latency* is wall-clock-real: the
+		// regenerated KindLoop frames carry this host's timings, which is
+		// exactly what `pressctl rundiff` compares across runs.
+		o := DefaultDemo()
+		o.Seed = s.seedOr(o.Seed)
+		if s.Loops > 0 {
+			o.Loops = s.Loops
+		}
+		o.SpeedMph = s.Speed
+		o.SlowPhase = s.SlowPhase
+		if s.Budget > 0 {
+			o.Budget = s.Budget
+		}
+		_, err := RunDemo(o)
 		return err
 	default:
 		return fmt.Errorf("experiments: unknown or non-replayable experiment %q", name)

@@ -21,6 +21,16 @@ type HistogramSnapshot struct {
 	Count   int64             `json:"count"`
 	Sum     float64           `json:"sum"`
 	Buckets []HistogramBucket `json:"buckets"`
+	// Exemplar, when present, is the most recent traced observation —
+	// its trace ID joins the metric to a /tracez span tree.
+	Exemplar *ExemplarSnapshot `json:"exemplar,omitempty"`
+}
+
+// ExemplarSnapshot is a histogram exemplar in exported form.
+type ExemplarSnapshot struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
+	UnixMs  int64   `json:"unix_ms"`
 }
 
 // SpanSnapshot aggregates one span name's completed timings.
@@ -72,6 +82,13 @@ func (r *Registry) Snapshot() Snapshot {
 				le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
 			}
 			hs.Buckets = append(hs.Buckets, HistogramBucket{LE: le, Count: cum})
+		}
+		if ex := h.ex.Load(); ex != nil {
+			hs.Exemplar = &ExemplarSnapshot{
+				Value:   ex.v,
+				TraceID: FormatTraceID(ex.trace),
+				UnixMs:  ex.unixNs / 1e6,
+			}
 		}
 		snap.Histograms[name] = hs
 	}

@@ -81,6 +81,10 @@ func Diff(a, b Summary) *RunDiff {
 	addDist("gc_pause_p99_ms", a.GCPauseP99Ms, b.GCPauseP99Ms)
 	addDist("sched_latency_p99_ms", a.SchedLatP99Ms, b.SchedLatP99Ms)
 	add("gc_cycles", float64(a.GCCycles), float64(b.GCCycles))
+	add("loops", float64(a.Loops), float64(b.Loops))
+	add("loop_misses", float64(a.LoopMisses), float64(b.LoopMisses))
+	addDist("loop_latency_ms", a.LoopLatencyMs, b.LoopLatencyMs)
+	addDist("loop_slack_ms", a.LoopSlackMs, b.LoopSlackMs)
 
 	// Per-phase cost deltas over the union of phase names, so a phase
 	// present on only one side still shows up.

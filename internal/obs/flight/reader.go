@@ -18,6 +18,7 @@ type Run struct {
 	Decisions  []SearchDecision  `json:"decisions,omitempty"`
 	Runtime    []RuntimeSample   `json:"runtime,omitempty"`
 	PhaseCosts []PhaseCost       `json:"phase_costs,omitempty"`
+	Loops      []LoopRecord      `json:"loops,omitempty"`
 	Stats      DecodeStats       `json:"stats"`
 }
 
@@ -119,6 +120,13 @@ func (run *Run) apply(kind Kind, payload []byte) {
 			return
 		}
 		run.PhaseCosts = append(run.PhaseCosts, p)
+	case KindLoop:
+		l, err := decodeLoop(payload)
+		if err != nil {
+			run.Stats.Corrupt++
+			return
+		}
+		run.Loops = append(run.Loops, l)
 	default:
 		run.Stats.Unknown++
 	}

@@ -27,6 +27,7 @@ const (
 	KindDecision  Kind = 6 // one search evaluation
 	KindRuntime   Kind = 7 // one periodic Go-runtime health snapshot
 	KindPhaseCost Kind = 8 // one cumulative per-phase work-accounting sample
+	KindLoop      Kind = 9 // one control-loop iteration vs its coherence deadline
 )
 
 // String names a kind for logs and summaries.
@@ -48,6 +49,8 @@ func (k Kind) String() string {
 		return "runtime"
 	case KindPhaseCost:
 		return "phase_cost"
+	case KindLoop:
+		return "loop"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -248,6 +251,24 @@ type PhaseCost struct {
 	Calls int64      `json:"calls"`
 	Bytes int64      `json:"bytes,omitempty"`
 	Aux   []AuxCount `json:"aux,omitempty"`
+}
+
+// LoopRecord is one control-loop iteration measured against its
+// coherence deadline (§2): end-to-end latency, the deadline in force,
+// whether it was missed, and the per-phase breakdown of where the time
+// went. TraceID joins the record to the loop's span tree (/tracez,
+// Chrome-trace export) and to control-plane frames.
+type LoopRecord struct {
+	UnixNs     int64  `json:"unix_ns"`
+	TraceID    uint64 `json:"trace_id"`
+	Seq        uint64 `json:"seq"`
+	Name       string `json:"name"`
+	DeadlineNs int64  `json:"deadline_ns"`
+	LatencyNs  int64  `json:"latency_ns"`
+	Missed     bool   `json:"missed"`
+	// Phases carries per-top-level-phase wall time in nanoseconds
+	// (sense, search, actuate, ...), reusing AuxCount.
+	Phases []AuxCount `json:"phases,omitempty"`
 }
 
 // SearchDecision is one configuration-search evaluation: which config
@@ -525,6 +546,28 @@ func decodePhaseCost(payload []byte) (PhaseCost, error) {
 		return PhaseCost{}, errBadPayload
 	}
 	return p, nil
+}
+
+func decodeLoop(payload []byte) (LoopRecord, error) {
+	d := &dec{b: payload}
+	l := LoopRecord{
+		UnixNs: d.i64(), TraceID: d.u64(), Seq: d.u64(), Name: d.str(),
+		DeadlineNs: d.i64(), LatencyNs: d.i64(), Missed: d.boolv(),
+	}
+	n := int(d.u32())
+	if d.bad || n < 0 || len(d.b)-d.off < n { // ≥1 byte per phase entry
+		return LoopRecord{}, errBadPayload
+	}
+	if n > 0 {
+		l.Phases = make([]AuxCount, n)
+		for i := range l.Phases {
+			l.Phases[i] = AuxCount{Name: d.str(), Value: d.i64()}
+		}
+	}
+	if !d.done() {
+		return LoopRecord{}, errBadPayload
+	}
+	return l, nil
 }
 
 func decodeDecision(payload []byte) (SearchDecision, error) {

@@ -84,6 +84,14 @@ type Summary struct {
 	// (empty when the run recorded no phase-cost samples).
 	Phases []PhaseSummary `json:"phases,omitempty"`
 
+	// Control-loop deadline accounting over the KindLoop stream (zero
+	// when the run traced no loops). Slack is deadline − latency; loops
+	// without a deadline are excluded from the slack distribution.
+	Loops         int  `json:"loops,omitempty"`
+	LoopMisses    int  `json:"loop_misses,omitempty"`
+	LoopLatencyMs Dist `json:"loop_latency_ms,omitempty"`
+	LoopSlackMs   Dist `json:"loop_slack_ms,omitempty"`
+
 	Decode DecodeStats `json:"decode"`
 }
 
@@ -208,6 +216,23 @@ func Summarize(run *Run) Summary {
 		}
 	}
 	s.Phases = summarizePhases(run.PhaseCosts)
+
+	s.Loops = len(run.Loops)
+	if len(run.Loops) > 0 {
+		lat := make([]float64, 0, len(run.Loops))
+		slack := make([]float64, 0, len(run.Loops))
+		for _, l := range run.Loops {
+			lat = append(lat, float64(l.LatencyNs)/1e6)
+			if l.DeadlineNs > 0 {
+				slack = append(slack, float64(l.DeadlineNs-l.LatencyNs)/1e6)
+			}
+			if l.Missed {
+				s.LoopMisses++
+			}
+		}
+		s.LoopLatencyMs = distOf(lat)
+		s.LoopSlackMs = distOf(slack)
+	}
 	return s
 }
 

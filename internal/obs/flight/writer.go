@@ -372,6 +372,31 @@ func (r *Recorder) RecordPhaseCost(p PhaseCost) {
 	r.commit(KindPhaseCost)
 }
 
+// RecordLoop logs one control-loop iteration measured against its
+// coherence deadline. A zero UnixNs is stamped with the current time.
+func (r *Recorder) RecordLoop(l LoopRecord) {
+	e := r.begin()
+	if e == nil {
+		return
+	}
+	if l.UnixNs == 0 {
+		l.UnixNs = time.Now().UnixNano()
+	}
+	e.i64(l.UnixNs)
+	e.u64(l.TraceID)
+	e.u64(l.Seq)
+	e.str(l.Name)
+	e.i64(l.DeadlineNs)
+	e.i64(l.LatencyNs)
+	e.bool(l.Missed)
+	e.u32(uint32(len(l.Phases)))
+	for _, p := range l.Phases {
+		e.str(p.Name)
+		e.i64(p.Value)
+	}
+	r.commit(KindLoop)
+}
+
 // RecordDecision logs one search evaluation: the measured config, its
 // score, and whether it improved the best-so-far.
 func (r *Recorder) RecordDecision(eval uint64, score float64, improved bool, cfg []int) {

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+
+	"press/internal/obs"
 )
 
 // State is an alert rule's position in the pending→firing→resolved
@@ -71,6 +73,10 @@ type Event struct {
 	To     State   `json:"to"`
 	UnixMs int64   `json:"unix_ms"`
 	Value  float64 `json:"value"` // KPI value at the transition (0 when unknown)
+	// TraceID is an exemplar control-plane trace for transitions into
+	// firing, when the watched KPI has one (loop deadline KPIs carry the
+	// trace of the offending loop). Formatted per obs.FormatTraceID.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // RuleStatus is one rule's live state, as served at /alerts.
@@ -112,6 +118,10 @@ type ruleState struct {
 type engine struct {
 	rules  []*ruleState
 	events []Event // bounded: the most recent eventCap transitions
+	// exemplar, when set, maps a rule's metric to a trace ID to attach
+	// to transitions into firing (0 = none). Called under the same lock
+	// as eval.
+	exemplar func(metric string) uint64
 }
 
 const eventCap = 256
@@ -137,9 +147,20 @@ func (e *engine) eval(unixMs int64, kpi func(string) float64, window windowFunc)
 	var out []Event
 	for _, rs := range e.rules {
 		ev, ok := rs.step(unixMs, kpi, window)
-		if ok {
-			out = append(out, ev...)
+		if !ok {
+			continue
 		}
+		if e.exemplar != nil {
+			for i := range ev {
+				if ev[i].To != StateFiring {
+					continue
+				}
+				if tid := e.exemplar(rs.rule.Metric); tid != 0 {
+					ev[i].TraceID = obs.FormatTraceID(tid)
+				}
+			}
+		}
+		out = append(out, ev...)
 	}
 	if len(out) > 0 {
 		e.events = append(e.events, out...)

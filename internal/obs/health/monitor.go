@@ -37,17 +37,26 @@ type Monitor struct {
 
 	mu sync.Mutex
 	// Latest raw observations, distilled at each sample tick.
-	lastSNR        []float64
-	snrSeen        bool
-	lastCond       []float64
-	condSeen       bool
-	lastBest       float64
-	allTimeBest    float64
-	bestSeen       bool
-	lastActuation  time.Time
-	actuationSeen  bool
-	prevNullSub    int
-	prevNullSeen   bool
+	lastSNR       []float64
+	snrSeen       bool
+	lastCond      []float64
+	condSeen      bool
+	lastBest      float64
+	allTimeBest   float64
+	bestSeen      bool
+	lastActuation time.Time
+	actuationSeen bool
+	prevNullSub   int
+	prevNullSeen  bool
+	// Control-loop deadline accounting, accumulated between samples and
+	// reset each interval (the KPIs are per-interval aggregates).
+	loopCount      int64
+	loopMisses     int64
+	loopLatMaxNs   int64
+	loopSlackMinNs int64
+	loopSlackSeen  bool
+	lastLoopTrace  uint64
+	lastMissTrace  uint64
 	series         map[string]*Series
 	spec           *spectrogram
 	eng            *engine
@@ -80,7 +89,28 @@ func NewMonitor(reg *obs.Registry, rules []Rule, interval time.Duration, capacit
 	for _, name := range KPINames {
 		m.series[name] = newSeries(capacity)
 	}
+	m.eng.exemplar = m.exemplarLocked
 	return m
+}
+
+// DefaultLoopErrorBudget is the tolerated deadline-miss ratio behind
+// the loop_burn_rate KPI: burn rate = interval miss ratio / budget, so
+// a value above 1 means the loop is missing coherence deadlines faster
+// than the SLO allows.
+const DefaultLoopErrorBudget = 0.01
+
+// exemplarLocked maps a firing rule's metric to an exemplar trace ID —
+// the most recent deadline-missing loop for the loop KPIs (falling back
+// to the most recent traced loop). The engine calls it under m.mu.
+func (m *Monitor) exemplarLocked(metric string) uint64 {
+	switch metric {
+	case KPILoopLatencyS, KPILoopSlackS, KPILoopMissRatio, KPILoopBurnRate:
+		if m.lastMissTrace != 0 {
+			return m.lastMissTrace
+		}
+		return m.lastLoopTrace
+	}
+	return 0
 }
 
 // ObserveSNR records the latest per-subcarrier SNR curve of the link
@@ -132,6 +162,39 @@ func (m *Monitor) ObserveActuation() {
 	m.mu.Lock()
 	m.lastActuation = m.now()
 	m.actuationSeen = true
+	m.mu.Unlock()
+}
+
+// ObserveLoop records one traced control-loop iteration: its end-to-end
+// latency, the coherence deadline it ran against (0 = unbounded),
+// whether it missed that deadline, and its trace ID (0 = untraced). The
+// sampler distills the interval's accumulated loops into the loop_*
+// KPIs.
+func (m *Monitor) ObserveLoop(latency, deadline time.Duration, missed bool, traceID uint64) {
+	if m == nil || latency < 0 {
+		return
+	}
+	m.mu.Lock()
+	m.loopCount++
+	if missed {
+		m.loopMisses++
+		if traceID != 0 {
+			m.lastMissTrace = traceID
+		}
+	}
+	if traceID != 0 {
+		m.lastLoopTrace = traceID
+	}
+	if int64(latency) > m.loopLatMaxNs {
+		m.loopLatMaxNs = int64(latency)
+	}
+	if deadline > 0 {
+		slack := int64(deadline) - int64(latency)
+		if !m.loopSlackSeen || slack < m.loopSlackMinNs {
+			m.loopSlackMinNs = slack
+			m.loopSlackSeen = true
+		}
+	}
 	m.mu.Unlock()
 }
 
@@ -246,6 +309,8 @@ func (m *Monitor) computeLocked(now time.Time) map[string]float64 {
 		KPIMinSNRdB: nan, KPINullDepthDB: nan, KPINullSubcarrier: nan,
 		KPINullDriftSC: nan, KPICondDB: nan, KPISearchBest: nan,
 		KPISearchRegretDB: nan, KPIControlStalenessS: nan,
+		KPILoopLatencyS: nan, KPILoopSlackS: nan,
+		KPILoopMissRatio: nan, KPILoopBurnRate: nan,
 	}
 	if m.snrSeen {
 		kpis[KPIMinSNRdB] = stats.Min(m.lastSNR)
@@ -270,6 +335,17 @@ func (m *Monitor) computeLocked(now time.Time) map[string]float64 {
 	}
 	if m.actuationSeen {
 		kpis[KPIControlStalenessS] = now.Sub(m.lastActuation).Seconds()
+	}
+	if m.loopCount > 0 {
+		kpis[KPILoopLatencyS] = float64(m.loopLatMaxNs) / 1e9
+		if m.loopSlackSeen {
+			kpis[KPILoopSlackS] = float64(m.loopSlackMinNs) / 1e9
+		}
+		ratio := float64(m.loopMisses) / float64(m.loopCount)
+		kpis[KPILoopMissRatio] = ratio
+		kpis[KPILoopBurnRate] = ratio / DefaultLoopErrorBudget
+		m.loopCount, m.loopMisses = 0, 0
+		m.loopLatMaxNs, m.loopSlackMinNs, m.loopSlackSeen = 0, 0, false
 	}
 	return kpis
 }

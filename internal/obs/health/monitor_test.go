@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"press/internal/obs"
+	"press/internal/obs/obstest"
 )
 
 // snrWithNull builds a flat 20 dB curve with one null of the given depth
@@ -198,13 +199,7 @@ func TestMonitorStartStop(t *testing.T) {
 	m := NewMonitor(nil, nil, time.Millisecond, 16)
 	m.ObserveSNR(snrWithNull(8, 1, 6))
 	m.Start()
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if m.Snapshot().Samples >= 2 {
-			break
-		}
-		time.Sleep(time.Millisecond)
-	}
+	obstest.WaitUntil(t, 2*time.Second, func() bool { return m.Snapshot().Samples >= 2 })
 	m.Stop()
 	m.Stop() // idempotent
 	if s := m.Snapshot().Samples; s < 2 {
@@ -224,5 +219,75 @@ func TestMonitorObservationsCopied(t *testing.T) {
 	pts := m.Snapshot().Series[KPINullDepthDB]
 	if len(pts) != 1 || pts[0].Value != 12 {
 		t.Errorf("mutation leaked into monitor: %+v", pts)
+	}
+}
+
+func TestMonitorObserveLoopKPIs(t *testing.T) {
+	m := NewMonitor(nil, nil, time.Hour, 8)
+	m.now = func() time.Time { return time.Unix(10, 0) }
+	// Three loops against an 8ms deadline: two hit, one misses by 4ms.
+	m.ObserveLoop(5*time.Millisecond, 8*time.Millisecond, false, 0x11)
+	m.ObserveLoop(6*time.Millisecond, 8*time.Millisecond, false, 0x22)
+	m.ObserveLoop(12*time.Millisecond, 8*time.Millisecond, true, 0x33)
+	m.Sample()
+	snap := m.Snapshot()
+	want := map[string]float64{
+		KPILoopLatencyS:  0.012,
+		KPILoopSlackS:    -0.004,
+		KPILoopMissRatio: 1.0 / 3,
+		KPILoopBurnRate:  (1.0 / 3) / DefaultLoopErrorBudget,
+	}
+	for name, v := range want {
+		pts := snap.Series[name]
+		if len(pts) != 1 || math.Abs(pts[0].Value-v) > 1e-9 {
+			t.Errorf("%s = %+v, want %v", name, pts, v)
+		}
+	}
+	// The interval accumulator resets: a loop-free sample leaves the
+	// series untouched (NaN KPIs are not appended).
+	m.Sample()
+	if pts := m.Snapshot().Series[KPILoopMissRatio]; len(pts) != 1 {
+		t.Errorf("loop-free interval appended a point: %+v", pts)
+	}
+}
+
+func TestMonitorLoopBurnRateAlertExemplar(t *testing.T) {
+	rules, err := ParseRules("burn=loop_burn_rate>1 for 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(nil, rules, time.Hour, 8)
+	m.now = func() time.Time { return time.Unix(20, 0) }
+	var events []Event
+	m.Notify = func(event string, v any) {
+		if ev, ok := v.(Event); ok && event == "alert" {
+			events = append(events, ev)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		m.ObserveLoop(20*time.Millisecond, 8*time.Millisecond, true, 0xbeef)
+		m.Sample()
+	}
+	var firing *Event
+	for i := range events {
+		if events[i].To == StateFiring {
+			firing = &events[i]
+		}
+	}
+	if firing == nil {
+		t.Fatalf("burn-rate rule never fired; events: %+v", events)
+	}
+	if firing.TraceID != obs.FormatTraceID(0xbeef) {
+		t.Errorf("firing event trace = %q, want %q", firing.TraceID, obs.FormatTraceID(0xbeef))
+	}
+	// The exemplar also lands in the /alerts event log.
+	found := false
+	for _, ev := range m.Alerts().Events {
+		if ev.To == StateFiring && ev.TraceID == obs.FormatTraceID(0xbeef) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("/alerts events missing the firing exemplar trace")
 	}
 }

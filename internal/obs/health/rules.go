@@ -17,12 +17,17 @@ const (
 	KPISearchBest        = "search_best"         // current search best objective
 	KPISearchRegretDB    = "search_regret_db"    // all-time best objective − current best
 	KPIControlStalenessS = "control_staleness_s" // seconds since the last control-plane actuation
+	KPILoopLatencyS      = "loop_latency_s"      // worst traced control-loop latency this interval
+	KPILoopSlackS        = "loop_slack_s"        // worst deadline slack this interval (negative = missed)
+	KPILoopMissRatio     = "loop_miss_ratio"     // deadline misses / traced loops this interval
+	KPILoopBurnRate      = "loop_burn_rate"      // miss ratio / DefaultLoopErrorBudget (>1 = burning)
 )
 
 // KPINames lists every KPI a rule may watch, in display order.
 var KPINames = []string{
 	KPIMinSNRdB, KPINullDepthDB, KPINullSubcarrier, KPINullDriftSC,
 	KPICondDB, KPISearchBest, KPISearchRegretDB, KPIControlStalenessS,
+	KPILoopLatencyS, KPILoopSlackS, KPILoopMissRatio, KPILoopBurnRate,
 }
 
 func knownKPI(name string) bool {
@@ -128,11 +133,13 @@ func formatNum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 // DefaultRules is the built-in rule set behind `-alert-rules default`:
 // a deep persistent frequency null (the paper's §3.2.1 metric), a rising
 // MIMO condition number (Figure 8's failure direction), a search run
-// regressing from its best, and a stalled control plane.
+// regressing from its best, a stalled control plane, and a control loop
+// burning its coherence-deadline error budget.
 const DefaultRules = "null_depth_db>25 for 3 clear 20; " +
 	"cond_db rising over 8; " +
 	"search_regret_db>3 for 2; " +
-	"control_staleness_s>10 for 2"
+	"control_staleness_s>10 for 2; " +
+	"loop_burn_rate>1 for 2"
 
 // ParseRules parses a rule list: rules separated by ';', each either a
 // threshold rule

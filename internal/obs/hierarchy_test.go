@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"press/internal/obs/obstest"
 )
 
 func TestRegistryParentChaining(t *testing.T) {
@@ -225,17 +227,11 @@ func TestEventsSessionFilter(t *testing.T) {
 
 	buf := make([]byte, 4096)
 	var got strings.Builder
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	obstest.WaitUntil(t, 5*time.Second, func() bool {
 		n, err := resp.Body.Read(buf)
 		got.Write(buf[:n])
-		if strings.Contains(got.String(), `"who":"mine"`) {
-			break
-		}
-		if err != nil {
-			break
-		}
-	}
+		return strings.Contains(got.String(), `"who":"mine"`) || err != nil
+	})
 	out := got.String()
 	if !strings.Contains(out, "session_hits") {
 		t.Fatalf("session stream missing scope backlog sample:\n%s", out)

@@ -1,0 +1,33 @@
+// Package obstest holds small helpers shared by the observability
+// layer's tests. It imports nothing but the standard library, so every
+// obs package (including obs itself) can use it without cycles.
+package obstest
+
+import (
+	"testing"
+	"time"
+)
+
+// WaitUntil polls cond roughly every millisecond until it reports true
+// or the timeout elapses, replacing the hand-rolled
+// `deadline := time.Now().Add(...)` poll loops that used to be
+// copy-pasted across the obs test suites. cond is evaluated one final
+// time at the deadline, so a condition that becomes true on the last
+// iteration is never misreported. Returns whether cond held.
+//
+// cond may block (e.g. on a streaming read) — WaitUntil only bounds the
+// number of iterations, one blocking step per call, like the loops it
+// replaces.
+func WaitUntil(t testing.TB, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			return cond()
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

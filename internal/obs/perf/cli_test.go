@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"press/internal/obs/flight"
+	"press/internal/obs/obstest"
 )
 
 func parseCLI(t *testing.T, args ...string) *CLI {
@@ -78,10 +79,7 @@ func TestCLIFullStack(t *testing.T) {
 	base := "http://" + c.ServerAddr()
 
 	// Let a few ticks land.
-	deadline := time.Now().Add(2 * time.Second)
-	for c.Sampler().Last().Ticks < 3 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
+	obstest.WaitUntil(t, 2*time.Second, func() bool { return c.Sampler().Last().Ticks >= 3 })
 
 	get := func(path string) (*http.Response, string) {
 		t.Helper()

@@ -3,6 +3,8 @@ package obs
 import (
 	"testing"
 	"time"
+
+	"press/internal/obs/obstest"
 )
 
 func TestRecorderSamplesRegistry(t *testing.T) {
@@ -70,10 +72,7 @@ func TestRecorderStartStop(t *testing.T) {
 	rec := NewRecorder(reg, time.Millisecond, 64)
 	rec.Start()
 	rec.Start() // idempotent
-	deadline := time.Now().Add(2 * time.Second)
-	for len(rec.Samples()) < 3 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	obstest.WaitUntil(t, 2*time.Second, func() bool { return len(rec.Samples()) >= 3 })
 	if n := len(rec.Samples()); n < 3 {
 		t.Fatalf("only %d samples after waiting", n)
 	}

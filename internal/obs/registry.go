@@ -241,7 +241,16 @@ type Histogram struct {
 	buckets []atomic.Int64
 	count   atomic.Int64
 	sumBits atomic.Uint64
+	ex      atomic.Pointer[exemplar]
 	next    *Histogram // parent chain; nil for a root registry's histogram
+}
+
+// exemplar links one observation to the trace that produced it — how a
+// latency histogram points at a concrete /tracez span tree.
+type exemplar struct {
+	v      float64
+	trace  uint64
+	unixNs int64
 }
 
 // DefBuckets suits generic positive magnitudes (scores, path counts).
@@ -321,6 +330,37 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveExemplar records one value and, when trace is non-zero, retains
+// (value, trace) as the histogram's most-recent exemplar — the join key
+// from a latency metric to the span tree that produced the reading. The
+// exemplar propagates up the parent chain like the observation itself.
+func (h *Histogram) ObserveExemplar(v float64, trace uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if trace == 0 {
+		return
+	}
+	ex := &exemplar{v: v, trace: trace, unixNs: time.Now().UnixNano()}
+	for e := h; e != nil; e = e.next {
+		e.ex.Store(ex)
+	}
+}
+
+// Exemplar returns the most recent exemplar observation and its trace
+// ID; ok is false when none was ever recorded (or on a nil histogram).
+func (h *Histogram) Exemplar() (v float64, trace uint64, ok bool) {
+	if h == nil {
+		return 0, 0, false
+	}
+	ex := h.ex.Load()
+	if ex == nil {
+		return 0, 0, false
+	}
+	return ex.v, ex.trace, true
+}
 
 // ObserveN records n observations of value v in one operation — the
 // bulk path the runtime-metrics sampler uses to mirror a cumulative

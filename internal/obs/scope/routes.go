@@ -32,6 +32,7 @@ type healthzPayload struct {
 //	GET /sessions/{id}/metrics.json   the session's registry as JSON
 //	GET /sessions/{id}/metrics        Prometheus text with a session label
 //	GET /sessions/{id}/healthz        the session's alert state
+//	GET /sessions/{id}/tracez         the session's loop-deadline traces
 //
 // and installs the resolver behind session-filtered /events?session=
 // streams. JSON routes share ServeJSON's contract (gzip when accepted,
@@ -81,6 +82,11 @@ func (t *Set) RegisterRoutes(srv *obs.Server) error {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.Header().Set("Cache-Control", "no-store")
 		_ = s.Registry().WriteTextLabeled(w, "session", s.ID())
+	}); err != nil {
+		return err
+	}
+	if err := handle("/sessions/{id}/tracez", func(s *Scope, w http.ResponseWriter, r *http.Request) {
+		s.Tracer().ServeTracez(w, r)
 	}); err != nil {
 		return err
 	}

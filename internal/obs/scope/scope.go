@@ -27,6 +27,7 @@ import (
 	"press/internal/obs/flight"
 	"press/internal/obs/health"
 	"press/internal/obs/prof"
+	"press/internal/obs/slo"
 	"press/internal/stats"
 )
 
@@ -58,6 +59,13 @@ type Config struct {
 	// costs are attributed to the session that spent them.
 	PhaseAccounting bool
 
+	// LoopTracing creates a per-session slo.Tracer scoring control-loop
+	// iterations against LoopDeadline (the session's coherence budget;
+	// 0 = trace without a deadline). A non-zero LoopDeadline implies
+	// LoopTracing.
+	LoopTracing  bool
+	LoopDeadline time.Duration
+
 	// Logger, when set, is shared into the scope (scopes do not own
 	// loggers; log records carry the session via their fields).
 	Logger *obs.Logger
@@ -74,6 +82,7 @@ type Scope struct {
 	mon *health.Monitor
 	fl  *flight.Recorder
 	pc  *prof.Collector
+	tr  *slo.Tracer
 	srv *obs.Server
 
 	// owned components were created by Open and are stopped by Close;
@@ -114,6 +123,13 @@ func New(id string, parent *obs.Registry, cfg Config) (*Scope, error) {
 	if cfg.PhaseAccounting {
 		s.pc = prof.NewCollector()
 	}
+	if cfg.LoopTracing || cfg.LoopDeadline > 0 {
+		s.tr = slo.NewTracer(s.reg, slo.Config{
+			Deadline: cfg.LoopDeadline,
+			Flight:   s.fl,
+			Health:   s.mon,
+		})
+	}
 	return s, nil
 }
 
@@ -136,14 +152,34 @@ func Adopt(id string, reg *obs.Registry, log *obs.Logger, mon *health.Monitor, f
 }
 
 // FromTelemetry adopts the full stack of a flag-built telemetry CLI
-// (the prof.CLI at the top of the embedding chain) as one scope,
-// including its live server when -telemetry-addr started one.
-func FromTelemetry(id string, t *prof.CLI) *Scope {
+// (the slo.CLI at the top of the embedding chain) as one scope,
+// including its live server when -telemetry-addr started one and its
+// loop tracer when loop tracing is on.
+func FromTelemetry(id string, t *slo.CLI) *Scope {
 	if t == nil {
 		return nil
 	}
 	return Adopt(id, t.Registry(), t.Logger(), t.Health(), t.Flight(), t.Prof()).
-		WithServer(t.Server())
+		WithServer(t.Server()).WithTracer(t.Tracer())
+}
+
+// WithTracer attaches a control-loop deadline tracer to the scope (the
+// adopted form; owned scopes get one via Config.LoopTracing). Returns
+// s; a no-op on a nil scope.
+func (s *Scope) WithTracer(t *slo.Tracer) *Scope {
+	if s != nil {
+		s.tr = t
+	}
+	return s
+}
+
+// Tracer returns the scope's control-loop deadline tracer (nil is valid
+// and disabled).
+func (s *Scope) Tracer() *slo.Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tr
 }
 
 // WithServer records the live telemetry server this scope's stack

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"press/internal/obs"
+	"press/internal/obs/obstest"
 )
 
 // TestSoakConcurrentSessions is the tentpole's proof obligation: ≥100
@@ -180,17 +181,17 @@ func TestSoakSSEFanOut(t *testing.T) {
 			defer resp.Body.Close()
 			buf := make([]byte, 2048)
 			var n int
-			deadline := time.Now().Add(2 * time.Second)
-			for n < 4096 && time.Now().Before(deadline) {
+			obstest.WaitUntil(t, 2*time.Second, func() bool {
 				m, err := resp.Body.Read(buf)
 				n += m
 				if err != nil {
 					if err != io.EOF {
 						t.Errorf("subscriber %d read: %v", i, err)
 					}
-					return
+					return true
 				}
-			}
+				return n >= 4096
+			})
 		}(i)
 	}
 	subWG.Wait()

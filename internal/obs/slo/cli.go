@@ -1,0 +1,78 @@
+package slo
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"press/internal/obs/prof"
+)
+
+// CLI extends prof.CLI with the control-loop deadline tracer: per-loop
+// span trees scored against a coherence deadline (-loop-deadline), the
+// tail-sampled /tracez endpoint, and KindLoop flight frames. Drop-in
+// replacement for prof.CLI:
+//
+//	var tele slo.CLI
+//	tele.Register(fs)
+//	// after fs.Parse:
+//	if err := tele.Start(os.Stderr); err != nil { ... }
+//	defer tele.Finish(os.Stdout)
+//
+// The tracer is handed to the loop driver by the caller (via
+// tele.Tracer()); a nil tracer keeps every hook a single pointer check.
+type CLI struct {
+	prof.CLI
+
+	// LoopTrace enables the loop tracer explicitly (it is implied by
+	// -flight-dir or -telemetry-addr, which give loop traces somewhere
+	// to go).
+	LoopTrace bool
+	// LoopDeadline is the coherence deadline each iteration is scored
+	// against. Zero means no deadline: loops are timed but never counted
+	// as misses. Derive a physical value with `pressctl budget`.
+	LoopDeadline time.Duration
+
+	tracer *Tracer
+}
+
+// Register installs the prof telemetry flags plus the slo flags.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	c.CLI.Register(fs)
+	fs.BoolVar(&c.LoopTrace, "loop-trace", false,
+		"trace control-loop iterations (span trees, deadline scoring, /tracez); implied by -flight-dir or -telemetry-addr")
+	fs.DurationVar(&c.LoopDeadline, "loop-deadline", 0,
+		"coherence deadline each control-loop iteration is scored against (0 = none; see `pressctl budget`)")
+}
+
+// Start brings up the prof/perf/flight/health/obs stack, then the loop
+// tracer and its /tracez route.
+func (c *CLI) Start(logw io.Writer) error {
+	if c.LoopDeadline < 0 {
+		return fmt.Errorf("slo: negative -loop-deadline %v", c.LoopDeadline)
+	}
+	if err := c.CLI.Start(logw); err != nil {
+		return err
+	}
+	if c.LoopTrace || c.Flight() != nil || c.Server() != nil {
+		c.tracer = NewTracer(c.Registry(), Config{
+			Deadline: c.LoopDeadline,
+			Flight:   c.Flight(),
+			Health:   c.Health(),
+		})
+		RegisterRoutes(c.Server(), c.tracer)
+	}
+	return nil
+}
+
+// Tracer returns the loop tracer, nil when tracing is off — callers
+// hand it to the loop driver unconditionally.
+func (c *CLI) Tracer() *Tracer { return c.tracer }
+
+// Finish tears down the telemetry stack.
+func (c *CLI) Finish(stdout io.Writer) error {
+	err := c.CLI.Finish(stdout)
+	c.tracer = nil
+	return err
+}

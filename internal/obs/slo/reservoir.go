@@ -1,0 +1,91 @@
+package slo
+
+import (
+	"sort"
+	"sync"
+)
+
+// Exemplar is one retained loop iteration: the tail-sampled span tree
+// /tracez serves.
+type Exemplar struct {
+	Name         string     `json:"name"`
+	TraceID      uint64     `json:"-"`
+	Seq          uint64     `json:"seq"`
+	StartUnixNs  int64      `json:"start_unix_ns"`
+	LatencyNs    int64      `json:"latency_ns"`
+	DeadlineNs   int64      `json:"deadline_ns,omitempty"`
+	Missed       bool       `json:"missed,omitempty"`
+	DroppedSpans int        `json:"dropped_spans,omitempty"`
+	Spans        []SpanNode `json:"spans"`
+}
+
+// reservoir is the bounded tail sampler: the N slowest loops seen
+// (linear min-replace — N is small) plus a ring of the most recent
+// deadline misses, so every miss class stays inspectable no matter how
+// many fast, healthy loops flow past.
+type reservoir struct {
+	mu       sync.Mutex
+	slowN    int
+	missN    int
+	slow     []*Exemplar
+	miss     []*Exemplar // ring, missNext is the next overwrite slot
+	missNext int
+}
+
+func (r *reservoir) init(slowN, missN int) {
+	if slowN <= 0 {
+		slowN = DefaultSlowN
+	}
+	if missN <= 0 {
+		missN = DefaultMissN
+	}
+	r.slowN, r.missN = slowN, missN
+}
+
+// offer takes ownership of ex (the loop is done; nothing mutates it).
+func (r *reservoir) offer(ex *Exemplar) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ex.Missed {
+		if len(r.miss) < r.missN {
+			r.miss = append(r.miss, ex)
+		} else {
+			r.miss[r.missNext] = ex
+			r.missNext = (r.missNext + 1) % r.missN
+		}
+	}
+	if len(r.slow) < r.slowN {
+		r.slow = append(r.slow, ex)
+		return
+	}
+	minIdx := 0
+	for i, s := range r.slow {
+		if s.LatencyNs < r.slow[minIdx].LatencyNs {
+			minIdx = i
+		}
+	}
+	if ex.LatencyNs > r.slow[minIdx].LatencyNs {
+		r.slow[minIdx] = ex
+	}
+}
+
+// slowest returns the retained slowest loops, slowest first.
+func (r *reservoir) slowest() []*Exemplar {
+	r.mu.Lock()
+	out := make([]*Exemplar, len(r.slow))
+	copy(out, r.slow)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].LatencyNs > out[j].LatencyNs })
+	return out
+}
+
+// misses returns the retained deadline misses, most recent first.
+func (r *reservoir) misses() []*Exemplar {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Exemplar, 0, len(r.miss))
+	for i := len(r.miss) - 1; i >= 0; i-- {
+		out = append(out, r.miss[(r.missNext+i)%len(r.miss)])
+	}
+	return out
+}

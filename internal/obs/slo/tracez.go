@@ -1,0 +1,120 @@
+package slo
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"press/internal/obs"
+)
+
+// ExemplarJSON is one retained loop in the /tracez document: an
+// Exemplar plus derived display fields.
+type ExemplarJSON struct {
+	*Exemplar
+	TraceID   string  `json:"trace_id"`
+	LatencyMs float64 `json:"latency_ms"`
+	SlackMs   float64 `json:"slack_ms,omitempty"`
+}
+
+func exemplarJSON(ex *Exemplar) ExemplarJSON {
+	j := ExemplarJSON{
+		Exemplar:  ex,
+		TraceID:   obs.FormatTraceID(ex.TraceID),
+		LatencyMs: float64(ex.LatencyNs) / 1e6,
+	}
+	if ex.DeadlineNs > 0 {
+		j.SlackMs = float64(ex.DeadlineNs-ex.LatencyNs) / 1e6
+	}
+	return j
+}
+
+// Report is the /tracez JSON document: loop/miss totals plus the
+// tail-sampled exemplar span trees.
+type Report struct {
+	UnixMs        int64          `json:"unix_ms"`
+	DeadlineMs    float64        `json:"deadline_ms,omitempty"`
+	Loops         uint64         `json:"loops"`
+	Misses        uint64         `json:"misses"`
+	MissRatio     float64        `json:"miss_ratio"`
+	Slowest       []ExemplarJSON `json:"slowest"`
+	MissExemplars []ExemplarJSON `json:"miss_exemplars"`
+}
+
+// Snapshot freezes the tracer into a Report. Safe on a nil tracer.
+func (t *Tracer) Snapshot() Report {
+	rep := Report{
+		UnixMs:        time.Now().UnixMilli(),
+		Slowest:       []ExemplarJSON{},
+		MissExemplars: []ExemplarJSON{},
+	}
+	if t == nil {
+		return rep
+	}
+	rep.DeadlineMs = float64(t.deadlineNs.Load()) / 1e6
+	rep.Loops = t.loops.Load()
+	rep.Misses = t.misses.Load()
+	if rep.Loops > 0 {
+		rep.MissRatio = float64(rep.Misses) / float64(rep.Loops)
+	}
+	for _, ex := range t.res.slowest() {
+		rep.Slowest = append(rep.Slowest, exemplarJSON(ex))
+	}
+	for _, ex := range t.res.misses() {
+		rep.MissExemplars = append(rep.MissExemplars, exemplarJSON(ex))
+	}
+	return rep
+}
+
+// ServeTracez handles one /tracez request: the JSON Report by default,
+// or the retained span trees as a Chrome trace-event file with
+// ?format=chrome (load into chrome://tracing or Perfetto). Safe on a
+// nil tracer (serves an empty report).
+func (t *Tracer) ServeTracez(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "chrome" {
+		tl := t.chromeTrace()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
+		_ = tl.WriteJSON(w)
+		return
+	}
+	obs.ServeJSON(w, r, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(t.Snapshot())
+	})
+}
+
+// chromeTrace rebuilds the retained exemplars into a TraceLog, reusing
+// its Chrome trace-event exporter. Misses come first so the worst loops
+// lead the timeline file.
+func (t *Tracer) chromeTrace() *obs.TraceLog {
+	var exs []*Exemplar
+	if t != nil {
+		exs = append(t.res.misses(), t.res.slowest()...)
+	}
+	n := 0
+	for _, ex := range exs {
+		n += len(ex.Spans)
+	}
+	tl := obs.NewTraceLogCap(n + 1)
+	seen := make(map[uint64]bool, len(exs))
+	for _, ex := range exs {
+		if seen[ex.TraceID] { // slowest may repeat a missed loop
+			continue
+		}
+		seen[ex.TraceID] = true
+		for _, sp := range ex.Spans {
+			tl.Record("loop/"+ex.Name, sp.Name, ex.TraceID,
+				time.Unix(0, sp.StartUnixNs), time.Duration(sp.DurNs), nil)
+		}
+	}
+	return tl
+}
+
+// RegisterRoutes installs the process-wide /tracez endpoint.
+func RegisterRoutes(srv *obs.Server, t *Tracer) {
+	if srv == nil {
+		return
+	}
+	srv.HandleFunc("/tracez", t.ServeTracez)
+}

@@ -3,7 +3,9 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -141,6 +143,67 @@ func TestSpanEndIdempotent(t *testing.T) {
 	snap := reg.Snapshot()
 	if snap.Spans["phase"].Count != 1 {
 		t.Errorf("span recorded %d times, want 1", snap.Spans["phase"].Count)
+	}
+}
+
+// TestTraceLogConcurrentRecordExport hammers Record from several
+// goroutines while WriteJSON and Spans read concurrently — the race
+// detector proves the mutex discipline (tracez snapshots export live
+// logs while control loops are still recording into them).
+func TestTraceLogConcurrentRecordExport(t *testing.T) {
+	tl := NewTraceLogCap(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tl.Record("track", "loop/phase", uint64(g*1000+i), time.Now(),
+					time.Microsecond, map[string]any{"g": g})
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := tl.WriteJSON(&buf); err != nil {
+			t.Errorf("WriteJSON during writes: %v", err)
+			break
+		}
+		var events []map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+			t.Errorf("concurrent export is not valid JSON: %v", err)
+			break
+		}
+		_ = tl.Spans()
+	}
+	wg.Wait()
+	if tl.Len() != 256 {
+		t.Errorf("len = %d, want full cap 256", tl.Len())
+	}
+	if tl.Dropped() != 4*500-256 {
+		t.Errorf("dropped = %d, want %d", tl.Dropped(), 4*500-256)
+	}
+}
+
+// TestFormatTraceIDRoundTrip checks the exported form parses back to the
+// same 8-byte ID (the contract joining /tracez exemplars, alert events,
+// and Chrome-trace args to control-plane frames).
+func TestFormatTraceIDRoundTrip(t *testing.T) {
+	if s := FormatTraceID(0); s != "" {
+		t.Errorf("FormatTraceID(0) = %q, want \"\" (no trace)", s)
+	}
+	for _, id := range []uint64{1, 0xabcd, 1<<64 - 1, NewTraceID()} {
+		s := FormatTraceID(id)
+		if len(s) != 18 || !strings.HasPrefix(s, "0x") {
+			t.Errorf("FormatTraceID(%d) = %q, want 0x + 16 hex digits", id, s)
+		}
+		back, err := strconv.ParseUint(s, 0, 64)
+		if err != nil {
+			t.Fatalf("FormatTraceID(%d) = %q does not parse: %v", id, s, err)
+		}
+		if back != id {
+			t.Errorf("round trip %d -> %q -> %d", id, s, back)
+		}
 	}
 }
 

@@ -58,6 +58,7 @@ import (
 	"press/internal/obs/health"
 	"press/internal/obs/prof"
 	"press/internal/obs/scope"
+	"press/internal/obs/slo"
 	"press/internal/ofdm"
 	"press/internal/propagation"
 	"press/internal/radio"
@@ -142,6 +143,11 @@ func ThermalNoiseWatts(bwHz, noiseFigureDB float64) float64 {
 // CoherenceTime returns the channel coherence time in seconds for a
 // maximum Doppler shift (Tc = 9/(16π·fd)).
 func CoherenceTime(dopplerHz float64) float64 { return rfphys.CoherenceTime(dopplerHz) }
+
+// DefaultCarrierHz is Wi-Fi channel 11 (2.462 GHz), the prototype's
+// carrier — the default frequency for the coherence-budget math in the
+// CLIs and examples.
+const DefaultCarrierHz = 2.462e9
 
 // Elements.
 type (
@@ -331,6 +337,13 @@ func CoherenceBudgetAtSpeed(speedMph, fcHz float64, timing Timing) int {
 	return control.CoherenceBudgetAtSpeed(speedMph, fcHz, timing)
 }
 
+// CoherenceTimeAtSpeed returns the channel coherence time — the per-loop
+// control deadline of §2 — for an endpoint speed in mph at carrier fcHz
+// (0 = effectively static, no deadline).
+func CoherenceTimeAtSpeed(speedMph, fcHz float64) time.Duration {
+	return control.CoherenceTimeAtSpeed(speedMph, fcHz)
+}
+
 // System orchestration.
 type (
 	// Space is a PRESS-instrumented smart space.
@@ -417,10 +430,21 @@ type (
 	// the channel-health layer (-alert-rules, -health-interval, /alerts,
 	// /health.json, /dashboard), the flight-recorder layer (-flight-dir,
 	// -flight-segment-mb, /runs), the performance-radar layer
-	// (-runtime-metrics-interval, -bench-baselines, /perfz), and the
+	// (-runtime-metrics-interval, -bench-baselines, /perfz), the
 	// cost-attribution layer (-phase-accounting, -profile-interval,
-	// /profz).
-	TelemetryCLI = prof.CLI
+	// /profz), and the control-loop deadline tracer (-loop-trace,
+	// -loop-deadline, /tracez).
+	TelemetryCLI = slo.CLI
+	// LoopTracer assembles per-iteration control-loop span trees, scores
+	// them against a coherence deadline, and tail-samples exemplars for
+	// /tracez. A nil tracer is the zero-cost disabled default.
+	LoopTracer = slo.Tracer
+	// LoopTracerConfig parameterizes NewLoopTracer.
+	LoopTracerConfig = slo.Config
+	// TracedLoop is one control-loop iteration under construction.
+	TracedLoop = slo.Loop
+	// LoopStats is a traced iteration's verdict: latency, slack, missed.
+	LoopStats = slo.Stats
 	// ProfCollector accumulates phase-scoped work accounting (wall time,
 	// calls, bytes, domain counters per named phase). A nil collector is
 	// the zero-cost disabled default.
@@ -545,6 +569,15 @@ func InstrumentSearcherProf(s Searcher, reg *Registry, log *Logger, h *HealthMon
 // chain. A nil (or fully disabled) scope returns s unchanged.
 func InstrumentSearcherScope(s Searcher, sc *TelemetryScope) Searcher {
 	return control.InstrumentScope(s, sc)
+}
+
+// NewLoopTracer builds a control-loop deadline tracer recording into
+// reg (nil = identity/reservoir bookkeeping only): per-iteration span
+// trees, coherence-deadline verdicts, slack histograms, and the
+// tail-sampling reservoir behind /tracez. A nil *LoopTracer is the
+// zero-cost disabled default every call site tolerates.
+func NewLoopTracer(reg *Registry, cfg LoopTracerConfig) *LoopTracer {
+	return slo.NewTracer(reg, cfg)
 }
 
 // NewTelemetryScope creates an owned session scope: a child registry
