@@ -1,0 +1,254 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"time"
+
+	"press/internal/obs/export"
+)
+
+// runCollect is the dev-loop telemetry receiver: the HTTP endpoint a
+// `-export-url` points at. It accepts POSTed batch payloads (NDJSON or
+// JSON array) on any path, prints one line per batch, accumulates
+// per-session counter totals, serves them back at GET /totals.json, and
+// prints a reconciliation summary on shutdown — enough to eyeball a
+// live run or assert end-to-end delivery in CI without a real
+// collector stack.
+func runCollect(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7020", "HTTP listen address for pushed batches")
+	outPath := fs.String("out", "", "also append every received payload to this NDJSON file")
+	quiet := fs.Bool("quiet", false, "suppress the per-batch lines (summary and /totals.json only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	col := newCollector(out, *quiet)
+	if *outPath != "" {
+		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		col.tee = f
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "collecting telemetry batches on http://%s (POST any path; GET /totals.json)\n", l.Addr())
+	srv := &http.Server{Handler: col}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	select {
+	case <-ctx.Done():
+		shctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shctx)
+		<-done
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			return err
+		}
+	}
+	col.summarize(out)
+	return nil
+}
+
+// collector accumulates pushed telemetry batches. ServeHTTP makes it
+// mountable under httptest in the e2e tests.
+type collector struct {
+	out   io.Writer
+	quiet bool
+	tee   io.Writer // optional raw payload copy
+
+	mu       sync.Mutex
+	payloads int64
+	batches  int64
+	rejected int64
+	sessions map[string]*sessionTotals
+}
+
+// sessionTotals is one session's accumulated state: summed counter and
+// histogram deltas (which must reconcile with the producer's registry
+// totals) plus the latest gauges and batch bookkeeping.
+type sessionTotals struct {
+	Batches    int64                `json:"batches"`
+	LastSeq    uint64               `json:"last_seq"`
+	LastUnixMs int64                `json:"last_unix_ms"`
+	Counters   map[string]int64     `json:"counters,omitempty"`
+	Gauges     map[string]float64   `json:"gauges,omitempty"`
+	Histograms map[string]histTotal `json:"histograms,omitempty"`
+	Spans      map[string]spanTotal `json:"spans,omitempty"`
+}
+
+type histTotal struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+}
+
+type spanTotal struct {
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+func newCollector(out io.Writer, quiet bool) *collector {
+	return &collector{out: out, quiet: quiet, sessions: map[string]*sessionTotals{}}
+}
+
+// ServeHTTP accepts POSTed batch payloads on any path and serves the
+// accumulated per-session totals at GET /totals.json.
+func (c *collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/totals.json":
+		c.serveTotals(w)
+	case r.Method == http.MethodPost:
+		c.ingest(w, r)
+	default:
+		http.Error(w, "pressctl collect: POST batches to any path, GET /totals.json", http.StatusNotFound)
+	}
+}
+
+func (c *collector) ingest(w http.ResponseWriter, r *http.Request) {
+	payload, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	batches, err := export.DecodeBatches(payload)
+	if err != nil {
+		c.mu.Lock()
+		c.rejected++
+		c.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if c.tee != nil && len(payload) > 0 {
+		c.mu.Lock()
+		c.tee.Write(payload)
+		if payload[len(payload)-1] != '\n' {
+			c.tee.Write([]byte{'\n'})
+		}
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	c.payloads++
+	c.batches += int64(len(batches))
+	lines := make([]string, 0, len(batches))
+	for _, b := range batches {
+		st := c.sessions[b.Session]
+		if st == nil {
+			st = &sessionTotals{}
+			c.sessions[b.Session] = st
+		}
+		st.Batches++
+		st.LastSeq = b.Seq
+		st.LastUnixMs = b.UnixMs
+		for name, d := range b.Counters {
+			if st.Counters == nil {
+				st.Counters = map[string]int64{}
+			}
+			st.Counters[name] += d
+		}
+		for name, v := range b.Gauges {
+			if st.Gauges == nil {
+				st.Gauges = map[string]float64{}
+			}
+			st.Gauges[name] = v
+		}
+		for name, h := range b.Histograms {
+			if st.Histograms == nil {
+				st.Histograms = map[string]histTotal{}
+			}
+			t := st.Histograms[name]
+			t.Count += h.Count
+			t.Sum += h.Sum
+			st.Histograms[name] = t
+		}
+		for name, s := range b.Spans {
+			if st.Spans == nil {
+				st.Spans = map[string]spanTotal{}
+			}
+			t := st.Spans[name]
+			t.Count += s.Count
+			t.TotalSeconds += s.TotalSeconds
+			st.Spans[name] = t
+		}
+		if !c.quiet {
+			session := b.Session
+			if session == "" {
+				session = "-"
+			}
+			lines = append(lines, fmt.Sprintf(
+				"batch seq=%d session=%s counters=%d gauges=%d histograms=%d spans=%d",
+				b.Seq, session, len(b.Counters), len(b.Gauges), len(b.Histograms), len(b.Spans)))
+		}
+	}
+	c.mu.Unlock()
+	for _, line := range lines {
+		fmt.Fprintln(c.out, line)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *collector) serveTotals(w http.ResponseWriter) {
+	c.mu.Lock()
+	doc := struct {
+		Payloads int64                     `json:"payloads"`
+		Batches  int64                     `json:"batches"`
+		Rejected int64                     `json:"rejected"`
+		Sessions map[string]*sessionTotals `json:"sessions"`
+	}{c.payloads, c.batches, c.rejected, c.sessions}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	c.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Write(data)
+}
+
+// summarize prints the end-of-run reconciliation view: per-session
+// batch and counter totals, sorted for stable output.
+func (c *collector) summarize(out io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(out, "received %d payloads, %d batches (%d rejected), %d sessions\n",
+		c.payloads, c.batches, c.rejected, len(c.sessions))
+	ids := make([]string, 0, len(c.sessions))
+	for id := range c.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		st := c.sessions[id]
+		name := id
+		if name == "" {
+			name = "-"
+		}
+		fmt.Fprintf(out, "session %s: %d batches, last seq %d\n", name, st.Batches, st.LastSeq)
+		counters := make([]string, 0, len(st.Counters))
+		for cn := range st.Counters {
+			counters = append(counters, cn)
+		}
+		sort.Strings(counters)
+		for _, cn := range counters {
+			fmt.Fprintf(out, "  %s %d\n", cn, st.Counters[cn])
+		}
+	}
+}

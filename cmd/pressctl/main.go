@@ -15,6 +15,7 @@
 //	pressctl rundiff runs/A runs/B   # KPI deltas between two run logs
 //	pressctl hotspots runs/RUNID     # phase-cost breakdown of a run log
 //	pressctl loops runs/RUNID        # control-loop deadline profile of a run log
+//	pressctl collect -listen :7020   # receive pushed telemetry batches (-export-url target)
 package main
 
 import (
@@ -60,7 +61,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: pressctl demo|agent|ping|replay|rundiff|hotspots|loops [flags]")
+		return errors.New("usage: pressctl demo|agent|ping|replay|rundiff|hotspots|loops|collect [flags]")
 	}
 	switch args[0] {
 	case "demo":
@@ -77,8 +78,10 @@ func run(args []string) error {
 		return runHotspots(args[1:], os.Stdout)
 	case "loops":
 		return runLoops(args[1:], os.Stdout)
+	case "collect":
+		return runCollect(args[1:], os.Stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want demo|agent|ping|replay|rundiff|hotspots|loops)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want demo|agent|ping|replay|rundiff|hotspots|loops|collect)", args[0])
 	}
 }
 

@@ -24,9 +24,9 @@ import (
 
 	"press/internal/experiments"
 	"press/internal/obs"
+	"press/internal/obs/export"
 	"press/internal/obs/flight"
 	"press/internal/obs/scope"
-	"press/internal/obs/slo"
 )
 
 func main() {
@@ -50,7 +50,7 @@ type options struct {
 	slowPhase  time.Duration
 	csvDir     string
 	recordPath string
-	tele       slo.CLI
+	tele       export.CLI
 }
 
 // spec captures the invocation as a replayable RunSpec — the exact
@@ -94,7 +94,13 @@ func run(args []string, out io.Writer) error {
 	}
 	// The whole invocation is one telemetry session: adopt the flag-built
 	// process stack as the ambient scope (teardown stays with tele.Finish).
-	experiments.SetScope(scope.FromTelemetry("", &opt.tele))
+	// The experiment name doubles as the session label on exported batches
+	// ("" for multi-experiment runs: those stay process-labeled).
+	sessionID := ""
+	if len(strings.Split(opt.exp, ",")) == 1 && opt.exp != "all" {
+		sessionID = opt.exp
+	}
+	experiments.SetScope(scope.FromTelemetry(sessionID, &opt.tele))
 	defer experiments.SetScope(nil)
 	if rec := opt.tele.Flight(); rec != nil {
 		man := flight.NewManifest("pressim", opt.exp, opt.seed)

@@ -198,6 +198,9 @@ func RunConcurrent(o ConcurrentOptions) (*ConcurrentResult, error) {
 		// error is the expected steady state, not a fault.
 		_ = set.RegisterRoutes(srv)
 	}
+	// With -export-url set, each room's registry ships as its own
+	// session-labeled batch stream for as long as the room lives.
+	set.AttachExporter(CurrentScope().Exporter())
 
 	results := make([]SessionResult, o.Sessions)
 	perScope := make([]int64, o.Sessions)

@@ -47,6 +47,12 @@ type CLI struct {
 	LogLevel string
 	// CPUProfile and MemProfile are pprof output paths.
 	CPUProfile, MemProfile string
+	// ForceRegistry makes Start create a live registry even when no
+	// exposition flag (-telemetry, -telemetry-addr, -trace) asks for
+	// one. Outer CLI layers whose feature needs metrics to exist — the
+	// export pipeline, whose whole job is shipping the registry — set
+	// this before chaining into Start.
+	ForceRegistry bool
 
 	reg      *Registry
 	logger   *Logger
@@ -93,7 +99,7 @@ func (c *CLI) Start(logw io.Writer) error {
 	if level < LevelOff {
 		c.logger = NewLogger(logw, level, Logfmt)
 	}
-	if c.Telemetry != "" || c.TelemetryAddr != "" || c.Trace != "" {
+	if c.Telemetry != "" || c.TelemetryAddr != "" || c.Trace != "" || c.ForceRegistry {
 		c.reg = NewRegistry()
 	}
 	if c.Trace != "" {
@@ -193,6 +199,7 @@ func (c *CLI) Finish(stdout io.Writer) error {
 		}
 	}
 	if c.Trace != "" && c.tracelog != nil {
+		c.tracelog.Stop() // freeze the buffer before exporting it
 		f, err := os.Create(c.Trace)
 		if err != nil {
 			return err

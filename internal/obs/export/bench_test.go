@@ -1,0 +1,68 @@
+package export
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"press/internal/obs"
+)
+
+// discardSink accepts everything instantly — isolates collection cost
+// from transport.
+type discardSink struct{}
+
+func (discardSink) Send(ctx context.Context, payload []byte) error { return nil }
+func (discardSink) String() string                                 { return "discard://" }
+func (discardSink) Close() error                                   { return nil }
+
+// BenchmarkNilExporterCollect is the disabled convention: every export
+// hook on a nil *Exporter must cost a pointer check and nothing else
+// (0 allocs/op, gate-enforced) — the proof that a binary run without
+// -export-url pays nothing for the pipeline's existence.
+func BenchmarkNilExporterCollect(b *testing.B) {
+	var e *Exporter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.CollectNow()
+		e.SetRootSession("demo")
+	}
+}
+
+// BenchmarkExporterCollect is the enabled reference cost of one
+// collection over a registry with a representative metric population:
+// snapshot, diff against the baseline, enqueue.
+func BenchmarkExporterCollect(b *testing.B) {
+	reg := obs.NewRegistry()
+	for i := 0; i < 8; i++ {
+		reg.Counter(obs.SanitizeMetricName("bench_counter_" + string(rune('a'+i)))).Inc()
+	}
+	reg.Gauge("bench_gauge").Set(1)
+	reg.Histogram("bench_hist_seconds", obs.LatencyBuckets).Observe(0.01)
+	e := New(reg, discardSink{}, Options{Interval: time.Hour, QueueCap: 1024})
+	e.Start()
+	defer e.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.CollectNow()
+	}
+}
+
+// BenchmarkEncodeBatchNDJSON is the shipper-side encoding cost of one
+// typical batch.
+func BenchmarkEncodeBatchNDJSON(b *testing.B) {
+	batch := []Batch{{
+		Schema: 1, Seq: 42, Session: "demo", UnixMs: 1700000000000,
+		Counters:   map[string]int64{"search_evaluations_total": 12, "obs_export_batches_sent_total": 3},
+		Gauges:     map[string]float64{"health_min_snr_db": 17.5, "obs_export_queue_depth": 1},
+		Histograms: map[string]HistDelta{"radio_channel_solve_seconds": {Count: 12, Sum: 0.06}},
+		Spans:      map[string]SpanDelta{"exp/demo": {Count: 1, TotalSeconds: 1.2}},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeBatches(FormatNDJSON, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package export
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"press/internal/obs/slo"
+)
+
+// CLI extends slo.CLI with the push-export pipeline: -export-url,
+// -export-interval, and -export-format bring up an Exporter shipping
+// registry deltas to an HTTP or file sink, with /exportz on the live
+// server and flush-on-shutdown in Finish. Drop-in replacement for
+// slo.CLI — this is the top of the telemetry CLI chain:
+//
+//	var tele export.CLI
+//	tele.Register(fs)
+//	// after fs.Parse:
+//	if err := tele.Start(os.Stderr); err != nil { ... }
+//	defer tele.Finish(os.Stdout)
+//
+// Without -export-url the exporter is nil and every hook below stays a
+// pointer check.
+type CLI struct {
+	slo.CLI
+
+	// ExportURL is the sink destination: http(s):// for a collector
+	// endpoint (e.g. `pressctl collect`), anything else for an NDJSON
+	// append file. Empty disables the export pipeline.
+	ExportURL string
+	// ExportInterval is the collection cadence (0 = DefaultInterval).
+	ExportInterval time.Duration
+	// ExportFormat is the payload encoding: ndjson (default) or json.
+	ExportFormat string
+
+	exporter *Exporter
+}
+
+// Register installs the slo telemetry flags plus the export flags.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	c.CLI.Register(fs)
+	fs.StringVar(&c.ExportURL, "export-url", "",
+		"push telemetry batches to this sink (http(s)://collector, or a file path for NDJSON append)")
+	fs.DurationVar(&c.ExportInterval, "export-interval", 0,
+		"telemetry export collection cadence (default 1s)")
+	fs.StringVar(&c.ExportFormat, "export-format", "",
+		"telemetry export payload format: ndjson|json (default ndjson)")
+}
+
+// Start brings up the slo/prof/perf/flight/health/obs stack, then the
+// export pipeline when -export-url is set. The exporter forces a live
+// registry into existence — pushing telemetry is meaningless without
+// one — so -export-url alone is enough, no -telemetry required.
+func (c *CLI) Start(logw io.Writer) error {
+	if !ValidFormat(c.ExportFormat) {
+		return fmt.Errorf("export: unknown -export-format %q (want ndjson|json)", c.ExportFormat)
+	}
+	if c.ExportInterval < 0 {
+		return fmt.Errorf("export: negative -export-interval %v", c.ExportInterval)
+	}
+	if c.ExportURL != "" {
+		c.ForceRegistry = true
+	}
+	if err := c.CLI.Start(logw); err != nil {
+		return err
+	}
+	if c.ExportURL == "" {
+		return nil
+	}
+	sink, err := NewSink(c.ExportURL, c.ExportFormat)
+	if err != nil {
+		return err
+	}
+	c.exporter = New(c.Registry(), sink, Options{
+		Interval: c.ExportInterval,
+		Format:   c.ExportFormat,
+		Monitor:  c.Health(),
+	})
+	RegisterRoutes(c.Server(), c.exporter)
+	c.exporter.Start()
+	if logger := c.Logger(); logger != nil {
+		logger.Info("telemetry export started", "sink", sink.String())
+	}
+	return nil
+}
+
+// Exporter returns the push pipeline, nil when -export-url was not
+// given — callers hand it to the scope layer unconditionally.
+func (c *CLI) Exporter() *Exporter { return c.exporter }
+
+// Finish flushes and stops the exporter, then tears down the telemetry
+// stack. Export flush errors never mask the stack's own teardown error.
+func (c *CLI) Finish(stdout io.Writer) error {
+	expErr := c.exporter.Stop()
+	c.exporter = nil
+	if err := c.CLI.Finish(stdout); err != nil {
+		return err
+	}
+	return expErr
+}

@@ -1,0 +1,90 @@
+package export
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Payload formats: NDJSON ships one batch per line (streamable, append
+// friendly — the default); JSON ships one array per send (for
+// collectors that want a single document).
+const (
+	FormatNDJSON = "ndjson"
+	FormatJSON   = "json"
+)
+
+// ValidFormat reports whether f names a supported payload format.
+func ValidFormat(f string) bool {
+	return f == "" || f == FormatNDJSON || f == FormatJSON
+}
+
+// EncodeBatches renders batches in the given format ("" = NDJSON).
+func EncodeBatches(format string, batches []Batch) ([]byte, error) {
+	if format == FormatJSON {
+		if batches == nil {
+			batches = []Batch{} // "[]", not "null"
+		}
+		return json.Marshal(batches)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, b := range batches {
+		if err := enc.Encode(b); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// maxBatchLine bounds one NDJSON line — far beyond any real batch, but
+// a hard ceiling so a malformed payload cannot balloon the decoder.
+const maxBatchLine = 8 << 20
+
+// DecodeBatches parses a payload in either wire format, sniffing by
+// first non-space byte: '[' is a JSON array, anything else is NDJSON.
+// Blank lines are skipped; an unknown schema version or malformed line
+// fails the whole payload (collectors must not half-apply a send).
+func DecodeBatches(payload []byte) ([]Batch, error) {
+	trimmed := bytes.TrimLeft(payload, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, nil
+	}
+	var batches []Batch
+	if trimmed[0] == '[' {
+		dec := json.NewDecoder(bytes.NewReader(trimmed))
+		if err := dec.Decode(&batches); err != nil {
+			return nil, fmt.Errorf("export: bad JSON batch array: %w", err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("export: trailing data after JSON batch array")
+		}
+	} else {
+		sc := bufio.NewScanner(bytes.NewReader(payload))
+		sc.Buffer(make([]byte, 0, 64<<10), maxBatchLine)
+		line := 0
+		for sc.Scan() {
+			line++
+			raw := bytes.TrimSpace(sc.Bytes())
+			if len(raw) == 0 {
+				continue
+			}
+			var b Batch
+			if err := json.Unmarshal(raw, &b); err != nil {
+				return nil, fmt.Errorf("export: bad NDJSON batch on line %d: %w", line, err)
+			}
+			batches = append(batches, b)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("export: reading NDJSON payload: %w", err)
+		}
+	}
+	for i := range batches {
+		if batches[i].Schema != BatchSchema {
+			return nil, fmt.Errorf("export: batch %d has schema %d (want %d)",
+				i, batches[i].Schema, BatchSchema)
+		}
+	}
+	return batches, nil
+}

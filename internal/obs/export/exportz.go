@@ -1,0 +1,27 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"press/internal/obs"
+)
+
+// RegisterRoutes wires the exporter's introspection endpoint onto the
+// live telemetry server: GET /exportz returns the pipeline State as
+// JSON, and /healthz grows the exporter's one-line status. Either
+// argument may be nil.
+func RegisterRoutes(srv *obs.Server, e *Exporter) {
+	if srv == nil || e == nil {
+		return
+	}
+	srv.HandleFunc("/exportz", func(w http.ResponseWriter, r *http.Request) {
+		obs.ServeJSON(w, r, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(e.State())
+		})
+	})
+	srv.AddHealthz(e.HealthzLine)
+}

@@ -1,0 +1,97 @@
+package export
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeBatches throws arbitrary bytes at the batch decoder — the
+// surface a collector exposes to the network. The decoder must never
+// panic, and everything it does accept must re-encode and decode to the
+// same batch count (the collector's idempotent-ingest property).
+func FuzzDecodeBatches(f *testing.F) {
+	seedBatches := []Batch{
+		{Schema: 1, Seq: 3, Session: "demo", UnixMs: 1700000000000,
+			Counters:   map[string]int64{"work_total": 5},
+			Gauges:     map[string]float64{"temp_c": 21.5},
+			Histograms: map[string]HistDelta{"lat": {Count: 2, Sum: 0.4}},
+			Spans:      map[string]SpanDelta{"solve": {Count: 1, TotalSeconds: 0.01}}},
+	}
+	for _, format := range []string{FormatNDJSON, FormatJSON} {
+		if data, err := EncodeBatches(format, seedBatches); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"schema":1}`))
+	f.Add([]byte(`[{"schema":1},{"schema":1,"counters":{"a":-1}}]`))
+	f.Add([]byte("\n\n \t\n"))
+	f.Add([]byte(`{"schema":2}`))
+	f.Add([]byte(`[{"schema":1}] trailing`))
+	f.Add([]byte(`{"schema":1,"gauges":{"g":1e308}}`))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		batches, err := DecodeBatches(payload)
+		if err != nil {
+			return
+		}
+		for _, b := range batches {
+			if b.Schema != BatchSchema {
+				t.Fatalf("accepted schema %d", b.Schema)
+			}
+		}
+		// Round-trip: what we accepted must survive re-encoding in both
+		// formats with the batch count intact.
+		for _, format := range []string{FormatNDJSON, FormatJSON} {
+			data, err := EncodeBatches(format, batches)
+			if err != nil {
+				t.Fatalf("re-encoding accepted batches as %s: %v", format, err)
+			}
+			again, err := DecodeBatches(data)
+			if err != nil {
+				// NaN/Inf gauges cannot re-encode as JSON; EncodeBatches
+				// surfaces that, it does not corrupt. Anything else is a bug.
+				t.Fatalf("re-decoding %s round trip: %v", format, err)
+			}
+			if len(again) != len(batches) {
+				t.Fatalf("%s round trip: %d batches became %d", format, len(batches), len(again))
+			}
+		}
+	})
+}
+
+// FuzzDecodeBatchesNoCrossFormatConfusion ensures a payload that decodes
+// under both sniffing branches yields consistent totals.
+func FuzzDecodeBatchesNoCrossFormatConfusion(f *testing.F) {
+	f.Add([]byte(`[{"schema":1,"counters":{"a":1}}]`))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		batches, err := DecodeBatches(payload)
+		if err != nil || len(batches) == 0 {
+			return
+		}
+		if bytes.TrimLeft(payload, " \t\r\n")[0] == '[' {
+			// Array form: NDJSON re-encode must not change counter sums.
+			var before, after int64
+			for _, b := range batches {
+				for _, d := range b.Counters {
+					before += d
+				}
+			}
+			data, err := EncodeBatches(FormatNDJSON, batches)
+			if err != nil {
+				return // non-finite floats cannot re-encode; fine
+			}
+			again, err := DecodeBatches(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range again {
+				for _, d := range b.Counters {
+					after += d
+				}
+			}
+			if before != after {
+				t.Fatalf("counter sum changed across formats: %d != %d", before, after)
+			}
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package export
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sink is one export destination. Send ships one encoded payload (a set
+// of batches in the exporter's configured format) and returns nil only
+// when the collector durably accepted it; any error triggers the
+// exporter's retry path. Implementations must be safe for the single
+// shipper goroutine plus a concurrent Close.
+type Sink interface {
+	Send(ctx context.Context, payload []byte) error
+	// String names the destination for /exportz and error messages.
+	String() string
+	Close() error
+}
+
+// NewSink builds a sink from a -export-url value: "http://" or
+// "https://" URLs get an HTTPSink POSTing each payload; anything else
+// (including "file://" prefixed paths) is an append-mode FileSink.
+func NewSink(url, format string) (Sink, error) {
+	switch {
+	case url == "":
+		return nil, fmt.Errorf("export: empty sink URL")
+	case strings.HasPrefix(url, "http://") || strings.HasPrefix(url, "https://"):
+		return NewHTTPSink(url, format), nil
+	default:
+		return NewFileSink(strings.TrimPrefix(url, "file://"))
+	}
+}
+
+// HTTPSink POSTs payloads to a collector endpoint — the remote-write
+// shape: the body is the encoded batch set, the content type names the
+// format, and any non-2xx status is a failed send.
+type HTTPSink struct {
+	url    string
+	ctype  string
+	client *http.Client
+}
+
+// NewHTTPSink builds an HTTP sink for url with the given payload
+// format ("ndjson" or "json").
+func NewHTTPSink(url, format string) *HTTPSink {
+	ctype := "application/x-ndjson"
+	if format == FormatJSON {
+		ctype = "application/json"
+	}
+	return &HTTPSink{
+		url:   url,
+		ctype: ctype,
+		// The exporter bounds each attempt with a context; this client
+		// timeout is the backstop against a sink that accepts the
+		// connection and then stalls forever.
+		client: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// Send POSTs one payload. Non-2xx responses are errors so the exporter
+// retries them like connection failures.
+func (s *HTTPSink) Send(ctx context.Context, payload []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", s.ctype)
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return err
+	}
+	// Drain so the connection is reusable, but cap it: an adversarial
+	// collector must not hold the shipper hostage with an endless body.
+	io.CopyN(io.Discard, resp.Body, 1<<16)
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("export: %s returned %s", s.url, resp.Status)
+	}
+	return nil
+}
+
+// String names the endpoint.
+func (s *HTTPSink) String() string { return s.url }
+
+// Close releases idle connections.
+func (s *HTTPSink) Close() error {
+	s.client.CloseIdleConnections()
+	return nil
+}
+
+// FileSink appends NDJSON payloads to a local file — the offline sink
+// for air-gapped runs and tests: batches land one per line regardless
+// of the exporter's format, ready for DecodeBatches or `jq`.
+type FileSink struct {
+	path string
+	mu   sync.Mutex
+	f    *os.File
+}
+
+// NewFileSink opens (creating or appending) the file at path.
+func NewFileSink(path string) (*FileSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSink{path: path, f: f}, nil
+}
+
+// Send appends the payload (with a trailing newline when missing).
+func (s *FileSink) Send(ctx context.Context, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("export: file sink %s is closed", s.path)
+	}
+	if _, err := s.f.Write(payload); err != nil {
+		return err
+	}
+	if len(payload) > 0 && payload[len(payload)-1] != '\n' {
+		if _, err := s.f.Write([]byte{'\n'}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String names the file.
+func (s *FileSink) String() string { return "file://" + s.path }
+
+// Close syncs and closes the file. Further Sends fail.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

@@ -64,8 +64,8 @@ func TestCLIRulesWithoutServer(t *testing.T) {
 	}
 	mon.ObserveSNR(snrWithNull(16, 4, 30))
 	mon.Sample()
-	if got := len(mon.Alerts().Rules); got != 5 {
-		t.Errorf("monitor runs %d rules, want 5 defaults", got)
+	if got := len(mon.Alerts().Rules); got != 6 {
+		t.Errorf("monitor runs %d rules, want 6 defaults", got)
 	}
 }
 
@@ -87,7 +87,7 @@ func TestCLIServedEndpoints(t *testing.T) {
 
 	var alerts AlertsSnapshot
 	getJSON(t, base+"/alerts", &alerts)
-	if len(alerts.Rules) != 5 {
+	if len(alerts.Rules) != 6 {
 		t.Errorf("/alerts serves %d rules", len(alerts.Rules))
 	}
 	var snap Snapshot

@@ -84,3 +84,15 @@ func (l *Lifecycle) Stopping() <-chan struct{} {
 	l.init()
 	return l.stop
 }
+
+// Stopped reports whether Stop has been called — the polling form of
+// Stopping, for hot paths that gate one operation rather than a loop.
+func (l *Lifecycle) Stopped() bool {
+	l.init()
+	select {
+	case <-l.stop:
+		return true
+	default:
+		return false
+	}
+}

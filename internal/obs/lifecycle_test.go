@@ -65,6 +65,21 @@ func TestLifecycleStopWithoutStart(t *testing.T) {
 	}
 }
 
+func TestLifecycleStopped(t *testing.T) {
+	var l Lifecycle
+	if l.Stopped() {
+		t.Error("fresh Lifecycle reports Stopped")
+	}
+	l.Start(nil, nil)
+	if l.Stopped() {
+		t.Error("started Lifecycle reports Stopped")
+	}
+	l.Stop()
+	if !l.Stopped() {
+		t.Error("Stopped false after Stop")
+	}
+}
+
 func TestLifecycleStartAfterStop(t *testing.T) {
 	var l Lifecycle
 	l.Stop()

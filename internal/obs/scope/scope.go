@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"press/internal/obs"
+	"press/internal/obs/export"
 	"press/internal/obs/flight"
 	"press/internal/obs/health"
 	"press/internal/obs/prof"
@@ -84,6 +85,7 @@ type Scope struct {
 	pc  *prof.Collector
 	tr  *slo.Tracer
 	srv *obs.Server
+	exp *export.Exporter
 
 	// owned components were created by Open and are stopped by Close;
 	// adopted ones (Adopt) belong to a CLI that will stop them itself.
@@ -152,15 +154,21 @@ func Adopt(id string, reg *obs.Registry, log *obs.Logger, mon *health.Monitor, f
 }
 
 // FromTelemetry adopts the full stack of a flag-built telemetry CLI
-// (the slo.CLI at the top of the embedding chain) as one scope,
-// including its live server when -telemetry-addr started one and its
-// loop tracer when loop tracing is on.
-func FromTelemetry(id string, t *slo.CLI) *Scope {
+// (the export.CLI at the top of the embedding chain) as one scope,
+// including its live server when -telemetry-addr started one, its loop
+// tracer when loop tracing is on, and its push exporter when
+// -export-url is set. A non-empty id also becomes the session label on
+// the exporter's root batches, so a single-session CLI run ships
+// batches stamped with its experiment name.
+func FromTelemetry(id string, t *export.CLI) *Scope {
 	if t == nil {
 		return nil
 	}
+	if id != "" {
+		t.Exporter().SetRootSession(id)
+	}
 	return Adopt(id, t.Registry(), t.Logger(), t.Health(), t.Flight(), t.Prof()).
-		WithServer(t.Server()).WithTracer(t.Tracer())
+		WithServer(t.Server()).WithTracer(t.Tracer()).WithExporter(t.Exporter())
 }
 
 // WithTracer attaches a control-loop deadline tracer to the scope (the
@@ -180,6 +188,25 @@ func (s *Scope) Tracer() *slo.Tracer {
 		return nil
 	}
 	return s.tr
+}
+
+// WithExporter attaches the process push exporter to the scope, so
+// harnesses holding the scope can feed it per-session registries
+// (Set.AttachExporter). Returns s; a no-op on a nil scope.
+func (s *Scope) WithExporter(e *export.Exporter) *Scope {
+	if s != nil {
+		s.exp = e
+	}
+	return s
+}
+
+// Exporter returns the push exporter behind the scope's stack, or nil
+// when exporting is off (or on a nil scope).
+func (s *Scope) Exporter() *export.Exporter {
+	if s == nil {
+		return nil
+	}
+	return s.exp
 }
 
 // WithServer records the live telemetry server this scope's stack
@@ -311,8 +338,9 @@ func (s *Scope) RecordManifest(m *flight.Manifest) {
 	s.fl.RecordManifest(m)
 }
 
-// Close stops and releases the owned components (recorder, monitor,
-// flight log). Adopted components are left running for their owner.
+// Close stops and releases the owned components — recorder, monitor,
+// loop tracer, flight log — through their uniform obs.Lifecycle-backed
+// Stop contract. Adopted components are left running for their owner.
 // Idempotent; safe on a nil scope.
 func (s *Scope) Close() error {
 	if s == nil {
@@ -325,9 +353,8 @@ func (s *Scope) Close() error {
 		if s.rec != nil {
 			s.rec.Stop()
 		}
-		if s.mon != nil {
-			s.mon.Stop()
-		}
+		s.mon.Stop()
+		s.tr.Stop()
 		if s.fl != nil {
 			s.closeErr = s.fl.Close()
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"press/internal/obs"
+	"press/internal/obs/export"
 )
 
 // DefaultMaxScopes bounds the number of live scopes (hence the
@@ -36,6 +37,7 @@ type Set struct {
 	mu     sync.Mutex
 	seq    uint64
 	scopes map[string]*entry
+	exp    *export.Exporter
 }
 
 type entry struct {
@@ -73,6 +75,43 @@ func (t *Set) AttachServer(srv *obs.Server) {
 	t.mu.Lock()
 	t.srv = srv
 	t.mu.Unlock()
+}
+
+// AttachExporter feeds the set's live scopes to a push exporter: each
+// export collection enumerates them via ForEachRegistry and ships one
+// session-labeled delta batch per scope. Remove and Close force a final
+// collection first, so a session's telemetry tail is captured before
+// its registry goes away. A nil set or exporter is a no-op.
+func (t *Set) AttachExporter(e *export.Exporter) {
+	if t == nil || e == nil {
+		return
+	}
+	t.mu.Lock()
+	t.exp = e
+	t.mu.Unlock()
+	e.SetSessions(t.ForEachRegistry)
+}
+
+// ForEachRegistry calls emit once per live scope with its session ID
+// and registry, in no particular order — the export.SessionSource shape.
+// LRU order is not affected.
+func (t *Set) ForEachRegistry(emit func(id string, reg *obs.Registry)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	type item struct {
+		id  string
+		reg *obs.Registry
+	}
+	items := make([]item, 0, len(t.scopes))
+	for id, e := range t.scopes {
+		items = append(items, item{id, e.scope.reg})
+	}
+	t.mu.Unlock()
+	for _, it := range items {
+		emit(it.id, it.reg)
+	}
 }
 
 // Cap returns the scope cap.
@@ -175,6 +214,13 @@ func (t *Set) Remove(id string) error {
 		return nil
 	}
 	t.mu.Lock()
+	exp := t.exp
+	t.mu.Unlock()
+	// Capture the departing session's telemetry tail while its registry
+	// is still enumerable (CollectNow re-enters ForEachRegistry, so it
+	// must run outside t.mu).
+	exp.CollectNow()
+	t.mu.Lock()
 	e := t.scopes[id]
 	delete(t.scopes, id)
 	t.active.Set(float64(len(t.scopes)))
@@ -228,11 +274,18 @@ func (t *Set) List() []Info {
 	return out
 }
 
-// Close closes every scope and empties the set.
+// Close closes every scope and empties the set, after giving an
+// attached exporter one last collection over the departing sessions.
 func (t *Set) Close() error {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	exp := t.exp
+	t.exp = nil
+	t.mu.Unlock()
+	exp.CollectNow()
+	exp.SetSessions(nil)
 	t.mu.Lock()
 	scopes := t.scopes
 	t.scopes = map[string]*entry{}

@@ -57,6 +57,12 @@ type Server struct {
 	// the hook behind session-filtered /events streams (the scope layer
 	// installs it without obs depending on scope).
 	sessions atomic.Pointer[SessionResolver]
+
+	// healthMu guards healthFns: status lines higher layers append to
+	// the /healthz body (the export pipeline reports its queue and
+	// last-success age there) without obs depending on them.
+	healthMu  sync.Mutex
+	healthFns []func() string
 }
 
 // SessionResolver maps a session ID to that session's sample recorder
@@ -89,6 +95,14 @@ func NewServer(reg *Registry, rec *Recorder) *Server {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		b := ReadBuild()
 		fmt.Fprintf(w, "ok\ngo %s\nrev %s\n", b.GoVersion, b.ShortRevision())
+		s.healthMu.Lock()
+		fns := append([]func() string(nil), s.healthFns...)
+		s.healthMu.Unlock()
+		for _, fn := range fns {
+			if line := fn(); line != "" {
+				fmt.Fprintln(w, line)
+			}
+		}
 	})
 	s.HandleFunc("/buildz", func(w http.ResponseWriter, r *http.Request) {
 		ServeJSON(w, r, func(out io.Writer) error {
@@ -145,6 +159,21 @@ func (s *Server) TryHandle(pattern string, handler http.HandlerFunc) error {
 	s.patterns[pattern] = struct{}{}
 	s.mux.HandleFunc(pattern, handler)
 	return nil
+}
+
+// AddHealthz appends a status-line producer to the /healthz body: each
+// probe calls fn and writes its (non-empty) return value as one line
+// after the build provenance. The hook higher layers (internal/obs/
+// export) use to surface liveness-adjacent state — queue depth, drop
+// counters, collector reachability — on the endpoint ops already poll.
+// Safe for concurrent use; a nil server ignores the call.
+func (s *Server) AddHealthz(fn func() string) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.healthMu.Lock()
+	s.healthFns = append(s.healthFns, fn)
+	s.healthMu.Unlock()
 }
 
 // SetSessionResolver installs the session-ID → recorder lookup behind

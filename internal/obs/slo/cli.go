@@ -70,8 +70,10 @@ func (c *CLI) Start(logw io.Writer) error {
 // hand it to the loop driver unconditionally.
 func (c *CLI) Tracer() *Tracer { return c.tracer }
 
-// Finish tears down the telemetry stack.
+// Finish freezes the loop tracer's reservoir, then tears down the
+// telemetry stack.
 func (c *CLI) Finish(stdout io.Writer) error {
+	c.tracer.Stop()
 	err := c.CLI.Finish(stdout)
 	c.tracer = nil
 	return err

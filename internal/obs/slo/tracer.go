@@ -79,6 +79,14 @@ type Tracer struct {
 
 	res reservoir
 
+	// life is the shared obs.Lifecycle: the tracer collects from
+	// construction, and Stop freezes the tail-sampling reservoir so a
+	// teardown path (scope.Scope.Close, slo.CLI.Finish) can quiesce it
+	// with the same idempotent contract every other obs component has.
+	// Metrics and flight frames keep flowing after Stop — they belong
+	// to the registry/recorder lifecycles, not the reservoir's.
+	life obs.Lifecycle
+
 	phaseMu    sync.Mutex
 	phaseHists map[string]*obs.Histogram
 }
@@ -98,7 +106,19 @@ func NewTracer(reg *obs.Registry, cfg Config) *Tracer {
 	}
 	t.deadlineNs.Store(int64(cfg.Deadline))
 	t.res.init(cfg.SlowN, cfg.MissN)
+	t.life.Start(nil, nil) // sampling from birth; Stop freezes the reservoir
 	return t
+}
+
+// Stop freezes the tail-sampling reservoir: loops ending afterwards
+// still score against the registry, flight log, and health monitor, but
+// no longer replace retained exemplars, so /tracez readers during
+// teardown see a quiescent set. Idempotent; safe on a nil tracer.
+func (t *Tracer) Stop() {
+	if t == nil {
+		return
+	}
+	t.life.Stop()
 }
 
 // SetDeadline changes the per-iteration coherence deadline (0 = none).
@@ -371,6 +391,9 @@ func (l *Loop) End() Stats {
 	})
 	t.mon.ObserveLoop(latency, l.deadline, st.Missed, l.trace)
 
+	if t.life.Stopped() {
+		return st
+	}
 	t.res.offer(&Exemplar{
 		Name:         spans[0].Name,
 		TraceID:      l.trace,

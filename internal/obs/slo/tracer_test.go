@@ -192,6 +192,32 @@ func TestReservoirTailSampling(t *testing.T) {
 	}
 }
 
+// TestTracerStopFreezesReservoir: after Stop, ending loops still score
+// (counters, health) but no longer replace retained exemplars, so a
+// /tracez reader during teardown sees a quiescent set.
+func TestTracerStopFreezesReservoir(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := NewTracer(reg, Config{Deadline: time.Nanosecond})
+	l := tr.StartLoop("before")
+	time.Sleep(50 * time.Microsecond)
+	l.End()
+	tr.Stop()
+	l = tr.StartLoop("after")
+	time.Sleep(50 * time.Microsecond)
+	l.End()
+
+	rep := tr.Snapshot()
+	if rep.Loops != 2 {
+		t.Errorf("Loops = %d, want 2 (scoring continues past Stop)", rep.Loops)
+	}
+	for _, ex := range append(rep.Slowest, rep.MissExemplars...) {
+		if ex.Name == "after" {
+			t.Errorf("reservoir accepted exemplar %q after Stop", ex.Name)
+		}
+	}
+	tr.Stop() // idempotent
+}
+
 func TestTracezReport(t *testing.T) {
 	tr := NewTracer(nil, Config{Deadline: time.Nanosecond})
 	l := tr.StartLoop("loop")

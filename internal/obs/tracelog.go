@@ -28,7 +28,15 @@ import (
 // A nil *TraceLog discards every record, so instrumented code records
 // unconditionally. The buffer is bounded: once cap is reached new events
 // are dropped (and counted), keeping a long-running server's memory flat.
+//
+// A TraceLog is a long-lived component and carries the shared
+// obs.Lifecycle contract: it starts collecting at construction, and
+// Stop — idempotent, safe concurrently with Record — freezes it, so a
+// teardown path can quiesce the log before exporting it and every
+// owner (obs.CLI, scope.Scope) shuts it down the same way it shuts
+// down every other obs component.
 type TraceLog struct {
+	life    Lifecycle
 	mu      sync.Mutex
 	events  []traceEvent
 	max     int
@@ -57,7 +65,19 @@ func NewTraceLogCap(max int) *TraceLog {
 	if max <= 0 {
 		max = DefaultTraceCap
 	}
-	return &TraceLog{max: max}
+	t := &TraceLog{max: max}
+	t.life.Start(nil, nil) // collecting from birth; Stop freezes
+	return t
+}
+
+// Stop freezes the log: records arriving afterwards are dropped (and
+// counted), so an exporter reading the buffer races nothing. Idempotent
+// and safe on a nil log — the uniform obs teardown contract.
+func (t *TraceLog) Stop() {
+	if t == nil {
+		return
+	}
+	t.life.Stop()
 }
 
 // Record appends one completed span occurrence. track groups events into
@@ -70,7 +90,7 @@ func (t *TraceLog) Record(track, name string, trace uint64, start time.Time, dur
 		return
 	}
 	t.mu.Lock()
-	if len(t.events) >= t.max {
+	if len(t.events) >= t.max || t.life.Stopped() {
 		t.dropped++
 		t.mu.Unlock()
 		return

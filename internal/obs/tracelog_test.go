@@ -26,6 +26,23 @@ func TestTraceLogNilSafe(t *testing.T) {
 	}
 }
 
+// TestTraceLogStopFreezes: Stop ends the collection lifecycle — later
+// Records are counted as dropped, not appended, so an export written
+// at shutdown is stable even if stray spans end after it.
+func TestTraceLogStopFreezes(t *testing.T) {
+	tl := NewTraceLog()
+	tl.Record("track", "before", 1, time.Now(), time.Millisecond, nil)
+	tl.Stop()
+	tl.Record("track", "after", 2, time.Now(), time.Millisecond, nil)
+	if tl.Len() != 1 {
+		t.Errorf("Len = %d after Stop, want 1", tl.Len())
+	}
+	if tl.Dropped() != 1 {
+		t.Errorf("Dropped = %d after Stop, want 1", tl.Dropped())
+	}
+	tl.Stop() // idempotent
+}
+
 // TestTraceLogChromeSchema validates the export against the trace-event
 // schema: every event carries the required name/ph/ts/pid/tid keys, "X"
 // events carry dur, and trace IDs surface in args.

@@ -54,6 +54,7 @@ import (
 	"press/internal/geom"
 	"press/internal/mimo"
 	"press/internal/obs"
+	"press/internal/obs/export"
 	"press/internal/obs/flight"
 	"press/internal/obs/health"
 	"press/internal/obs/prof"
@@ -432,9 +433,10 @@ type (
 	// -flight-segment-mb, /runs), the performance-radar layer
 	// (-runtime-metrics-interval, -bench-baselines, /perfz), the
 	// cost-attribution layer (-phase-accounting, -profile-interval,
-	// /profz), and the control-loop deadline tracer (-loop-trace,
-	// -loop-deadline, /tracez).
-	TelemetryCLI = slo.CLI
+	// /profz), the control-loop deadline tracer (-loop-trace,
+	// -loop-deadline, /tracez), and the push-export pipeline
+	// (-export-url, -export-interval, -export-format, /exportz).
+	TelemetryCLI = export.CLI
 	// LoopTracer assembles per-iteration control-loop span trees, scores
 	// them against a coherence deadline, and tail-samples exemplars for
 	// /tracez. A nil tracer is the zero-cost disabled default.
