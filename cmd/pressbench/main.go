@@ -214,7 +214,7 @@ func runGate(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pressbench gate", flag.ContinueOnError)
 	opt := statOptions(fs)
 	baseDir := fs.String("baseline-dir", ".",
-		"directory holding the committed baselines (BENCH_*.json, bench/history.ndjson)")
+		"directory holding the committed baselines (bench/BENCH_*.json, bench/history.ndjson)")
 	baseline := fs.String("baseline", "",
 		"gate against this one baseline file instead of -baseline-dir discovery")
 	if err := fs.Parse(args); err != nil {

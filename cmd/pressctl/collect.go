@@ -28,12 +28,18 @@ func runCollect(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7020", "HTTP listen address for pushed batches")
 	outPath := fs.String("out", "", "also append every received payload to this NDJSON file")
+	totalsPath := fs.String("totals-file", "", "persist per-session totals to this JSON file on shutdown (reloaded on start, so totals survive collector restarts)")
 	quiet := fs.Bool("quiet", false, "suppress the per-batch lines (summary and /totals.json only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	col := newCollector(out, *quiet)
+	if *totalsPath != "" {
+		if err := col.loadTotals(*totalsPath); err != nil {
+			return err
+		}
+	}
 	if *outPath != "" {
 		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -65,6 +71,9 @@ func runCollect(args []string, out io.Writer) error {
 		}
 	}
 	col.summarize(out)
+	if *totalsPath != "" {
+		return col.saveTotals(*totalsPath)
+	}
 	return nil
 }
 
@@ -204,15 +213,23 @@ func (c *collector) ingest(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// totalsDoc is the accumulated state in its external form — served at
+// /totals.json and persisted verbatim by -totals-file, so a restarted
+// collector resumes from exactly what it last reported.
+type totalsDoc struct {
+	Payloads int64                     `json:"payloads"`
+	Batches  int64                     `json:"batches"`
+	Rejected int64                     `json:"rejected"`
+	Sessions map[string]*sessionTotals `json:"sessions"`
+}
+
+func (c *collector) totals() totalsDoc {
+	return totalsDoc{c.payloads, c.batches, c.rejected, c.sessions}
+}
+
 func (c *collector) serveTotals(w http.ResponseWriter) {
 	c.mu.Lock()
-	doc := struct {
-		Payloads int64                     `json:"payloads"`
-		Batches  int64                     `json:"batches"`
-		Rejected int64                     `json:"rejected"`
-		Sessions map[string]*sessionTotals `json:"sessions"`
-	}{c.payloads, c.batches, c.rejected, c.sessions}
-	data, err := json.MarshalIndent(doc, "", "  ")
+	data, err := json.MarshalIndent(c.totals(), "", "  ")
 	c.mu.Unlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -221,6 +238,45 @@ func (c *collector) serveTotals(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Cache-Control", "no-store")
 	w.Write(data)
+}
+
+// loadTotals seeds the collector from a previously saved totals file. A
+// missing file is a clean first run, not an error.
+func (c *collector) loadTotals(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var doc totalsDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("collect: bad totals file %s: %w", path, err)
+	}
+	c.mu.Lock()
+	c.payloads, c.batches, c.rejected = doc.Payloads, doc.Batches, doc.Rejected
+	if doc.Sessions != nil {
+		c.sessions = doc.Sessions
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// saveTotals writes the accumulated totals atomically (temp file +
+// rename), so a crash mid-save leaves the previous snapshot intact.
+func (c *collector) saveTotals(path string) error {
+	c.mu.Lock()
+	data, err := json.MarshalIndent(c.totals(), "", "  ")
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // summarize prints the end-of-run reconciliation view: per-session

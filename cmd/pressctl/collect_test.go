@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const collectBatchNDJSON = `{"schema":1,"unix_ms":1000,"seq":1,"session":"room-1","counters":{"work_total":5},"gauges":{"depth_db":30}}
+`
+
+func postBatch(t *testing.T, url string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/x-ndjson", strings.NewReader(collectBatchNDJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("post: %d", resp.StatusCode)
+	}
+}
+
+// TestCollectorTotalsPersistRoundTrip: totals saved by one collector
+// seed the next, and further batches accumulate on top — the restart
+// continuity contract of -totals-file.
+func TestCollectorTotalsPersistRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "totals.json")
+
+	c1 := newCollector(io.Discard, true)
+	srv1 := httptest.NewServer(c1)
+	postBatch(t, srv1.URL)
+	srv1.Close()
+	if err := c1.saveTotals(path); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := newCollector(io.Discard, true)
+	if err := c2.loadTotals(path); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(c2)
+	defer srv2.Close()
+	postBatch(t, srv2.URL)
+
+	resp, err := http.Get(srv2.URL + "/totals.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc totalsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Payloads != 2 || doc.Batches != 2 {
+		t.Fatalf("payloads=%d batches=%d, want 2/2", doc.Payloads, doc.Batches)
+	}
+	st := doc.Sessions["room-1"]
+	if st == nil || st.Counters["work_total"] != 10 {
+		t.Fatalf("reloaded session totals: %+v", st)
+	}
+
+	// A missing file is a clean first run; a corrupt one is an error.
+	if err := newCollector(io.Discard, true).loadTotals(filepath.Join(t.TempDir(), "nope.json")); err != nil {
+		t.Fatalf("missing totals file: %v", err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if err := newCollector(io.Discard, true).loadTotals(bad); err == nil {
+		t.Fatal("corrupt totals file accepted")
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for reading runCollect's
+// progressive output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestCollectTotalsFileOnInterrupt drives the real subcommand: receive
+// a batch, SIGINT the process, and find the totals persisted.
+func TestCollectTotalsFileOnInterrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "totals.json")
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- runCollect([]string{"-listen", "127.0.0.1:0", "-quiet", "-totals-file", path}, &out)
+	}()
+
+	addrRe := regexp.MustCompile(`http://(127\.0\.0\.1:\d+)`)
+	var url string
+	deadline := time.Now().Add(5 * time.Second)
+	for url == "" && time.Now().Before(deadline) {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			url = "http://" + m[1]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if url == "" {
+		t.Fatalf("collector never announced its address:\n%s", out.String())
+	}
+	postBatch(t, url)
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("runCollect did not shut down on SIGINT")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc totalsDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Batches != 1 || doc.Sessions["room-1"] == nil {
+		t.Fatalf("persisted totals: %s", data)
+	}
+}

@@ -16,6 +16,7 @@
 //	pressctl hotspots runs/RUNID     # phase-cost breakdown of a run log
 //	pressctl loops runs/RUNID        # control-loop deadline profile of a run log
 //	pressctl collect -listen :7020   # receive pushed telemetry batches (-export-url target)
+//	pressctl query -tsdb-dir DIR EXPR # query a run's durable metrics history
 package main
 
 import (
@@ -61,7 +62,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: pressctl demo|agent|ping|replay|rundiff|hotspots|loops|collect [flags]")
+		return errors.New("usage: pressctl demo|agent|ping|replay|rundiff|hotspots|loops|collect|query [flags]")
 	}
 	switch args[0] {
 	case "demo":
@@ -80,8 +81,10 @@ func run(args []string) error {
 		return runLoops(args[1:], os.Stdout)
 	case "collect":
 		return runCollect(args[1:], os.Stdout)
+	case "query":
+		return runQuery(args[1:], os.Stdout)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want demo|agent|ping|replay|rundiff|hotspots|loops|collect)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want demo|agent|ping|replay|rundiff|hotspots|loops|collect|query)", args[0])
 	}
 }
 

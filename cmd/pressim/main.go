@@ -24,9 +24,9 @@ import (
 
 	"press/internal/experiments"
 	"press/internal/obs"
-	"press/internal/obs/export"
 	"press/internal/obs/flight"
 	"press/internal/obs/scope"
+	"press/internal/obs/tsdb"
 )
 
 func main() {
@@ -50,7 +50,7 @@ type options struct {
 	slowPhase  time.Duration
 	csvDir     string
 	recordPath string
-	tele       export.CLI
+	tele       tsdb.CLI
 }
 
 // spec captures the invocation as a replayable RunSpec — the exact

@@ -22,9 +22,9 @@ import (
 	"press/internal/control"
 	"press/internal/experiments"
 	"press/internal/obs"
-	"press/internal/obs/export"
 	"press/internal/obs/flight"
 	"press/internal/obs/scope"
+	"press/internal/obs/tsdb"
 	"press/internal/radio"
 )
 
@@ -54,7 +54,7 @@ func run(args []string) error {
 // startTelemetry brings up the parsed telemetry flags and installs the
 // ambient experiments scope. The returned finish func tears both down
 // and emits the snapshot ("-" goes to stdout, after the CSV).
-func startTelemetry(tele *export.CLI, scenario string, seed uint64) (finish func() error, err error) {
+func startTelemetry(tele *tsdb.CLI, scenario string, seed uint64) (finish func() error, err error) {
 	if err := tele.Start(os.Stderr); err != nil {
 		return nil, err
 	}
@@ -81,7 +81,7 @@ func runConvergence(args []string) error {
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	elements := fs.Int("elements", 8, "array size (space 4^n)")
 	budget := fs.Int("budget", 300, "measurement budget per searcher")
-	var tele export.CLI
+	var tele tsdb.CLI
 	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -134,7 +134,7 @@ func runBudget(args []string) error {
 	fs := flag.NewFlagSet("budget", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	perMeas := fs.Duration("per-measurement", 2*time.Millisecond, "measurement cost")
-	var tele export.CLI
+	var tele tsdb.CLI
 	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -194,7 +194,7 @@ func runDensity(args []string) error {
 	fs := flag.NewFlagSet("density", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 442, "scenario seed")
 	maxN := fs.Int("max-elements", 6, "largest array size")
-	var tele export.CLI
+	var tele tsdb.CLI
 	tele.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -201,6 +201,9 @@ func RunConcurrent(o ConcurrentOptions) (*ConcurrentResult, error) {
 	// With -export-url set, each room's registry ships as its own
 	// session-labeled batch stream for as long as the room lives.
 	set.AttachExporter(CurrentScope().Exporter())
+	// With -tsdb-dir set, room removal/eviction releases the room's
+	// series budget in the history store once its tail is collected.
+	set.AttachTSDB(CurrentScope().TSDB())
 
 	results := make([]SessionResult, o.Sessions)
 	perScope := make([]int64, o.Sessions)

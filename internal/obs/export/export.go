@@ -44,6 +44,7 @@ import (
 
 	"press/internal/obs"
 	"press/internal/obs/health"
+	"press/internal/obs/names"
 )
 
 // BatchSchema versions the Batch wire shape.
@@ -66,14 +67,16 @@ const (
 )
 
 // Self-telemetry metric names the exporter maintains in the registry it
-// exports (so the pipeline observes itself through the pipeline).
+// exports (so the pipeline observes itself through the pipeline). The
+// spellings live in internal/obs/names so health rules and tests can't
+// drift from the producer.
 const (
-	CounterBatchesSent   = "obs_export_batches_sent_total"
-	CounterBatchesFailed = "obs_export_batches_failed_total"
-	CounterRetries       = "obs_export_retries_total"
-	CounterDropped       = "obs_export_dropped_total"
-	GaugeQueueDepth      = "obs_export_queue_depth"
-	GaugeLastSuccessMs   = "obs_export_last_success_unix_ms"
+	CounterBatchesSent   = names.ExportBatchesSent
+	CounterBatchesFailed = names.ExportBatchesFailed
+	CounterRetries       = names.ExportRetries
+	CounterDropped       = names.ExportDropped
+	GaugeQueueDepth      = names.ExportQueueDepth
+	GaugeLastSuccessMs   = names.ExportLastSuccessMs
 )
 
 // HistDelta is a histogram's increment between two snapshots: how many
@@ -117,6 +120,17 @@ func (b Batch) empty() bool {
 // collector: emit is called once per session with its ID and registry.
 // The scope layer's Set provides one without export depending on scope.
 type SessionSource func(emit func(id string, reg *obs.Registry))
+
+// Tap is a local, in-process subscriber to the same per-source delta
+// batches the sink leg ships — how the tsdb store rides the exporter's
+// snapshot-diff machinery without re-walking the registry. Offer must
+// not block; it reports whether the batch was accepted. The tap keeps
+// its own diff baseline inside the exporter, advanced only on an
+// accepted offer, so a rejected batch's deltas fold into the next one —
+// the same reconciliation invariant the queue leg has.
+type Tap interface {
+	Offer(Batch) bool
+}
 
 // Options tunes an Exporter.
 type Options struct {
@@ -165,8 +179,10 @@ type Exporter struct {
 
 	// diffMu serializes collections (the timer loop, CollectNow, and
 	// the final Stop collection) over the per-source baselines.
-	diffMu sync.Mutex
-	base   map[string]*srcBaseline
+	diffMu  sync.Mutex
+	base    map[string]*srcBaseline
+	tap     Tap
+	tapBase map[string]*srcBaseline
 
 	seq       atomic.Uint64
 	enqueued  atomic.Int64
@@ -190,6 +206,12 @@ type Exporter struct {
 // New builds an exporter shipping reg (plus any registered session
 // sources) to sink. Call Start to begin collecting; the exporter owns
 // the sink and closes it in Stop.
+//
+// A nil sink is the local-only collector mode: the snapshot-diff loop
+// runs, attached taps receive batches, but there is no queue shipper
+// and no obs_export_* self-metrics (nothing is being exported, so the
+// push pipeline must not report itself live). This is how `-tsdb-dir`
+// gets per-source deltas without requiring `-export-url`.
 func New(reg *obs.Registry, sink Sink, opt Options) *Exporter {
 	if opt.Interval <= 0 {
 		opt.Interval = DefaultInterval
@@ -210,17 +232,23 @@ func New(reg *obs.Registry, sink Sink, opt Options) *Exporter {
 		opt.Format = FormatNDJSON
 	}
 	e := &Exporter{
-		reg:      reg,
-		sink:     sink,
-		opt:      opt,
-		q:        make(chan Batch, opt.QueueCap),
-		base:     map[string]*srcBaseline{},
-		mSent:    reg.Counter(CounterBatchesSent),
-		mFailed:  reg.Counter(CounterBatchesFailed),
-		mRetries: reg.Counter(CounterRetries),
-		mDropped: reg.Counter(CounterDropped),
-		mDepth:   reg.Gauge(GaugeQueueDepth),
-		mLastOK:  reg.Gauge(GaugeLastSuccessMs),
+		reg:     reg,
+		sink:    sink,
+		opt:     opt,
+		q:       make(chan Batch, opt.QueueCap),
+		base:    map[string]*srcBaseline{},
+		tapBase: map[string]*srcBaseline{},
+	}
+	if sink != nil {
+		// Local-only mode leaves the handles nil (nil handles are
+		// no-ops), keeping obs_export_* out of a registry nothing
+		// exports from.
+		e.mSent = reg.Counter(CounterBatchesSent)
+		e.mFailed = reg.Counter(CounterBatchesFailed)
+		e.mRetries = reg.Counter(CounterRetries)
+		e.mDropped = reg.Counter(CounterDropped)
+		e.mDepth = reg.Gauge(GaugeQueueDepth)
+		e.mLastOK = reg.Gauge(GaugeLastSuccessMs)
 	}
 	if opt.Session != "" {
 		s := opt.Session
@@ -256,13 +284,31 @@ func (e *Exporter) SetRootSession(id string) {
 	e.rootSess.Store(&s)
 }
 
+// AttachTap installs a local batch subscriber (nil removes it). The tap
+// gets its own per-source baselines, so it and the sink leg reconcile
+// independently: each sees every delta exactly once across the batches
+// it accepted. Safe before or after Start and on a nil exporter.
+func (e *Exporter) AttachTap(t Tap) {
+	if e == nil {
+		return
+	}
+	e.diffMu.Lock()
+	e.tap = t
+	if t == nil {
+		e.tapBase = map[string]*srcBaseline{}
+	}
+	e.diffMu.Unlock()
+}
+
 // Start launches the collector and shipper goroutines. Idempotent; a
 // nil exporter ignores the call.
 func (e *Exporter) Start() {
 	if e == nil {
 		return
 	}
-	e.ship.Start(nil, e.shipLoop)
+	if e.sink != nil {
+		e.ship.Start(nil, e.shipLoop)
+	}
 	e.collect.Start(func() { e.started = time.Now(); e.CollectNow() }, e.collectLoop)
 }
 
@@ -281,14 +327,22 @@ func (e *Exporter) Stop() error {
 		// started is safe: collect.Stop consumed the start-once, so no
 		// setup can write it after this point.)
 		e.ship.Stop()
-		return e.sink.Close()
+		return e.closeSink()
 	}
 	e.ship.Stop() // shipper drains the queue + one flush attempt on exit
 	// The tail of the run — whatever accrued after the last timer tick,
 	// including deltas folded back by overflow drops — goes around the
 	// queue entirely: with the shipper gone nothing would drain it, and
-	// the shutdown tail must not be lost to a still-full queue.
+	// the shutdown tail must not be lost to a still-full queue. The
+	// collection inside also hands the tail to the tap.
 	e.flushFinal()
+	return e.closeSink()
+}
+
+func (e *Exporter) closeSink() error {
+	if e.sink == nil {
+		return nil
+	}
 	return e.sink.Close()
 }
 
@@ -343,26 +397,87 @@ func (e *Exporter) CollectNow() {
 			delete(e.base, id)
 		}
 	}
+	for id := range e.tapBase {
+		if !live[id] {
+			delete(e.tapBase, id)
+		}
+	}
 
 	e.mDepth.Set(float64(len(e.q)))
 	e.observeHealth(now)
 }
 
-// collectSource diffs one registry against its baseline and enqueues
-// the delta — or, when direct is non-nil (the shutdown path), appends
-// it there instead, bypassing the queue. Caller holds diffMu.
+// collectSource diffs one registry against its baselines and delivers
+// the deltas: once to the attached tap (against the tap's baseline) and
+// once to the sink leg — enqueued, or, when direct is non-nil (the
+// shutdown path), appended there instead, bypassing the queue. Caller
+// holds diffMu.
 func (e *Exporter) collectSource(key, session string, reg *obs.Registry, now time.Time, heartbeat bool, direct *[]Batch) {
 	snap := reg.Snapshot()
+	if e.tap != nil {
+		tb := e.tapBase[key]
+		if tb == nil {
+			tb = newBaseline()
+			e.tapBase[key] = tb
+		}
+		if b := diffSnapshot(tb, snap, session, now); !b.empty() {
+			b.Seq = e.seq.Add(1)
+			if e.tap.Offer(b) {
+				e.advanceBaseline(tb, snap)
+			}
+			// Rejected: leave the baseline, the deltas fold into the
+			// next offered batch (the store counts the drop itself).
+		}
+	}
+	if e.sink == nil {
+		return // local-only mode: no queue, no shipper
+	}
 	base := e.base[key]
 	if base == nil {
-		base = &srcBaseline{
-			counters: map[string]int64{},
-			gauges:   map[string]float64{},
-			hists:    map[string]HistDelta{},
-			spans:    map[string]SpanDelta{},
-		}
+		base = newBaseline()
 		e.base[key] = base
 	}
+	b := diffSnapshot(base, snap, session, now)
+	if direct != nil {
+		// Shutdown tail: only data matters, no heartbeats.
+		if b.empty() {
+			return
+		}
+		b.Seq = e.seq.Add(1)
+		*direct = append(*direct, b)
+		e.advanceBaseline(base, snap)
+		return
+	}
+	if b.empty() && !heartbeat && base.seen {
+		return
+	}
+	b.Seq = e.seq.Add(1)
+	select {
+	case e.q <- b:
+		e.enqueued.Add(1)
+		e.advanceBaseline(base, snap)
+	default:
+		// Queue full: drop the batch, count it, and leave the baseline
+		// alone — these deltas ride the next batch that fits.
+		e.dropped.Add(1)
+		e.mDropped.Inc()
+	}
+}
+
+func newBaseline() *srcBaseline {
+	return &srcBaseline{
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]HistDelta{},
+		spans:    map[string]SpanDelta{},
+	}
+}
+
+// diffSnapshot builds the delta batch of snap against base: counter,
+// histogram, and span increments, gauges that changed since the last
+// advance (all of them on first contact). It does not touch base — the
+// caller advances it only once the batch has been handed off.
+func diffSnapshot(base *srcBaseline, snap obs.Snapshot, session string, now time.Time) Batch {
 	b := Batch{Schema: BatchSchema, Session: session, UnixMs: now.UnixMilli()}
 	for name, v := range snap.Counters {
 		if d := v - base.counters[name]; d != 0 {
@@ -401,30 +516,7 @@ func (e *Exporter) collectSource(key, session string, reg *obs.Registry, now tim
 			b.Spans[name] = d
 		}
 	}
-	if direct != nil {
-		// Shutdown tail: only data matters, no heartbeats.
-		if b.empty() {
-			return
-		}
-		b.Seq = e.seq.Add(1)
-		*direct = append(*direct, b)
-		e.advanceBaseline(base, snap)
-		return
-	}
-	if b.empty() && !heartbeat && base.seen {
-		return
-	}
-	b.Seq = e.seq.Add(1)
-	select {
-	case e.q <- b:
-		e.enqueued.Add(1)
-		e.advanceBaseline(base, snap)
-	default:
-		// Queue full: drop the batch, count it, and leave the baseline
-		// alone — these deltas ride the next batch that fits.
-		e.dropped.Add(1)
-		e.mDropped.Inc()
-	}
+	return b
 }
 
 // advanceBaseline moves a source's diff baseline to snap — only after
@@ -640,8 +732,9 @@ func (e *Exporter) State() State {
 		return State{}
 	}
 	st := State{
-		Enabled:    true,
-		Sink:       e.sink.String(),
+		// A tap-only exporter (nil sink) is not an enabled push
+		// pipeline: nothing leaves the process through it.
+		Enabled:    e.sink != nil,
 		Format:     e.opt.Format,
 		IntervalMs: e.opt.Interval.Milliseconds(),
 		QueueLen:   len(e.q),
@@ -655,6 +748,9 @@ func (e *Exporter) State() State {
 		Retries:      e.retries.Load(),
 		Dropped:      e.dropped.Load(),
 		Unflushed:    e.unflushed.Load(),
+	}
+	if e.sink != nil {
+		st.Sink = e.sink.String()
 	}
 	if p := e.rootSess.Load(); p != nil {
 		st.Session = *p
@@ -682,7 +778,7 @@ func (e *Exporter) State() State {
 // HealthzLine renders the one-line /healthz status: queue occupancy,
 // drop count, and last-success age. Empty on a nil exporter.
 func (e *Exporter) HealthzLine() string {
-	if e == nil {
+	if e == nil || e.sink == nil {
 		return ""
 	}
 	st := e.State()

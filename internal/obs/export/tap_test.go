@@ -1,0 +1,140 @@
+package export
+
+import (
+	"testing"
+	"time"
+
+	"press/internal/obs"
+)
+
+// recordingTap collects offered batches, optionally rejecting them.
+type recordingTap struct {
+	reject  bool
+	batches []Batch
+}
+
+func (rt *recordingTap) Offer(b Batch) bool {
+	if rt.reject {
+		return false
+	}
+	rt.batches = append(rt.batches, b)
+	return true
+}
+
+func (rt *recordingTap) counterTotal(session, name string) int64 {
+	var total int64
+	for _, b := range rt.batches {
+		if b.Session == session {
+			total += b.Counters[name]
+		}
+	}
+	return total
+}
+
+// TestTapLocalOnlyMode: a nil-sink exporter runs the snapshot-diff
+// collector for its taps alone — no queue, no shipper, no obs_export_*
+// self-metrics polluting the registry.
+func TestTapLocalOnlyMode(t *testing.T) {
+	reg := obs.NewRegistry()
+	tap := &recordingTap{}
+	e := New(reg, nil, Options{Session: "run"})
+	e.AttachTap(tap)
+
+	reg.Counter("tap_work_total").Add(5)
+	e.CollectNow()
+	reg.Counter("tap_work_total").Add(2)
+	e.CollectNow()
+	if err := e.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if got := tap.counterTotal("run", "tap_work_total"); got != 7 {
+		t.Fatalf("tap total = %d, want 7", got)
+	}
+	if _, ok := reg.Snapshot().Counters[CounterBatchesSent]; ok {
+		t.Fatal("local-only exporter created obs_export_* metrics")
+	}
+	if st := e.State(); st.Enabled {
+		t.Fatal("local-only exporter reports the push pipeline enabled")
+	}
+	if e.HealthzLine() != "" {
+		t.Fatal("local-only exporter has an export healthz line")
+	}
+}
+
+// TestTapRejectionFoldsDeltas: a rejected offer must leave the tap
+// baseline untouched so the deltas ride the next accepted batch —
+// totals reconcile across drops exactly like the queue leg.
+func TestTapRejectionFoldsDeltas(t *testing.T) {
+	reg := obs.NewRegistry()
+	tap := &recordingTap{reject: true}
+	e := New(reg, nil, Options{})
+	e.AttachTap(tap)
+
+	reg.Counter("fold_total").Add(3)
+	e.CollectNow() // rejected
+	tap.reject = false
+	reg.Counter("fold_total").Add(4)
+	e.CollectNow() // accepted: must carry all 7
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tap.counterTotal("", "fold_total"); got != 7 {
+		t.Fatalf("folded total = %d, want 7", got)
+	}
+	if len(tap.batches) != 1 {
+		t.Fatalf("accepted batches = %d, want 1", len(tap.batches))
+	}
+}
+
+// TestTapAndSinkBaselinesAreIndependent: with both legs live, each
+// sees every delta exactly once even when only one leg stalls.
+func TestTapAndSinkBaselinesAreIndependent(t *testing.T) {
+	reg := obs.NewRegistry()
+	tap := &recordingTap{}
+	e := New(reg, discardSink{}, Options{Session: "both"})
+	e.AttachTap(tap)
+
+	reg.Counter("dual_total").Add(10)
+	e.CollectNow()
+	tap.reject = true
+	reg.Counter("dual_total").Add(5)
+	e.CollectNow() // sink leg advances, tap leg folds
+	tap.reject = false
+	reg.Counter("dual_total").Add(1)
+	e.CollectNow()
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tap.counterTotal("both", "dual_total"); got != 16 {
+		t.Fatalf("tap total = %d, want 16", got)
+	}
+}
+
+// TestTapSessionSources: per-session registries flow through the tap
+// with their session labels, and the shutdown tail is delivered.
+func TestTapSessionSources(t *testing.T) {
+	reg := obs.NewRegistry()
+	roomReg := obs.NewRegistryWithParent(reg)
+	tap := &recordingTap{}
+	e := New(reg, nil, Options{Interval: time.Hour})
+	e.AttachTap(tap)
+	e.SetSessions(func(emit func(id string, reg *obs.Registry)) {
+		emit("room1", roomReg)
+	})
+	e.Start()
+
+	roomReg.Counter("room_work_total").Add(4)
+	e.CollectNow()
+	roomReg.Counter("room_work_total").Add(2)
+	// Not collected again: Stop's final flush must deliver the tail.
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tap.counterTotal("room1", "room_work_total"); got != 6 {
+		t.Fatalf("room total = %d, want 6 (tail lost?)", got)
+	}
+	// The child registry rolls up into the parent too.
+	if got := tap.counterTotal("", "room_work_total"); got != 6 {
+		t.Fatalf("root roll-up total = %d, want 6", got)
+	}
+}

@@ -44,7 +44,7 @@ func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.DurationVar(&c.RuntimeMetricsInterval, "runtime-metrics-interval", 0,
 		"poll runtime/metrics (GC pauses, sched latencies, heap, goroutines) into the registry at this period (0 = off)")
 	fs.StringVar(&c.BenchBaselineDir, "bench-baselines", ".",
-		"directory /perfz scans for BENCH_*.json and bench/history.ndjson baselines")
+		"directory /perfz scans for bench/BENCH_*.json and bench/history.ndjson baselines")
 }
 
 // Start brings up the flight/health/obs stack, then the runtime sampler

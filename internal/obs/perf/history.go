@@ -204,10 +204,13 @@ func SortedKeys(sets map[string]*SampleSet) []string {
 }
 
 // BaselineFiles globs the benchmark baseline artifacts under dir: the
-// canonical BENCH_*.json documents plus the bench/history.ndjson store,
+// canonical BENCH_*.json documents (under bench/, with the repo root
+// still honored for older layouts) plus the bench/history.ndjson store,
 // sorted by name. Missing pieces are simply absent from the result.
 func BaselineFiles(dir string) []string {
-	files, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	files, _ := filepath.Glob(filepath.Join(dir, "bench", "BENCH_*.json"))
+	rootFiles, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	files = append(files, rootFiles...)
 	sort.Strings(files)
 	if hist := filepath.Join(dir, "bench", "history.ndjson"); fileExists(hist) {
 		files = append(files, hist)

@@ -29,6 +29,7 @@ import (
 	"press/internal/obs/health"
 	"press/internal/obs/prof"
 	"press/internal/obs/slo"
+	"press/internal/obs/tsdb"
 	"press/internal/stats"
 )
 
@@ -86,6 +87,7 @@ type Scope struct {
 	tr  *slo.Tracer
 	srv *obs.Server
 	exp *export.Exporter
+	ts  *tsdb.Store
 
 	// owned components were created by Open and are stopped by Close;
 	// adopted ones (Adopt) belong to a CLI that will stop them itself.
@@ -154,13 +156,14 @@ func Adopt(id string, reg *obs.Registry, log *obs.Logger, mon *health.Monitor, f
 }
 
 // FromTelemetry adopts the full stack of a flag-built telemetry CLI
-// (the export.CLI at the top of the embedding chain) as one scope,
+// (the tsdb.CLI at the top of the embedding chain) as one scope,
 // including its live server when -telemetry-addr started one, its loop
-// tracer when loop tracing is on, and its push exporter when
-// -export-url is set. A non-empty id also becomes the session label on
-// the exporter's root batches, so a single-session CLI run ships
-// batches stamped with its experiment name.
-func FromTelemetry(id string, t *export.CLI) *Scope {
+// tracer when loop tracing is on, its push exporter when -export-url is
+// set, and its metrics-history store when -tsdb-dir is set. A non-empty
+// id also becomes the session label on the exporter's root batches, so
+// a single-session CLI run ships batches — and persists history —
+// stamped with its experiment name.
+func FromTelemetry(id string, t *tsdb.CLI) *Scope {
 	if t == nil {
 		return nil
 	}
@@ -168,7 +171,8 @@ func FromTelemetry(id string, t *export.CLI) *Scope {
 		t.Exporter().SetRootSession(id)
 	}
 	return Adopt(id, t.Registry(), t.Logger(), t.Health(), t.Flight(), t.Prof()).
-		WithServer(t.Server()).WithTracer(t.Tracer()).WithExporter(t.Exporter())
+		WithServer(t.Server()).WithTracer(t.Tracer()).WithExporter(t.Exporter()).
+		WithTSDB(t.Store())
 }
 
 // WithTracer attaches a control-loop deadline tracer to the scope (the
@@ -207,6 +211,25 @@ func (s *Scope) Exporter() *export.Exporter {
 		return nil
 	}
 	return s.exp
+}
+
+// WithTSDB attaches the process metrics-history store to the scope, so
+// harnesses holding the scope can route session retention through it
+// (Set.AttachTSDB). Returns s; a no-op on a nil scope.
+func (s *Scope) WithTSDB(ts *tsdb.Store) *Scope {
+	if s != nil {
+		s.ts = ts
+	}
+	return s
+}
+
+// TSDB returns the metrics-history store behind the scope's stack, or
+// nil when durable history is off (or on a nil scope).
+func (s *Scope) TSDB() *tsdb.Store {
+	if s == nil {
+		return nil
+	}
+	return s.ts
 }
 
 // WithServer records the live telemetry server this scope's stack

@@ -8,6 +8,8 @@ import (
 
 	"press/internal/obs"
 	"press/internal/obs/export"
+	"press/internal/obs/names"
+	"press/internal/obs/tsdb"
 )
 
 // DefaultMaxScopes bounds the number of live scopes (hence the
@@ -15,11 +17,12 @@ import (
 // Set is built with cap ≤ 0.
 const DefaultMaxScopes = 1024
 
-// Metric names the Set maintains in the parent (process) registry.
+// Metric names the Set maintains in the parent (process) registry —
+// spellings owned by internal/obs/names.
 const (
-	CounterScopesOpened  = "obs_sessions_opened_total"
-	CounterScopesEvicted = "obs_sessions_evicted_total"
-	GaugeScopesActive    = "obs_sessions_active"
+	CounterScopesOpened  = names.SessionsOpened
+	CounterScopesEvicted = names.SessionsEvicted
+	GaugeScopesActive    = names.SessionsActive
 )
 
 // Set is the process-level directory of live scopes: bounded
@@ -38,6 +41,7 @@ type Set struct {
 	seq    uint64
 	scopes map[string]*entry
 	exp    *export.Exporter
+	ts     *tsdb.Store
 }
 
 type entry struct {
@@ -92,6 +96,20 @@ func (t *Set) AttachExporter(e *export.Exporter) {
 	e.SetSessions(t.ForEachRegistry)
 }
 
+// AttachTSDB routes session retention through the metrics-history
+// store: when a scope is removed or LRU-evicted, its per-session series
+// budget is released after the final collection lands its telemetry
+// tail, so a churning daemon cannot exhaust the store's session
+// cardinality budget with dead sessions. A nil set or store is a no-op.
+func (t *Set) AttachTSDB(ts *tsdb.Store) {
+	if t == nil || ts == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ts = ts
+	t.mu.Unlock()
+}
+
 // ForEachRegistry calls emit once per live scope with its session ID
 // and registry, in no particular order — the export.SessionSource shape.
 // LRU order is not affected.
@@ -143,25 +161,33 @@ func (t *Set) Open(id string, cfg Config) (*Scope, error) {
 		closeDiscard(s)
 		return nil, fmt.Errorf("scope: session %q already open", id)
 	}
-	var evict []*Scope
+	type victimEntry struct {
+		id    string
+		scope *Scope
+	}
+	var evict []victimEntry
 	for len(t.scopes) >= t.cap {
 		victim := t.lruLocked()
 		if victim == "" {
 			break
 		}
-		evict = append(evict, t.scopes[victim].scope)
+		evict = append(evict, victimEntry{victim, t.scopes[victim].scope})
 		delete(t.scopes, victim)
 	}
 	t.seq++
 	t.scopes[id] = &entry{scope: s, created: time.Now(), lastUse: t.seq}
 	srv := t.srv
+	ts := t.ts
 	t.active.Set(float64(len(t.scopes)))
 	t.mu.Unlock()
 
 	t.opened.Inc()
 	for _, v := range evict {
 		t.evicted.Inc()
-		_ = v.Close()
+		_ = v.scope.Close()
+		// Free the evicted session's series budget in the history store;
+		// its segments stay on disk until retention expires them.
+		ts.ReleaseSession(v.id)
 	}
 
 	// Wire session-tagged SSE before the monitor's first sample.
@@ -223,12 +249,17 @@ func (t *Set) Remove(id string) error {
 	t.mu.Lock()
 	e := t.scopes[id]
 	delete(t.scopes, id)
+	ts := t.ts
 	t.active.Set(float64(len(t.scopes)))
 	t.mu.Unlock()
 	if e == nil {
 		return nil
 	}
-	return e.scope.Close()
+	err := e.scope.Close()
+	// The tail was collected above; the session's in-memory series
+	// budget can go now (history on disk lives until retention).
+	ts.ReleaseSession(id)
+	return err
 }
 
 // Len returns the number of live scopes.
@@ -289,13 +320,15 @@ func (t *Set) Close() error {
 	t.mu.Lock()
 	scopes := t.scopes
 	t.scopes = map[string]*entry{}
+	ts := t.ts
 	t.active.Set(0)
 	t.mu.Unlock()
 	var first error
-	for _, e := range scopes {
+	for id, e := range scopes {
 		if err := e.scope.Close(); err != nil && first == nil {
 			first = err
 		}
+		ts.ReleaseSession(id)
 	}
 	return first
 }

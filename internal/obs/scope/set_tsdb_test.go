@@ -1,0 +1,78 @@
+package scope
+
+import (
+	"testing"
+	"time"
+
+	"press/internal/obs"
+	"press/internal/obs/export"
+	"press/internal/obs/tsdb"
+)
+
+// sessionCount reads how many sessions currently hold series budget in
+// the store.
+func sessionCount(t *testing.T, s *tsdb.Store) int {
+	t.Helper()
+	return s.State().Sessions
+}
+
+// TestSetReleasesTSDBSessions: removing or LRU-evicting a scope must
+// release its per-session series budget in the attached history store,
+// so session churn cannot exhaust the store's cardinality budget.
+func TestSetReleasesTSDBSessions(t *testing.T) {
+	parent := obs.NewRegistry()
+	store, err := tsdb.Open(tsdb.Options{Dir: t.TempDir(), Reg: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	set := NewSet(parent, 2)
+	set.AttachTSDB(store)
+	defer set.Close()
+
+	open := func(id string) {
+		t.Helper()
+		if _, err := set.Open(id, Config{}); err != nil {
+			t.Fatal(err)
+		}
+		store.Offer(export.Batch{
+			UnixMs:   time.Now().UnixMilli(),
+			Session:  id,
+			Counters: map[string]int64{"scoped_work_total": 1},
+		})
+	}
+	open("a")
+	open("b")
+	waitSessions := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for sessionCount(t, store) != want && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if got := sessionCount(t, store); got != want {
+			t.Fatalf("store sessions = %d, want %d", got, want)
+		}
+	}
+	waitSessions(2)
+
+	// Deliberate removal releases the session's budget.
+	if err := set.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	waitSessions(1)
+
+	// Opening past the cap evicts LRU "b" and releases it too.
+	open("c")
+	open("d")
+	waitSessions(2) // c and d live; b released
+	if set.Get("b") != nil {
+		t.Fatal("b still in set after eviction")
+	}
+
+	// Close releases everything.
+	if err := set.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitSessions(0)
+}

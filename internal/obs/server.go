@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -159,6 +160,24 @@ func (s *Server) TryHandle(pattern string, handler http.HandlerFunc) error {
 	s.patterns[pattern] = struct{}{}
 	s.mux.HandleFunc(pattern, handler)
 	return nil
+}
+
+// Patterns returns every registered route pattern, sorted — the route
+// inventory hygiene tests sweep so a newly added endpoint cannot dodge
+// the response-header conventions by being forgotten in a hand-kept
+// list. Safe concurrently with registration; nil on a nil server.
+func (s *Server) Patterns() []string {
+	if s == nil {
+		return nil
+	}
+	s.muxMu.RLock()
+	defer s.muxMu.RUnlock()
+	out := make([]string, 0, len(s.patterns))
+	for p := range s.patterns {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // AddHealthz appends a status-line producer to the /healthz body: each

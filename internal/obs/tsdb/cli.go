@@ -1,0 +1,136 @@
+package tsdb
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"press/internal/obs/export"
+)
+
+// CLI extends export.CLI with the embedded time-series store: -tsdb-dir
+// and -tsdb-retention persist every metric the process produces into a
+// local, queryable history. Drop-in replacement for export.CLI — this
+// is the top of the telemetry CLI chain:
+//
+//	var tele tsdb.CLI
+//	tele.Register(fs)
+//	// after fs.Parse:
+//	if err := tele.Start(os.Stderr); err != nil { ... }
+//	defer tele.Finish(os.Stdout)
+//
+// The store taps the export pipeline's snapshot-diff collector for its
+// samples. With -export-url set, the existing exporter feeds both the
+// sink and the store; without it, Start brings up a local-only
+// collector (nil sink) so -tsdb-dir works standalone. Without
+// -tsdb-dir the store is nil and every hook stays a pointer check.
+type CLI struct {
+	export.CLI
+
+	// TSDBDir roots the store's segment files. Empty disables it.
+	TSDBDir string
+	// TSDBRetention bounds the coarsest (1m) tier's history; the raw
+	// and 10s tiers keep min(default, this). 0 = default 24h.
+	TSDBRetention time.Duration
+
+	store    *Store
+	localExp *export.Exporter
+}
+
+// Register installs the export telemetry flags plus the tsdb flags.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	c.CLI.Register(fs)
+	fs.StringVar(&c.TSDBDir, "tsdb-dir", "",
+		"persist metrics history into this directory (embedded TSDB; query with pressctl query or /query_range)")
+	fs.DurationVar(&c.TSDBRetention, "tsdb-retention", 0,
+		"metrics history retention for the 1m tier (default 24h; raw/10s tiers keep at most 30m/6h)")
+}
+
+// Start brings up the export/slo/... stack, then the store when
+// -tsdb-dir is set. Like -export-url, -tsdb-dir forces a live registry
+// into existence: persisting metrics is meaningless without one.
+func (c *CLI) Start(logw io.Writer) error {
+	if c.TSDBRetention < 0 {
+		return fmt.Errorf("tsdb: negative -tsdb-retention %v", c.TSDBRetention)
+	}
+	if c.TSDBDir != "" {
+		c.ForceRegistry = true
+	}
+	if err := c.CLI.Start(logw); err != nil {
+		return err
+	}
+	if c.TSDBDir == "" {
+		return nil
+	}
+	opt := Options{Dir: c.TSDBDir, Reg: c.Registry()}
+	if c.TSDBRetention > 0 {
+		opt.Retention1m = c.TSDBRetention
+		if c.TSDBRetention < DefaultRetentionRaw {
+			opt.RetentionRaw = c.TSDBRetention
+		}
+		if c.TSDBRetention < DefaultRetention10s {
+			opt.Retention10s = c.TSDBRetention
+		}
+	}
+	store, err := Open(opt)
+	if err != nil {
+		return fmt.Errorf("tsdb: open %s: %w", c.TSDBDir, err)
+	}
+	c.store = store
+	exp := c.CLI.Exporter()
+	if exp == nil {
+		// No -export-url: run the snapshot-diff collector locally with
+		// no sink; the store is its only subscriber.
+		exp = export.New(c.Registry(), nil, export.Options{
+			Interval: c.ExportInterval,
+			Monitor:  c.Health(),
+		})
+		c.localExp = exp
+	}
+	exp.AttachTap(store)
+	c.localExp.Start() // nil-safe; the embedded exporter is already started
+	RegisterRoutes(c.Server(), store)
+	if srv := c.Server(); srv != nil {
+		srv.AddHealthz(store.HealthzLine)
+	}
+	if logger := c.Logger(); logger != nil {
+		logger.Info("tsdb started", "dir", c.TSDBDir)
+	}
+	return nil
+}
+
+// Store returns the embedded time-series store, nil when -tsdb-dir was
+// not given — callers hand it to the scope layer unconditionally.
+func (c *CLI) Store() *Store { return c.store }
+
+// Exporter returns the active snapshot-diff pipeline: the push
+// exporter when -export-url is set, else the local-only collector the
+// store rides, else nil. The scope layer attaches session sources to
+// whichever exists.
+func (c *CLI) Exporter() *export.Exporter {
+	if e := c.CLI.Exporter(); e != nil {
+		return e
+	}
+	return c.localExp
+}
+
+// Finish stops the collector legs (each delivers its final tail to the
+// store), tears down the telemetry stack, then seals the store.
+func (c *CLI) Finish(stdout io.Writer) error {
+	var localErr error
+	if c.localExp != nil {
+		localErr = c.localExp.Stop()
+		c.localExp = nil
+	}
+	err := c.CLI.Finish(stdout)
+	closeErr := c.store.Close()
+	c.store = nil
+	if err != nil {
+		return err
+	}
+	if localErr != nil {
+		return localErr
+	}
+	return closeErr
+}

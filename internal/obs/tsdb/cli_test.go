@@ -1,0 +1,224 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"press/internal/obs"
+	"press/internal/obs/export"
+)
+
+func parseCLI(t *testing.T, args ...string) *CLI {
+	t.Helper()
+	var c CLI
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return &c
+}
+
+func TestCLIDisabledByDefault(t *testing.T) {
+	c := parseCLI(t)
+	if err := c.Start(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if c.Store() != nil {
+		t.Error("store on without -tsdb-dir")
+	}
+	if c.Exporter() != nil {
+		t.Error("exporter on without -export-url or -tsdb-dir")
+	}
+	if c.Registry() != nil {
+		t.Error("registry on without any telemetry flag")
+	}
+	if err := c.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIBadFlags(t *testing.T) {
+	c := parseCLI(t, "-tsdb-retention", "-1s")
+	if err := c.Start(io.Discard); err == nil {
+		c.Finish(io.Discard)
+		t.Fatal("negative -tsdb-retention accepted")
+	}
+}
+
+// TestCLITSDBDirAloneCollects is the standalone path: -tsdb-dir with
+// no -export-url must force a registry, bring up the local-only
+// collector, and persist metrics that a fresh read-only store (the
+// pressctl query path) can answer after Finish.
+func TestCLITSDBDirAloneCollects(t *testing.T) {
+	dir := t.TempDir()
+	c := parseCLI(t, "-tsdb-dir", dir, "-export-interval", "25ms")
+	if err := c.Start(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if c.Registry() == nil {
+		t.Fatal("-tsdb-dir alone must force a live registry")
+	}
+	if c.Store() == nil || c.Exporter() == nil {
+		t.Fatal("store/local collector missing")
+	}
+	c.Exporter().SetRootSession("run-1")
+	c.Registry().Counter("cli_tsdb_work_total").Add(9)
+	c.Exporter().CollectNow()
+	// Give the ingest loop a moment to apply the offered batch.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Store().State().Samples == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := c.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := Open(Options{Dir: dir, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ro.Instant(`cli_tsdb_work_total{session="run-1"}`, time.Now())
+	if err != nil || len(samples) != 1 || samples[0].V != 9 {
+		t.Fatalf("persisted total: %v %+v", err, samples)
+	}
+	// Self-telemetry landed in the same store.
+	samples, err = ro.Instant(CounterSamples, time.Now())
+	if err != nil || len(samples) == 0 {
+		t.Fatalf("self-telemetry missing: %v %+v", err, samples)
+	}
+}
+
+// TestCLIWithExportURLSharesOneCollector: with both flags set, the
+// push exporter feeds the store as its tap — no second collector.
+func TestCLIWithExportURLSharesOneCollector(t *testing.T) {
+	received := make(chan struct{}, 64)
+	collector := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		select {
+		case received <- struct{}{}:
+		default:
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer collector.Close()
+
+	dir := t.TempDir()
+	c := parseCLI(t, "-tsdb-dir", dir, "-export-url", collector.URL, "-export-interval", "25ms")
+	if err := c.Start(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if c.localExp != nil {
+		t.Fatal("local collector created despite -export-url")
+	}
+	c.Registry().Counter("both_legs_total").Add(3)
+	c.Exporter().CollectNow()
+	select {
+	case <-received:
+	case <-time.After(5 * time.Second):
+		t.Fatal("push leg never delivered")
+	}
+	if err := c.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Open(Options{Dir: dir, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ro.Instant("both_legs_total", time.Now())
+	if err != nil || len(samples) != 1 || samples[0].V != 3 {
+		t.Fatalf("store leg: %v %+v", err, samples)
+	}
+}
+
+func TestRoutes(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	s, err := Open(Options{Dir: dir, Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	now := time.Now().UnixMilli()
+	for i := 0; i < 30; i++ {
+		s.applyBatch(export.Batch{
+			UnixMs:   now - int64(30-i)*1000,
+			Counters: map[string]int64{"route_hits_total": 1},
+		})
+	}
+	srv := obs.NewServer(reg, nil)
+	RegisterRoutes(srv, s)
+	h := srv.Handler()
+
+	get := func(url string) (int, string) {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, url, nil))
+		return rr.Code, rr.Body.String()
+	}
+
+	code, body := get("/query?query=route_hits_total")
+	if code != http.StatusOK {
+		t.Fatalf("/query: %d %s", code, body)
+	}
+	var doc struct {
+		Status string `json:"status"`
+		Data   struct {
+			ResultType string `json:"resultType"`
+			Result     []struct {
+				Metric map[string]string `json:"metric"`
+				Value  [2]any            `json:"value"`
+			} `json:"result"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("bad json: %v in %s", err, body)
+	}
+	if doc.Status != "success" || doc.Data.ResultType != "vector" || len(doc.Data.Result) != 1 {
+		t.Fatalf("doc: %+v", doc)
+	}
+	if doc.Data.Result[0].Metric["__name__"] != "route_hits_total" {
+		t.Fatalf("metric: %+v", doc.Data.Result[0].Metric)
+	}
+	if doc.Data.Result[0].Value[1] != "30" {
+		t.Fatalf("value: %+v", doc.Data.Result[0].Value)
+	}
+
+	start := float64(now-30_000) / 1000
+	end := float64(now) / 1000
+	code, body = get(
+		"/query_range?query=rate(route_hits_total[30s])&step=5s&start=" +
+			trimFloat(start) + "&end=" + trimFloat(end))
+	if code != http.StatusOK || !strings.Contains(body, `"resultType":"matrix"`) {
+		t.Fatalf("/query_range: %d %s", code, body)
+	}
+	if !strings.Contains(body, `"values":[[`) {
+		t.Fatalf("/query_range no values: %s", body)
+	}
+
+	// Errors come back Prometheus-shaped with 400.
+	code, body = get("/query?query=rate(broken")
+	if code != http.StatusBadRequest || !strings.Contains(body, `"status":"error"`) {
+		t.Fatalf("parse error: %d %s", code, body)
+	}
+	code, body = get("/query_range?query=x&step=5s")
+	if code != http.StatusBadRequest {
+		t.Fatalf("missing range params accepted: %d %s", code, body)
+	}
+
+	code, body = get("/tsdbz")
+	if code != http.StatusOK || !strings.Contains(body, `"enabled": true`) {
+		t.Fatalf("/tsdbz: %d %s", code, body)
+	}
+}
+
+func trimFloat(v float64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

@@ -1,0 +1,285 @@
+// Package tsdb is the durable half of the metrics story: an embedded
+// time-series store that makes the process its own collector. Every
+// other obs surface is either live-but-volatile (registry scrapes,
+// health rings, SSE) or durable-but-raw (flight segments of simulation
+// events); tsdb persists the *metrics* themselves, so "how did null
+// depth drift over the last hour" survives a restart without an
+// external Prometheus.
+//
+// Ingest rides the export pipeline: the store attaches to the
+// Exporter as a local Tap and receives the same per-source delta
+// batches the push leg ships — one snapshot-diff pass feeds both legs,
+// and the registry is never walked twice. Batches land in a bounded
+// queue (non-blocking Offer; a rejected batch's deltas fold into the
+// next one, export's reconciliation invariant), are turned into
+// samples — counters re-accumulated to cumulative totals, gauges as-is,
+// histograms and spans as _count/_sum cumulative pairs — and appended
+// to CRC32C-framed, size-rotated segment files, the same durability
+// idiom as internal/obs/flight: group-committed writes, torn tails
+// tolerated, corruption resynced past rather than fatal.
+//
+// Storage is tiered: raw samples are kept briefly, then downsampled
+// into 10s and 1m resolution tiers with independent retention windows,
+// so a day of history costs megabytes instead of gigabytes. A small
+// query engine (instant + range, rate/increase/*_over_time functions,
+// sum/avg/max/min cross-session roll-up) serves /query and
+// /query_range in the Prometheus HTTP response shape, `pressctl
+// query`, and the health dashboard's history panels.
+//
+// A nil *Store disables everything at the cost of a pointer check, the
+// package-wide convention.
+package tsdb
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+)
+
+// Frame layout (little-endian), deliberately the flight recorder's:
+//
+//	offset size
+//	0      2    magic 0x75 0xDB
+//	2      1    frame kind
+//	3      4    payload length
+//	7      n    payload
+//	7+n    4    CRC32C (Castagnoli) over kind+length+payload
+//
+// The magic differs from flight's so a tsdb segment misfiled into a
+// flight dir (or vice versa) reads as zero frames, not garbage data.
+const (
+	magic0 = 0x75
+	magic1 = 0xDB
+
+	frameHeaderLen  = 7
+	frameOverhead   = 11
+	maxFramePayload = 1 << 24
+)
+
+// Frame kinds. Unknown kinds are skipped (forward compatibility).
+const (
+	// kindSeries declares a series within the current segment:
+	// uvarint id, 1 byte series kind, uvarint-length session string,
+	// uvarint-length name string. Every segment re-declares the series
+	// it references, so segments stay individually decodable and
+	// retention can delete any of them.
+	kindSeries = 1
+	// kindBlock is one timestamp's samples: uvarint unix-ms, uvarint
+	// count, then count × (uvarint series id, 8-byte float64 bits).
+	kindBlock = 2
+	// kindWatermark records compaction progress in the *target* tier:
+	// uvarint unix-ms up to which source windows have been compacted.
+	// It exists so progress persists across restarts even through
+	// windows that produced no samples.
+	kindWatermark = 3
+)
+
+// Series kinds: how a series' values behave, which decides both the
+// downsampling aggregate (last-cumulative vs mean) and what rate() may
+// be applied to.
+const (
+	seriesCounter = 1 // monotone cumulative total (counters, hist/span _count/_sum)
+	seriesGauge   = 2 // latest-value
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one framed record to dst and returns the
+// extended slice.
+func appendFrame(dst []byte, kind byte, payload []byte) []byte {
+	dst = append(dst, magic0, magic1, kind)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.Update(0, castagnoli, dst[len(dst)-len(payload)-5:])
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// DecodeStats reports what a decode pass encountered; corruption is
+// counted, never fatal.
+type DecodeStats struct {
+	Frames       int   `json:"frames"`
+	Unknown      int   `json:"unknown,omitempty"`
+	Corrupt      int   `json:"corrupt,omitempty"`
+	Resyncs      int   `json:"resyncs,omitempty"`
+	BytesSkipped int64 `json:"bytes_skipped,omitempty"`
+	TornTail     bool  `json:"torn_tail,omitempty"`
+}
+
+func (s *DecodeStats) add(o DecodeStats) {
+	s.Frames += o.Frames
+	s.Unknown += o.Unknown
+	s.Corrupt += o.Corrupt
+	s.Resyncs += o.Resyncs
+	s.BytesSkipped += o.BytesSkipped
+	s.TornTail = s.TornTail || o.TornTail
+}
+
+// decodeFrames walks data emitting every valid frame. CRC mismatches
+// and garbage are skipped with a resync scan for the next magic; a
+// truncated final frame is reported as a torn tail — the expected
+// signature of a kill -9 between group commits.
+func decodeFrames(data []byte, emit func(kind byte, payload []byte) error) (DecodeStats, error) {
+	var stats DecodeStats
+	pos := 0
+	resync := func(from int) int {
+		stats.Resyncs++
+		for i := from; i+1 < len(data); i++ {
+			if data[i] == magic0 && data[i+1] == magic1 {
+				stats.BytesSkipped += int64(i - pos)
+				return i
+			}
+		}
+		stats.BytesSkipped += int64(len(data) - pos)
+		return len(data)
+	}
+	for pos < len(data) {
+		if data[pos] != magic0 || pos+1 >= len(data) || data[pos+1] != magic1 {
+			pos = resync(pos + 1)
+			continue
+		}
+		if pos+frameHeaderLen > len(data) {
+			stats.TornTail = true
+			stats.BytesSkipped += int64(len(data) - pos)
+			return stats, nil
+		}
+		kind := data[pos+2]
+		n := int(binary.LittleEndian.Uint32(data[pos+3 : pos+7]))
+		if n > maxFramePayload {
+			stats.Corrupt++
+			pos = resync(pos + 2)
+			continue
+		}
+		end := pos + frameOverhead + n
+		if end > len(data) {
+			// Plausible header but the payload runs past the end:
+			// either a torn tail or a corrupt length. Another magic
+			// ahead means corrupt length; bare end means tail.
+			next := resync(pos + 2)
+			if next >= len(data) {
+				stats.TornTail = true
+				return stats, nil
+			}
+			stats.Corrupt++
+			pos = next
+			continue
+		}
+		want := binary.LittleEndian.Uint32(data[end-4 : end])
+		if crc32.Checksum(data[pos+2:end-4], castagnoli) != want {
+			stats.Corrupt++
+			pos = resync(pos + 2)
+			continue
+		}
+		stats.Frames++
+		if err := emit(kind, data[pos+frameHeaderLen:end-4]); err != nil {
+			return stats, err
+		}
+		pos = end
+	}
+	return stats, nil
+}
+
+// seriesKey identifies one series: which session's registry it came
+// from ("" = the process root) and the metric name.
+type seriesKey struct {
+	session string
+	name    string
+}
+
+// encodeSeriesDecl builds a kindSeries payload.
+func encodeSeriesDecl(dst []byte, id uint32, kind byte, key seriesKey) []byte {
+	dst = binary.AppendUvarint(dst, uint64(id))
+	dst = append(dst, kind)
+	dst = binary.AppendUvarint(dst, uint64(len(key.session)))
+	dst = append(dst, key.session...)
+	dst = binary.AppendUvarint(dst, uint64(len(key.name)))
+	dst = append(dst, key.name...)
+	return dst
+}
+
+func decodeSeriesDecl(p []byte) (id uint32, kind byte, key seriesKey, ok bool) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 || v > math.MaxUint32 {
+		return 0, 0, seriesKey{}, false
+	}
+	id = uint32(v)
+	p = p[n:]
+	if len(p) < 1 {
+		return 0, 0, seriesKey{}, false
+	}
+	kind = p[0]
+	p = p[1:]
+	str := func() (string, bool) {
+		l, n := binary.Uvarint(p)
+		if n <= 0 || uint64(len(p)-n) < l {
+			return "", false
+		}
+		s := string(p[n : n+int(l)])
+		p = p[n+int(l):]
+		return s, true
+	}
+	var okk bool
+	if key.session, okk = str(); !okk {
+		return 0, 0, seriesKey{}, false
+	}
+	if key.name, okk = str(); !okk {
+		return 0, 0, seriesKey{}, false
+	}
+	return id, kind, key, true
+}
+
+// blockSample is one (series, value) pair inside a block frame.
+type blockSample struct {
+	id uint32
+	v  float64
+}
+
+// encodeBlock builds a kindBlock payload for one timestamp.
+func encodeBlock(dst []byte, unixMs int64, samples []blockSample) []byte {
+	dst = binary.AppendUvarint(dst, uint64(unixMs))
+	dst = binary.AppendUvarint(dst, uint64(len(samples)))
+	for _, s := range samples {
+		dst = binary.AppendUvarint(dst, uint64(s.id))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s.v))
+	}
+	return dst
+}
+
+// decodeBlock walks a kindBlock payload, emitting each sample.
+func decodeBlock(p []byte, emit func(id uint32, unixMs int64, v float64)) bool {
+	t, n := binary.Uvarint(p)
+	if n <= 0 {
+		return false
+	}
+	p = p[n:]
+	cnt, n := binary.Uvarint(p)
+	if n <= 0 {
+		return false
+	}
+	p = p[n:]
+	for i := uint64(0); i < cnt; i++ {
+		id, n := binary.Uvarint(p)
+		if n <= 0 || id > math.MaxUint32 {
+			return false
+		}
+		p = p[n:]
+		if len(p) < 8 {
+			return false
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(p[:8]))
+		p = p[8:]
+		emit(uint32(id), int64(t), v)
+	}
+	return true
+}
+
+func encodeWatermark(dst []byte, unixMs int64) []byte {
+	return binary.AppendUvarint(dst, uint64(unixMs))
+}
+
+func decodeWatermark(p []byte) (int64, bool) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, false
+	}
+	return int64(v), true
+}

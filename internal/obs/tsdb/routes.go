@@ -1,0 +1,173 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"press/internal/obs"
+)
+
+// RegisterRoutes mounts the query API on the live server:
+//
+//	GET /query?query=EXPR[&time=T]         instant vector
+//	GET /query_range?query=EXPR&start=T&end=T&step=D
+//	GET /tsdbz                             store state
+//
+// Responses use the Prometheus HTTP API shape
+// ({"status":"success","data":{"resultType":...,"result":[...]}}), so
+// Grafana's Prometheus datasource can point straight at the process.
+// Times accept unix seconds (fractional ok) or RFC3339; step accepts a
+// Go duration or seconds. No-ops when srv or store is nil.
+func RegisterRoutes(srv *obs.Server, s *Store) {
+	if srv == nil || s == nil {
+		return
+	}
+	srv.TryHandle("/query", func(w http.ResponseWriter, r *http.Request) {
+		q := r.FormValue("query")
+		t, err := parseTime(r.FormValue("time"), time.Now())
+		if err != nil {
+			promError(w, r, http.StatusBadRequest, "bad_data", err.Error())
+			return
+		}
+		samples, err := s.Instant(q, t)
+		if err != nil {
+			promError(w, r, http.StatusBadRequest, "bad_data", err.Error())
+			return
+		}
+		promSuccess(w, r, "vector", vectorJSON(samples))
+	})
+	srv.TryHandle("/query_range", func(w http.ResponseWriter, r *http.Request) {
+		q := r.FormValue("query")
+		start, err1 := parseTime(r.FormValue("start"), time.Time{})
+		end, err2 := parseTime(r.FormValue("end"), time.Time{})
+		step, err3 := parseStep(r.FormValue("step"))
+		for _, err := range []error{err1, err2, err3} {
+			if err != nil {
+				promError(w, r, http.StatusBadRequest, "bad_data", err.Error())
+				return
+			}
+		}
+		if start.IsZero() || end.IsZero() {
+			promError(w, r, http.StatusBadRequest, "bad_data", "start and end are required")
+			return
+		}
+		series, err := s.Range(q, start, end, step)
+		if err != nil {
+			promError(w, r, http.StatusBadRequest, "bad_data", err.Error())
+			return
+		}
+		promSuccess(w, r, "matrix", matrixJSON(series))
+	})
+	srv.TryHandle("/tsdbz", func(w http.ResponseWriter, r *http.Request) {
+		obs.ServeJSON(w, r, func(out io.Writer) error {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(s.State())
+		})
+	})
+}
+
+// parseTime accepts unix seconds (fractional ok) or RFC3339; empty
+// returns def.
+func parseTime(s string, def time.Time) (time.Time, error) {
+	if s == "" {
+		return def, nil
+	}
+	if sec, err := strconv.ParseFloat(s, 64); err == nil {
+		return time.UnixMilli(int64(sec * 1000)), nil
+	}
+	if t, err := time.Parse(time.RFC3339Nano, s); err == nil {
+		return t, nil
+	}
+	return time.Time{}, fmt.Errorf("bad time %q (want unix seconds or RFC3339)", s)
+}
+
+// parseStep accepts a Go duration ("15s") or a number of seconds.
+func parseStep(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, fmt.Errorf("step is required")
+	}
+	if d, err := time.ParseDuration(s); err == nil && d > 0 {
+		return d, nil
+	}
+	if sec, err := strconv.ParseFloat(s, 64); err == nil && sec > 0 {
+		return time.Duration(sec * float64(time.Second)), nil
+	}
+	return 0, fmt.Errorf("bad step %q (want duration or seconds)", s)
+}
+
+// promValue renders one [unix_seconds, "value"] pair — Prometheus
+// stringifies sample values.
+type promValue [2]json.RawMessage
+
+func newPromValue(tMs int64, v float64) promValue {
+	ts := strconv.FormatFloat(float64(tMs)/1000, 'f', 3, 64)
+	val, _ := json.Marshal(strconv.FormatFloat(v, 'g', -1, 64))
+	return promValue{json.RawMessage(ts), val}
+}
+
+func labelMap(l Labels) map[string]string {
+	m := map[string]string{}
+	if l.Name != "" {
+		m["__name__"] = l.Name
+	}
+	if l.Session != "" {
+		m["session"] = l.Session
+	}
+	return m
+}
+
+func vectorJSON(samples []Sample) any {
+	type row struct {
+		Metric map[string]string `json:"metric"`
+		Value  promValue         `json:"value"`
+	}
+	rows := make([]row, 0, len(samples))
+	for _, s := range samples {
+		rows = append(rows, row{labelMap(s.Labels), newPromValue(s.T, s.V)})
+	}
+	return rows
+}
+
+func matrixJSON(series []Series) any {
+	type row struct {
+		Metric map[string]string `json:"metric"`
+		Values []promValue       `json:"values"`
+	}
+	rows := make([]row, 0, len(series))
+	for _, sr := range series {
+		vals := make([]promValue, 0, len(sr.Points))
+		for _, p := range sr.Points {
+			vals = append(vals, newPromValue(p.T, p.V))
+		}
+		rows = append(rows, row{labelMap(sr.Labels), vals})
+	}
+	return rows
+}
+
+func promSuccess(w http.ResponseWriter, r *http.Request, resultType string, result any) {
+	obs.ServeJSON(w, r, func(out io.Writer) error {
+		return json.NewEncoder(out).Encode(map[string]any{
+			"status": "success",
+			"data": map[string]any{
+				"resultType": resultType,
+				"result":     result,
+			},
+		})
+	})
+}
+
+func promError(w http.ResponseWriter, r *http.Request, code int, errType, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":    "error",
+		"errorType": errType,
+		"error":     msg,
+	})
+}

@@ -1,0 +1,273 @@
+package tsdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Resolution tiers. Raw samples arrive at the export interval
+// (typically 1s); compaction folds them into 10s and 1m tiers with
+// progressively longer retention.
+const (
+	tierRaw = iota
+	tier10s
+	tier1m
+	numTiers
+)
+
+var tierNames = [numTiers]string{"raw", "10s", "1m"}
+
+// tierStep is the downsampling window of each compacted tier in ms.
+var tierStep = [numTiers]int64{0, 10_000, 60_000}
+
+const segSuffix = ".tsq"
+
+// segInfo is one sealed (immutable) segment's index entry: enough to
+// decide overlap with a query range and to enforce retention without
+// reading the file.
+type segInfo struct {
+	path       string
+	seq        int
+	minT, maxT int64 // unix ms; 0,0 when the segment holds no samples
+	size       int64
+}
+
+// tierState is one tier's on-disk state: its sealed segment index plus
+// the open segment being appended to (writers only).
+type tierState struct {
+	dir    string
+	sealed []segInfo
+
+	// Writer state (nil file in read-only mode).
+	f        *os.File
+	seq      int
+	size     int64
+	buf      []byte          // group-commit buffer: encoded frames not yet written
+	declared map[uint32]bool // series declared in the open segment
+	minT     int64
+	maxT     int64
+	openedAt time.Time
+}
+
+func segPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%05d%s", seq, segSuffix))
+}
+
+func parseSegSeq(name string) (int, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), segSuffix))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns a tier directory's segments in sequence order.
+func listSegments(dir string) ([]segInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var segs []segInfo
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		seq, ok := parseSegSeq(ent.Name())
+		if !ok {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segInfo{path: filepath.Join(dir, ent.Name()), seq: seq, size: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// scanSegment decodes one segment file, emitting every sample with its
+// series identity resolved through the segment-local declaration table,
+// and returns the max watermark frame seen plus decode stats. Decode
+// never fails on corruption; only I/O errors are returned.
+func scanSegment(path string, emit func(key seriesKey, kind byte, unixMs int64, v float64)) (wm int64, stats DecodeStats, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, stats, err
+	}
+	wm, stats = scanFrames(data, emit)
+	return wm, stats, nil
+}
+
+// scanFrames is scanSegment over an in-memory byte run (also used for
+// the unflushed group-commit buffer).
+func scanFrames(data []byte, emit func(key seriesKey, kind byte, unixMs int64, v float64)) (wm int64, stats DecodeStats) {
+	local := map[uint32]struct {
+		key  seriesKey
+		kind byte
+	}{}
+	stats, _ = decodeFrames(data, func(kind byte, payload []byte) error {
+		switch kind {
+		case kindSeries:
+			if id, sk, key, ok := decodeSeriesDecl(payload); ok {
+				local[id] = struct {
+					key  seriesKey
+					kind byte
+				}{key, sk}
+			} else {
+				stats.Corrupt++
+			}
+		case kindBlock:
+			if !decodeBlock(payload, func(id uint32, t int64, v float64) {
+				if d, ok := local[id]; ok && emit != nil {
+					emit(d.key, d.kind, t, v)
+				}
+			}) {
+				stats.Corrupt++
+			}
+		case kindWatermark:
+			if w, ok := decodeWatermark(payload); ok && w > wm {
+				wm = w
+			} else if !ok {
+				stats.Corrupt++
+			}
+		default:
+			stats.Unknown++
+		}
+		return nil
+	})
+	return wm, stats
+}
+
+// openWriter opens a fresh segment for appending. The previous process'
+// last segment is always sealed as-is — appending after a torn tail
+// would bury valid frames behind garbage.
+func (ts *tierState) openWriter(now time.Time) error {
+	seq := 1
+	if n := len(ts.sealed); n > 0 {
+		seq = ts.sealed[n-1].seq + 1
+	}
+	f, err := os.OpenFile(segPath(ts.dir, seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	ts.f = f
+	ts.seq = seq
+	ts.size = 0
+	ts.buf = ts.buf[:0]
+	ts.declared = map[uint32]bool{}
+	ts.minT, ts.maxT = 0, 0
+	ts.openedAt = now
+	return nil
+}
+
+// note records a sample timestamp landing in the open segment.
+func (ts *tierState) note(unixMs int64) {
+	if ts.minT == 0 || unixMs < ts.minT {
+		ts.minT = unixMs
+	}
+	if unixMs > ts.maxT {
+		ts.maxT = unixMs
+	}
+}
+
+// flush writes the group-commit buffer through to the file (no fsync —
+// rotation and close sync; between those, the OS page cache is the
+// bound on loss, same stance as flight).
+func (ts *tierState) flush() error {
+	if ts.f == nil || len(ts.buf) == 0 {
+		return nil
+	}
+	n, err := ts.f.Write(ts.buf)
+	ts.size += int64(n)
+	ts.buf = ts.buf[:0]
+	return err
+}
+
+// seal flushes, fsyncs, and closes the open segment, moving it to the
+// sealed index. A segment that never saw a frame is deleted instead.
+func (ts *tierState) seal() error {
+	if ts.f == nil {
+		return nil
+	}
+	err := ts.flush()
+	if ts.size == 0 {
+		ts.f.Close()
+		os.Remove(ts.f.Name())
+		ts.f = nil
+		return err
+	}
+	if serr := ts.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := ts.f.Close(); err == nil {
+		err = cerr
+	}
+	ts.sealed = append(ts.sealed, segInfo{
+		path: ts.f.Name(), seq: ts.seq, minT: ts.minT, maxT: ts.maxT, size: ts.size,
+	})
+	ts.f = nil
+	return err
+}
+
+// rotateIfNeeded seals and reopens the segment once it exceeds the size
+// budget or has been open longer than maxAge. Age-based rotation exists
+// for retention: only sealed segments can be deleted, so a slow tier
+// must still seal often enough for its window to move.
+func (ts *tierState) rotateIfNeeded(now time.Time, maxBytes int64, maxAge time.Duration) error {
+	if ts.f == nil {
+		return nil
+	}
+	if ts.size+int64(len(ts.buf)) < maxBytes && (ts.size == 0 || now.Sub(ts.openedAt) < maxAge) {
+		return nil
+	}
+	if err := ts.seal(); err != nil {
+		return err
+	}
+	return ts.openWriter(now)
+}
+
+// enforceRetention deletes sealed segments whose newest sample is older
+// than the cutoff. Returns bytes and segments removed.
+func (ts *tierState) enforceRetention(cutoffMs int64) (bytes int64, segs int) {
+	keep := ts.sealed[:0]
+	for _, s := range ts.sealed {
+		if s.maxT != 0 && s.maxT < cutoffMs {
+			os.Remove(s.path)
+			bytes += s.size
+			segs++
+			continue
+		}
+		keep = append(keep, s)
+	}
+	ts.sealed = keep
+	return bytes, segs
+}
+
+// diskBytes is the tier's current on-disk footprint (sealed + open).
+func (ts *tierState) diskBytes() int64 {
+	total := ts.size
+	for _, s := range ts.sealed {
+		total += s.size
+	}
+	return total
+}
+
+func (ts *tierState) segments() int {
+	n := len(ts.sealed)
+	if ts.f != nil {
+		n++
+	}
+	return n
+}

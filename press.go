@@ -54,12 +54,12 @@ import (
 	"press/internal/geom"
 	"press/internal/mimo"
 	"press/internal/obs"
-	"press/internal/obs/export"
 	"press/internal/obs/flight"
 	"press/internal/obs/health"
 	"press/internal/obs/prof"
 	"press/internal/obs/scope"
 	"press/internal/obs/slo"
+	"press/internal/obs/tsdb"
 	"press/internal/ofdm"
 	"press/internal/propagation"
 	"press/internal/radio"
@@ -434,9 +434,11 @@ type (
 	// (-runtime-metrics-interval, -bench-baselines, /perfz), the
 	// cost-attribution layer (-phase-accounting, -profile-interval,
 	// /profz), the control-loop deadline tracer (-loop-trace,
-	// -loop-deadline, /tracez), and the push-export pipeline
-	// (-export-url, -export-interval, -export-format, /exportz).
-	TelemetryCLI = export.CLI
+	// -loop-deadline, /tracez), the push-export pipeline (-export-url,
+	// -export-interval, -export-format, /exportz), and the durable
+	// metrics-history store (-tsdb-dir, -tsdb-retention, /query,
+	// /query_range, /tsdbz).
+	TelemetryCLI = tsdb.CLI
 	// LoopTracer assembles per-iteration control-loop span trees, scores
 	// them against a coherence deadline, and tail-samples exemplars for
 	// /tracez. A nil tracer is the zero-cost disabled default.
